@@ -1,0 +1,324 @@
+//! The covering-effect checker: the entry point tying together the two
+//! dataflow algorithms and the determinism check.
+//!
+//! For every task and method declaration the checker verifies that the
+//! effect of each operation in its body is included in the covering effect
+//! at that point (chapter 4), classifies each `spawn` site as statically
+//! covered or needing the limited run-time check of §3.1.5, and enforces the
+//! `@Deterministic` restrictions of §3.3.5.
+
+use crate::ir::{Block, Program, Stmt};
+use crate::{iterative, structural};
+use std::fmt;
+use twe_effects::Effect;
+
+/// Which dataflow algorithm to use for the covering-effect analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// The iterative worklist algorithm of Figure 4.2 over a CFG.
+    Iterative,
+    /// The structure-based AST traversal of §4.4 (the one the TWEJava
+    /// compiler implements).
+    Structural,
+}
+
+/// The reason a check failed.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CheckErrorKind {
+    /// The effect of an operation is not included in the covering effect at
+    /// that point.
+    UncoveredEffect(Effect),
+    /// A `join` names a handle variable never bound by a `spawn`.
+    UnknownJoinHandle(String),
+    /// A `@Deterministic` task or method uses a construct that is not
+    /// allowed in deterministic code.
+    DeterminismViolation(String),
+}
+
+/// One error reported by the checker.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CheckError {
+    /// The task or method in which the error occurs.
+    pub context: String,
+    /// The site path of the offending statement (e.g. `"2.then.0"`).
+    pub site: String,
+    /// What went wrong.
+    pub kind: CheckErrorKind,
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            CheckErrorKind::UncoveredEffect(e) => write!(
+                f,
+                "{}: statement {}: effect `{}` is not covered by the covering effect here",
+                self.context, self.site, e
+            ),
+            CheckErrorKind::UnknownJoinHandle(v) => write!(
+                f,
+                "{}: statement {}: join of handle `{}` that no spawn binds",
+                self.context, self.site, v
+            ),
+            CheckErrorKind::DeterminismViolation(why) => write!(
+                f,
+                "{}: statement {}: @Deterministic violation: {}",
+                self.context, self.site, why
+            ),
+        }
+    }
+}
+
+/// Static classification of a `spawn` site (§3.1.5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpawnCoverage {
+    /// The spawned task's declared effects are statically covered by the
+    /// covering effect; no run-time check is needed.
+    Covered,
+    /// Static analysis could not prove coverage; the runtime must track the
+    /// parent's covering effect and check at the spawn.
+    NeedsRuntimeCheck,
+}
+
+/// One `spawn` site and its coverage classification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpawnSite {
+    /// The task or method containing the spawn.
+    pub context: String,
+    /// Site path of the spawn statement.
+    pub site: String,
+    /// Name of the spawned task.
+    pub task: String,
+    /// Whether the spawn is statically covered.
+    pub coverage: SpawnCoverage,
+}
+
+/// The result of checking a whole program.
+#[derive(Clone, Debug, Default)]
+pub struct CheckReport {
+    /// All errors found, in traversal order.
+    pub errors: Vec<CheckError>,
+    /// All spawn sites with their coverage classification.
+    pub spawn_sites: Vec<SpawnSite>,
+    /// Number of dataflow iterations used per context (iterative algorithm)
+    /// or maximum loop passes (structural algorithm); diagnostic only.
+    pub iterations: Vec<(String, usize)>,
+}
+
+impl CheckReport {
+    /// Did the program pass all checks?
+    pub fn ok(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Spawn sites that need the run-time covering check.
+    pub fn dynamic_spawn_checks(&self) -> impl Iterator<Item = &SpawnSite> {
+        self.spawn_sites
+            .iter()
+            .filter(|s| s.coverage == SpawnCoverage::NeedsRuntimeCheck)
+    }
+
+    fn merge(&mut self, mut other: CheckReport) {
+        self.errors.append(&mut other.errors);
+        self.spawn_sites.append(&mut other.spawn_sites);
+        self.iterations.append(&mut other.iterations);
+    }
+}
+
+/// Checks every task and method of `program` with the chosen algorithm and
+/// performs the determinism check.
+pub fn check_program(program: &Program, algorithm: Algorithm) -> CheckReport {
+    let mut report = CheckReport::default();
+    for task in &program.tasks {
+        let one = check_body(program, &task.name, &task.effect, &task.body, algorithm);
+        report.merge(one);
+    }
+    for method in &program.methods {
+        let one = check_body(program, &method.name, &method.effect, &method.body, algorithm);
+        report.merge(one);
+    }
+    report.errors.extend(determinism_check(program));
+    report
+}
+
+fn check_body(
+    program: &Program,
+    context: &str,
+    declared: &twe_effects::EffectSet,
+    body: &Block,
+    algorithm: Algorithm,
+) -> CheckReport {
+    match algorithm {
+        Algorithm::Iterative => {
+            let r = iterative::analyze_body(program, context, declared, body);
+            CheckReport {
+                errors: r.errors,
+                spawn_sites: r.spawn_sites,
+                iterations: vec![(context.to_string(), r.iterations)],
+            }
+        }
+        Algorithm::Structural => {
+            let r = structural::analyze_body(program, context, declared, body);
+            CheckReport {
+                errors: r.errors,
+                spawn_sites: r.spawn_sites,
+                iterations: vec![(context.to_string(), r.max_loop_passes)],
+            }
+        }
+    }
+}
+
+/// Enforces the `@Deterministic` restrictions of §3.3.5: deterministic code
+/// may use only `spawn`/`join` among the task operations, may call only
+/// deterministic methods, and may spawn only deterministic tasks.
+pub fn determinism_check(program: &Program) -> Vec<CheckError> {
+    let mut errors = Vec::new();
+    let mut check = |context: &str, body: &Block| {
+        walk_deterministic(program, context, body, "", &mut errors);
+    };
+    for task in program.tasks.iter().filter(|t| t.deterministic) {
+        check(&task.name, &task.body);
+    }
+    for method in program.methods.iter().filter(|m| m.deterministic) {
+        check(&method.name, &method.body);
+    }
+    errors
+}
+
+fn walk_deterministic(
+    program: &Program,
+    context: &str,
+    block: &Block,
+    prefix: &str,
+    errors: &mut Vec<CheckError>,
+) {
+    for (i, stmt) in block.stmts().iter().enumerate() {
+        let site = if prefix.is_empty() {
+            format!("{i}")
+        } else {
+            format!("{prefix}.{i}")
+        };
+        let mut err = |reason: String| {
+            errors.push(CheckError {
+                context: context.to_string(),
+                site: site.clone(),
+                kind: CheckErrorKind::DeterminismViolation(reason),
+            });
+        };
+        match stmt {
+            Stmt::ExecuteLater { task, .. } => err(format!(
+                "executeLater of task `{}` is not allowed in deterministic code",
+                program.tasks[*task].name
+            )),
+            Stmt::GetValue { var } => {
+                err(format!("getValue on `{var}` is not allowed in deterministic code"))
+            }
+            Stmt::Call(m) => {
+                if !program.methods[*m].deterministic {
+                    err(format!(
+                        "call to non-deterministic method `{}`",
+                        program.methods[*m].name
+                    ));
+                }
+            }
+            Stmt::Spawn { task, .. } => {
+                if !program.tasks[*task].deterministic {
+                    err(format!(
+                        "spawn of non-deterministic task `{}`",
+                        program.tasks[*task].name
+                    ));
+                }
+            }
+            Stmt::If { then_branch, else_branch } => {
+                walk_deterministic(program, context, then_branch, &format!("{site}.then"), errors);
+                walk_deterministic(program, context, else_branch, &format!("{site}.else"), errors);
+            }
+            Stmt::While { body } => {
+                walk_deterministic(program, context, body, &format!("{site}.body"), errors);
+            }
+            Stmt::Read(_) | Stmt::Write(_) | Stmt::Join { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{MethodDecl, TaskDecl};
+    use twe_effects::EffectSet;
+
+    #[test]
+    fn determinism_check_flags_execute_later_and_get_value() {
+        let mut p = Program::new();
+        let child = p.add_task(TaskDecl::new(
+            "child",
+            EffectSet::parse("writes A"),
+            Block::new(),
+        ));
+        p.add_task(
+            TaskDecl::new(
+                "det",
+                EffectSet::parse("writes A"),
+                Block::of([
+                    Stmt::execute_later(child, "f"),
+                    Stmt::get_value("f"),
+                ]),
+            )
+            .deterministic(),
+        );
+        let errors = determinism_check(&p);
+        assert_eq!(errors.len(), 2);
+        assert!(matches!(errors[0].kind, CheckErrorKind::DeterminismViolation(_)));
+    }
+
+    #[test]
+    fn determinism_check_flags_nondeterministic_callees_and_spawnees() {
+        let mut p = Program::new();
+        let nondet_task = p.add_task(TaskDecl::new("nd", EffectSet::pure(), Block::new()));
+        let det_task = p.add_task(
+            TaskDecl::new("d", EffectSet::pure(), Block::new()).deterministic(),
+        );
+        let nondet_method = p.add_method(MethodDecl::new("ndm", EffectSet::pure(), Block::new()));
+        let det_method =
+            p.add_method(MethodDecl::new("dm", EffectSet::pure(), Block::new()).deterministic());
+        p.add_task(
+            TaskDecl::new(
+                "root",
+                EffectSet::pure(),
+                Block::of([
+                    Stmt::Spawn { task: nondet_task, var: None },
+                    Stmt::Spawn { task: det_task, var: None },
+                    Stmt::Call(nondet_method),
+                    Stmt::Call(det_method),
+                ]),
+            )
+            .deterministic(),
+        );
+        let errors = determinism_check(&p);
+        assert_eq!(errors.len(), 2);
+    }
+
+    #[test]
+    fn determinism_check_ignores_non_deterministic_contexts() {
+        let mut p = Program::new();
+        let child = p.add_task(TaskDecl::new("c", EffectSet::pure(), Block::new()));
+        p.add_task(TaskDecl::new(
+            "free",
+            EffectSet::pure(),
+            Block::of([Stmt::execute_later(child, "f"), Stmt::get_value("f")]),
+        ));
+        assert!(determinism_check(&p).is_empty());
+    }
+
+    #[test]
+    fn error_display_mentions_context_and_site() {
+        let e = CheckError {
+            context: "work".into(),
+            site: "2.then.0".into(),
+            kind: CheckErrorKind::UncoveredEffect(Effect::parse("writes A").unwrap()),
+        };
+        let s = format!("{e}");
+        assert!(s.contains("work"));
+        assert!(s.contains("2.then.0"));
+        assert!(s.contains("writes Root:A"));
+    }
+}

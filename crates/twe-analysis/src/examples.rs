@@ -1,0 +1,350 @@
+//! Canonical example programs in the task IR.
+//!
+//! These mirror the programs used throughout the paper (the ImageEdit
+//! `increaseContrast` running example of chapter 3, the KMeans fragment of
+//! Figure 5.1, the `scribble` variant of §5.3.2) plus a few deliberately
+//! incorrect programs. They are used by the unit/integration tests and by
+//! the figure harness to exercise the static analysis on realistic task
+//! structures.
+
+use crate::ir::{Block, MethodDecl, Program, Stmt, TaskDecl};
+use twe_effects::EffectSet;
+
+fn es(s: &str) -> EffectSet {
+    EffectSet::parse(s)
+}
+
+/// The ImageEdit `increaseContrast` running example (Figure 3.2):
+/// a parent task with effect `writes Top, Bottom` spawns a child working on
+/// `Top`, processes `Bottom` itself through a method call, then joins.
+/// All tasks and the helper method are `@Deterministic`.
+pub fn image_contrast() -> Program {
+    let mut p = Program::new();
+    let top = p.add_task(
+        TaskDecl::new(
+            "increasePixelContrast(topHalf)",
+            es("writes Top"),
+            Block::of([Stmt::read("Top"), Stmt::write("Top")]),
+        )
+        .deterministic(),
+    );
+    let bottom_method = p.add_method(
+        MethodDecl::new(
+            "increasePixelContrast(bottomHalf)",
+            es("writes Bottom"),
+            Block::of([Stmt::read("Bottom"), Stmt::write("Bottom")]),
+        )
+        .deterministic(),
+    );
+    p.add_task(
+        TaskDecl::new(
+            "increaseContrast",
+            es("writes Top, writes Bottom"),
+            Block::of([
+                Stmt::spawn(top, "f"),
+                Stmt::Call(bottom_method),
+                Stmt::join("f"),
+                Stmt::read("Top"),
+                Stmt::read("Bottom"),
+            ]),
+        )
+        .deterministic(),
+    );
+    p
+}
+
+/// The KMeans fragment of Figure 5.1: `WorkTask` (reads Root) computes a
+/// cluster index and runs an `accumulate` task with a write effect on an
+/// index-parameterised region; `work()` creates WorkTasks with
+/// `executeLater` in a loop and waits for them with `getValue`.
+pub fn kmeans() -> Program {
+    let mut p = Program::new();
+    let accumulate = p.add_task(TaskDecl::new(
+        "accumulate",
+        es("reads Root, writes Root:[?]"),
+        Block::of([Stmt::read("Root"), Stmt::write("Root:[?]")]),
+    ));
+    let work_task = p.add_task(TaskDecl::new(
+        "WorkTask",
+        es("reads Root"),
+        Block::of([
+            Stmt::read("Root"),
+            Stmt::execute_later(accumulate, "acc"),
+            Stmt::get_value("acc"),
+        ]),
+    ));
+    p.add_method(MethodDecl::new(
+        "work",
+        es("reads Root, writes TF"),
+        Block::of([
+            Stmt::while_loop(Block::of([
+                Stmt::execute_later(work_task, "tf"),
+                Stmt::write("TF"),
+            ])),
+            Stmt::while_loop(Block::of([Stmt::read("TF"), Stmt::get_value("tf")])),
+        ]),
+    ));
+    p
+}
+
+/// The `scribble` variant of the KMeans example used in §5.3.2: `work`
+/// additionally creates a task with the wildcard effect `writes Root:*` and
+/// later blocks on it.
+pub fn kmeans_with_scribble() -> Program {
+    let mut p = kmeans();
+    let scribble = p.add_task(TaskDecl::new(
+        "ScribbleTask",
+        es("writes Root:*"),
+        Block::of([Stmt::write("Root:*")]),
+    ));
+    let work_task = p.task_by_name("WorkTask").unwrap();
+    p.add_method(MethodDecl::new(
+        "work_with_scribble",
+        es("writes TF"),
+        Block::of([
+            Stmt::execute_later(scribble, "scribble"),
+            Stmt::while_loop(Block::of([
+                Stmt::execute_later(work_task, "tf"),
+                Stmt::write("TF"),
+            ])),
+            Stmt::while_loop(Block::of([Stmt::read("TF"), Stmt::get_value("tf")])),
+            Stmt::get_value("scribble"),
+        ]),
+    ));
+    p
+}
+
+/// A fork-join style Barnes-Hut force computation: one deterministic task
+/// per chunk of bodies, each with a write effect on its chunk region and a
+/// read effect on the shared tree, spawned and joined by a parent.
+pub fn barnes_hut_force() -> Program {
+    let mut p = Program::new();
+    let chunk = p.add_task(
+        TaskDecl::new(
+            "forceChunk",
+            es("reads Tree, writes Bodies:[?]"),
+            Block::of([Stmt::read("Tree"), Stmt::write("Bodies:[?]")]),
+        )
+        .deterministic(),
+    );
+    p.add_task(
+        TaskDecl::new(
+            "forceComputation",
+            es("reads Tree, writes Bodies:*"),
+            Block::of([
+                Stmt::while_loop(Block::of([Stmt::Spawn { task: chunk, var: None }])),
+                Stmt::read("Tree"),
+            ]),
+        )
+        .deterministic(),
+    );
+    p
+}
+
+/// A deliberately incorrect program: the task declares `reads Data` but
+/// writes it.
+pub fn uncovered_write() -> Program {
+    let mut p = Program::new();
+    p.add_task(TaskDecl::new(
+        "sneakyWriter",
+        es("reads Data"),
+        Block::of([Stmt::read("Data"), Stmt::write("Data")]),
+    ));
+    p
+}
+
+/// A deliberately incorrect program: the parent keeps using a region whose
+/// effect it transferred to a spawned child and has not yet joined.
+pub fn use_after_spawn() -> Program {
+    let mut p = Program::new();
+    let child = p.add_task(TaskDecl::new(
+        "child",
+        es("writes Shared"),
+        Block::of([Stmt::write("Shared")]),
+    ));
+    p.add_task(TaskDecl::new(
+        "parent",
+        es("writes Shared, writes Mine"),
+        Block::of([
+            Stmt::spawn(child, "f"),
+            Stmt::write("Mine"),
+            Stmt::write("Shared"), // error: transferred away until the join
+            Stmt::join("f"),
+            Stmt::write("Shared"), // fine again after the join
+        ]),
+    ));
+    p
+}
+
+/// A deliberately incorrect `@Deterministic` program: the deterministic task
+/// uses `executeLater`/`getValue` and calls a non-deterministic method.
+pub fn nondeterministic_in_deterministic() -> Program {
+    let mut p = Program::new();
+    let helper = p.add_method(MethodDecl::new("logSomething", es("writes Log"), Block::new()));
+    let other = p.add_task(TaskDecl::new("other", es("writes Log"), Block::new()));
+    p.add_task(
+        TaskDecl::new(
+            "supposedlyDeterministic",
+            es("writes Log"),
+            Block::of([
+                Stmt::Call(helper),
+                Stmt::execute_later(other, "f"),
+                Stmt::get_value("f"),
+            ]),
+        )
+        .deterministic(),
+    );
+    p
+}
+
+/// The FourWins module structure of §6.1: actor-like modules (game state,
+/// board, controller, view, players) each with a private region, plus the
+/// recursive AI task. Messages between modules are `executeLater` tasks
+/// with effects on the target module's region.
+pub fn fourwins_modules() -> Program {
+    let mut p = Program::new();
+    let board_update = p.add_task(TaskDecl::new(
+        "board.applyMove",
+        es("writes Board"),
+        Block::of([Stmt::read("Board"), Stmt::write("Board")]),
+    ));
+    let view_refresh = p.add_task(TaskDecl::new(
+        "view.refresh",
+        es("reads Board, writes View"),
+        Block::of([Stmt::read("Board"), Stmt::write("View")]),
+    ));
+    let ai_subtree = p.add_task(
+        TaskDecl::new(
+            "ai.exploreSubtree",
+            es("reads Board, writes AiScratch:[?]"),
+            Block::of([Stmt::read("Board"), Stmt::write("AiScratch:[?]")]),
+        )
+        .deterministic(),
+    );
+    p.add_task(TaskDecl::new(
+        "controller.onMove",
+        es("reads Board, writes Controller"),
+        Block::of([
+            Stmt::write("Controller"),
+            Stmt::execute_later(board_update, "b"),
+            Stmt::get_value("b"),
+            Stmt::execute_later(view_refresh, "v"),
+        ]),
+    ));
+    p.add_task(
+        TaskDecl::new(
+            "ai.chooseMove",
+            es("reads Board, writes AiScratch:*"),
+            Block::of([
+                Stmt::while_loop(Block::of([Stmt::Spawn { task: ai_subtree, var: None }])),
+                Stmt::read("Board"),
+            ]),
+        )
+        .deterministic(),
+    );
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{check_program, Algorithm, CheckErrorKind, SpawnCoverage};
+
+    #[test]
+    fn image_contrast_is_clean_under_both_algorithms() {
+        for alg in [Algorithm::Iterative, Algorithm::Structural] {
+            let report = check_program(&image_contrast(), alg);
+            assert!(report.ok(), "{alg:?}: {:?}", report.errors);
+            assert!(report
+                .spawn_sites
+                .iter()
+                .all(|s| s.coverage == SpawnCoverage::Covered));
+        }
+    }
+
+    #[test]
+    fn kmeans_and_scribble_are_clean() {
+        for program in [kmeans(), kmeans_with_scribble()] {
+            for alg in [Algorithm::Iterative, Algorithm::Structural] {
+                let report = check_program(&program, alg);
+                assert!(report.ok(), "{alg:?}: {:?}", report.errors);
+            }
+        }
+    }
+
+    #[test]
+    fn barnes_hut_spawns_need_runtime_check() {
+        // The parent spawns one chunk task per loop iteration without joining
+        // inside the loop, so from the second iteration onwards the static
+        // analysis cannot prove the chunk effects are still covered — exactly
+        // the index-parameterised-array case of §3.1.5 where the check is
+        // deferred to run time.
+        let report = check_program(&barnes_hut_force(), Algorithm::Structural);
+        assert!(report.ok(), "{:?}", report.errors);
+        assert_eq!(report.spawn_sites.len(), 1);
+        assert_eq!(
+            report.spawn_sites[0].coverage,
+            SpawnCoverage::NeedsRuntimeCheck
+        );
+    }
+
+    #[test]
+    fn uncovered_write_is_reported_by_both_algorithms() {
+        for alg in [Algorithm::Iterative, Algorithm::Structural] {
+            let report = check_program(&uncovered_write(), alg);
+            assert_eq!(report.errors.len(), 1, "{alg:?}");
+            assert!(matches!(
+                report.errors[0].kind,
+                CheckErrorKind::UncoveredEffect(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn use_after_spawn_reports_exactly_the_middle_write() {
+        for alg in [Algorithm::Iterative, Algorithm::Structural] {
+            let report = check_program(&use_after_spawn(), alg);
+            assert_eq!(report.errors.len(), 1, "{alg:?}: {:?}", report.errors);
+            assert_eq!(report.errors[0].site, "2");
+        }
+    }
+
+    #[test]
+    fn determinism_violations_are_reported() {
+        let report = check_program(&nondeterministic_in_deterministic(), Algorithm::Structural);
+        let det_errors: Vec<_> = report
+            .errors
+            .iter()
+            .filter(|e| matches!(e.kind, CheckErrorKind::DeterminismViolation(_)))
+            .collect();
+        assert_eq!(det_errors.len(), 3);
+    }
+
+    #[test]
+    fn fourwins_modules_are_clean() {
+        for alg in [Algorithm::Iterative, Algorithm::Structural] {
+            let report = check_program(&fourwins_modules(), alg);
+            assert!(report.ok(), "{alg:?}: {:?}", report.errors);
+        }
+    }
+
+    #[test]
+    fn both_algorithms_agree_on_all_examples() {
+        let programs = [
+            image_contrast(),
+            kmeans(),
+            kmeans_with_scribble(),
+            barnes_hut_force(),
+            uncovered_write(),
+            use_after_spawn(),
+            fourwins_modules(),
+            nondeterministic_in_deterministic(),
+        ];
+        for program in &programs {
+            let a = check_program(program, Algorithm::Iterative);
+            let b = check_program(program, Algorithm::Structural);
+            assert_eq!(a.errors, b.errors);
+            assert_eq!(a.spawn_sites, b.spawn_sites);
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! The task IR over which the covering-effect analysis runs.
+//!
+//! A [`Program`] is a set of task and method declarations, each with a
+//! programmer-declared effect summary and a structured body. Bodies are
+//! built from reads/writes of regions, calls to declared methods, the four
+//! task operations of the TWE model (`executeLater`, `getValue`, `spawn`,
+//! `join`) and structured control flow (`if`, `while`). This mirrors the
+//! "basic imperative language" used for the formal dynamic semantics in
+//! §3.2 of the paper, extended with the operations the covering-effect
+//! analysis of chapter 4 cares about.
+
+use twe_effects::{EffectSet, Rpl};
+
+/// Index of a task declaration within a [`Program`].
+pub type TaskId = usize;
+/// Index of a method declaration within a [`Program`].
+pub type MethodId = usize;
+
+/// A whole program: task and method declarations.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// Task declarations (the unit scheduled by the runtime).
+    pub tasks: Vec<TaskDecl>,
+    /// Method declarations (called synchronously within a task).
+    pub methods: Vec<MethodDecl>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Adds a task declaration, returning its id.
+    pub fn add_task(&mut self, task: TaskDecl) -> TaskId {
+        self.tasks.push(task);
+        self.tasks.len() - 1
+    }
+
+    /// Adds a method declaration, returning its id.
+    pub fn add_method(&mut self, method: MethodDecl) -> MethodId {
+        self.methods.push(method);
+        self.methods.len() - 1
+    }
+
+    /// Looks up a task by name.
+    pub fn task_by_name(&self, name: &str) -> Option<TaskId> {
+        self.tasks.iter().position(|t| t.name == name)
+    }
+
+    /// Looks up a method by name.
+    pub fn method_by_name(&self, name: &str) -> Option<MethodId> {
+        self.methods.iter().position(|m| m.name == name)
+    }
+}
+
+/// A task declaration: the analogue of a concrete `Task` subclass in TWEJava.
+#[derive(Clone, Debug)]
+pub struct TaskDecl {
+    /// Human-readable name (used in diagnostics).
+    pub name: String,
+    /// The declared effect summary (the `effect E` parameter of the task).
+    pub effect: EffectSet,
+    /// Whether the task is annotated `@Deterministic`.
+    pub deterministic: bool,
+    /// The body of the task's `run` method.
+    pub body: Block,
+}
+
+impl TaskDecl {
+    /// Creates a task declaration.
+    pub fn new(name: impl Into<String>, effect: EffectSet, body: Block) -> Self {
+        TaskDecl { name: name.into(), effect, deterministic: false, body }
+    }
+
+    /// Marks the task `@Deterministic`.
+    pub fn deterministic(mut self) -> Self {
+        self.deterministic = true;
+        self
+    }
+}
+
+/// A method declaration with a declared effect summary.
+#[derive(Clone, Debug)]
+pub struct MethodDecl {
+    /// Human-readable name.
+    pub name: String,
+    /// Declared effect summary of the method.
+    pub effect: EffectSet,
+    /// Whether the method is annotated `@Deterministic`.
+    pub deterministic: bool,
+    /// The method body.
+    pub body: Block,
+}
+
+impl MethodDecl {
+    /// Creates a method declaration.
+    pub fn new(name: impl Into<String>, effect: EffectSet, body: Block) -> Self {
+        MethodDecl { name: name.into(), effect, deterministic: false, body }
+    }
+
+    /// Marks the method `@Deterministic`.
+    pub fn deterministic(mut self) -> Self {
+        self.deterministic = true;
+        self
+    }
+}
+
+/// A sequence of statements.
+#[derive(Clone, Debug, Default)]
+pub struct Block(pub Vec<Stmt>);
+
+impl Block {
+    /// An empty block.
+    pub fn new() -> Self {
+        Block(Vec::new())
+    }
+
+    /// Builds a block from statements.
+    pub fn of(stmts: impl Into<Vec<Stmt>>) -> Self {
+        Block(stmts.into())
+    }
+
+    /// The statements of the block.
+    pub fn stmts(&self) -> &[Stmt] {
+        &self.0
+    }
+
+    /// Appends a statement (builder style).
+    pub fn push(mut self, stmt: Stmt) -> Self {
+        self.0.push(stmt);
+        self
+    }
+}
+
+/// One statement of the task IR.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// A read of every location in the region named by the RPL.
+    Read(Rpl),
+    /// A write of every location in the region named by the RPL.
+    Write(Rpl),
+    /// A synchronous call to a declared method; the callee's declared effect
+    /// must be covered at the call site.
+    Call(MethodId),
+    /// `spawn`: create a child task with effect transfer from the parent
+    /// (the child's declared effects are subtracted from the covering
+    /// effect). `var`, if given, names the `SpawnedTaskFuture` for a later
+    /// [`Stmt::Join`].
+    Spawn {
+        /// The task being spawned.
+        task: TaskId,
+        /// Optional handle variable bound to the spawned-task future.
+        var: Option<String>,
+    },
+    /// `join` a previously spawned handle; the joined task's effects are
+    /// transferred back (added to the covering effect) if its declared effect
+    /// is fully specified (contains no wildcards), per §3.1.5.
+    Join {
+        /// The handle variable being joined.
+        var: String,
+    },
+    /// `executeLater`: create an asynchronous task that goes through the
+    /// effect-based scheduler; no effect transfer in the covering analysis.
+    ExecuteLater {
+        /// The task being enqueued.
+        task: TaskId,
+        /// Optional handle variable bound to the task future.
+        var: Option<String>,
+    },
+    /// `getValue` on a task future; blocks, but performs no effect transfer
+    /// in the static covering analysis.
+    GetValue {
+        /// The handle variable being waited on.
+        var: String,
+    },
+    /// Two-way branch (the condition is assumed pure).
+    If {
+        /// Statements of the then branch.
+        then_branch: Block,
+        /// Statements of the else branch.
+        else_branch: Block,
+    },
+    /// A loop executing its body zero or more times (condition assumed pure).
+    While {
+        /// The loop body.
+        body: Block,
+    },
+}
+
+impl Stmt {
+    /// Convenience constructor: a read of the region parsed from `rpl`.
+    pub fn read(rpl: &str) -> Stmt {
+        Stmt::Read(Rpl::parse(rpl))
+    }
+
+    /// Convenience constructor: a write of the region parsed from `rpl`.
+    pub fn write(rpl: &str) -> Stmt {
+        Stmt::Write(Rpl::parse(rpl))
+    }
+
+    /// Convenience constructor: spawn with a handle variable.
+    pub fn spawn(task: TaskId, var: &str) -> Stmt {
+        Stmt::Spawn { task, var: Some(var.to_string()) }
+    }
+
+    /// Convenience constructor: join a handle variable.
+    pub fn join(var: &str) -> Stmt {
+        Stmt::Join { var: var.to_string() }
+    }
+
+    /// Convenience constructor: executeLater with a handle variable.
+    pub fn execute_later(task: TaskId, var: &str) -> Stmt {
+        Stmt::ExecuteLater { task, var: Some(var.to_string()) }
+    }
+
+    /// Convenience constructor: getValue on a handle variable.
+    pub fn get_value(var: &str) -> Stmt {
+        Stmt::GetValue { var: var.to_string() }
+    }
+
+    /// Convenience constructor: an if statement.
+    pub fn if_else(then_branch: Block, else_branch: Block) -> Stmt {
+        Stmt::If { then_branch, else_branch }
+    }
+
+    /// Convenience constructor: a while loop.
+    pub fn while_loop(body: Block) -> Stmt {
+        Stmt::While { body }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_lookup_by_name() {
+        let mut p = Program::new();
+        let t = p.add_task(TaskDecl::new("work", EffectSet::parse("writes A"), Block::new()));
+        let m = p.add_method(MethodDecl::new(
+            "helper",
+            EffectSet::parse("reads A"),
+            Block::new(),
+        ));
+        assert_eq!(p.task_by_name("work"), Some(t));
+        assert_eq!(p.method_by_name("helper"), Some(m));
+        assert_eq!(p.task_by_name("nope"), None);
+    }
+
+    #[test]
+    fn builders_produce_expected_shapes() {
+        let body = Block::new()
+            .push(Stmt::write("A"))
+            .push(Stmt::spawn(0, "f"))
+            .push(Stmt::join("f"))
+            .push(Stmt::if_else(
+                Block::of([Stmt::read("A")]),
+                Block::new(),
+            ));
+        assert_eq!(body.stmts().len(), 4);
+        match &body.stmts()[3] {
+            Stmt::If { then_branch, else_branch } => {
+                assert_eq!(then_branch.stmts().len(), 1);
+                assert!(else_branch.stmts().is_empty());
+            }
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deterministic_marker() {
+        let t = TaskDecl::new("t", EffectSet::pure(), Block::new()).deterministic();
+        assert!(t.deterministic);
+        let m = MethodDecl::new("m", EffectSet::pure(), Block::new()).deterministic();
+        assert!(m.deterministic);
+    }
+}

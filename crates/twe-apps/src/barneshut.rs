@@ -1,0 +1,378 @@
+//! Barnes-Hut n-body force computation, used in Figures 6.1 and 6.4.
+//!
+//! The measured phase of the paper's benchmark is the force computation: a
+//! parallel loop over bodies that traverses a shared spatial tree
+//! (read-only) and writes each body's accumulated force. The TWE version
+//! creates one spawned task per chunk of bodies, with effect
+//! `reads Tree, writes Bodies:[c]` — exactly the index-parameterised-array
+//! pattern of §6.1 — inside a parent task with effect
+//! `reads Tree, writes Bodies:*`.
+
+use crate::util::{chunk_ranges, RegionCell, SplitMix64};
+use std::sync::Arc;
+use std::thread;
+use twe_effects::EffectSet;
+use twe_runtime::Runtime;
+
+/// Workload parameters.
+#[derive(Clone, Debug)]
+pub struct BarnesHutConfig {
+    /// Number of bodies.
+    pub n_bodies: usize,
+    /// Opening-angle parameter θ (smaller = more accurate, more work).
+    pub theta: f64,
+    /// RNG seed for body positions/masses.
+    pub seed: u64,
+    /// Number of chunks the body array is divided into.
+    pub chunks: usize,
+}
+
+impl Default for BarnesHutConfig {
+    fn default() -> Self {
+        BarnesHutConfig { n_bodies: 2_000, theta: 0.5, seed: 2024, chunks: 64 }
+    }
+}
+
+/// One body of the simulation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Body {
+    /// Position.
+    pub x: f64,
+    /// Position.
+    pub y: f64,
+    /// Mass.
+    pub mass: f64,
+    /// Accumulated force.
+    pub fx: f64,
+    /// Accumulated force.
+    pub fy: f64,
+}
+
+/// A quadtree node of the Barnes-Hut spatial index.
+#[derive(Clone, Debug)]
+pub enum QuadTree {
+    /// An empty region of space.
+    Empty,
+    /// A single body.
+    Leaf {
+        /// The body's position and mass.
+        x: f64,
+        /// Position.
+        y: f64,
+        /// Mass.
+        mass: f64,
+    },
+    /// An internal node summarising four quadrants.
+    Internal {
+        /// Centre of mass.
+        cx: f64,
+        /// Centre of mass.
+        cy: f64,
+        /// Total mass.
+        mass: f64,
+        /// Side length of the region.
+        size: f64,
+        /// The four quadrants (NW, NE, SW, SE).
+        children: Box<[QuadTree; 4]>,
+    },
+}
+
+/// Generates a reproducible random body distribution.
+pub fn generate(config: &BarnesHutConfig) -> Vec<Body> {
+    let mut rng = SplitMix64::new(config.seed);
+    (0..config.n_bodies)
+        .map(|_| Body {
+            x: rng.next_f64(),
+            y: rng.next_f64(),
+            mass: 0.5 + rng.next_f64(),
+            fx: 0.0,
+            fy: 0.0,
+        })
+        .collect()
+}
+
+/// Builds the quadtree over the unit square (the unmeasured setup phase, as
+/// in the paper).
+pub fn build_tree(bodies: &[Body]) -> QuadTree {
+    fn insert(tree: QuadTree, x: f64, y: f64, mass: f64, cx: f64, cy: f64, size: f64) -> QuadTree {
+        match tree {
+            QuadTree::Empty => QuadTree::Leaf { x, y, mass },
+            QuadTree::Leaf { x: ox, y: oy, mass: omass } => {
+                let node = QuadTree::Internal {
+                    cx: 0.0,
+                    cy: 0.0,
+                    mass: 0.0,
+                    size,
+                    children: Box::new([
+                        QuadTree::Empty,
+                        QuadTree::Empty,
+                        QuadTree::Empty,
+                        QuadTree::Empty,
+                    ]),
+                };
+                // Degenerate case: coincident points collapse to one leaf.
+                if (ox - x).abs() < 1e-12 && (oy - y).abs() < 1e-12 {
+                    return QuadTree::Leaf { x, y, mass: mass + omass };
+                }
+                let node = insert(node, ox, oy, omass, cx, cy, size);
+                insert(node, x, y, mass, cx, cy, size)
+            }
+            QuadTree::Internal { cx: _, cy: _, mass: m0, size, mut children } => {
+                let half = size / 2.0;
+                let quadrant = |px: f64, py: f64| -> (usize, f64, f64) {
+                    let east = px >= cx;
+                    let south = py >= cy;
+                    let idx = match (south, east) {
+                        (false, false) => 0,
+                        (false, true) => 1,
+                        (true, false) => 2,
+                        (true, true) => 3,
+                    };
+                    let ncx = if east { cx + half / 2.0 } else { cx - half / 2.0 };
+                    let ncy = if south { cy + half / 2.0 } else { cy - half / 2.0 };
+                    (idx, ncx, ncy)
+                };
+                let (qi, qx, qy) = quadrant(x, y);
+                let child = std::mem::replace(&mut children[qi], QuadTree::Empty);
+                children[qi] = insert(child, x, y, mass, qx, qy, half);
+                // Recompute aggregate lazily at the end (see finalize).
+                QuadTree::Internal { cx, cy, mass: m0, size, children }
+            }
+        }
+    }
+    fn finalize(tree: &mut QuadTree) -> (f64, f64, f64) {
+        match tree {
+            QuadTree::Empty => (0.0, 0.0, 0.0),
+            QuadTree::Leaf { x, y, mass } => (*x * *mass, *y * *mass, *mass),
+            QuadTree::Internal { cx, cy, mass, children, .. } => {
+                let (mut sx, mut sy, mut sm) = (0.0, 0.0, 0.0);
+                for child in children.iter_mut() {
+                    let (x, y, m) = finalize(child);
+                    sx += x;
+                    sy += y;
+                    sm += m;
+                }
+                *mass = sm;
+                if sm > 0.0 {
+                    *cx = sx / sm;
+                    *cy = sy / sm;
+                }
+                (sx, sy, sm)
+            }
+        }
+    }
+    let mut root = QuadTree::Internal {
+        cx: 0.5,
+        cy: 0.5,
+        mass: 0.0,
+        size: 1.0,
+        children: Box::new([QuadTree::Empty, QuadTree::Empty, QuadTree::Empty, QuadTree::Empty]),
+    };
+    for b in bodies {
+        root = insert(root, b.x, b.y, b.mass, 0.5, 0.5, 1.0);
+    }
+    finalize(&mut root);
+    root
+}
+
+/// The force a single body experiences from the tree.
+fn force_on(tree: &QuadTree, x: f64, y: f64, theta: f64) -> (f64, f64) {
+    const EPS: f64 = 1e-4;
+    match tree {
+        QuadTree::Empty => (0.0, 0.0),
+        QuadTree::Leaf { x: ox, y: oy, mass } => {
+            let (dx, dy) = (ox - x, oy - y);
+            let d2 = dx * dx + dy * dy + EPS;
+            let d = d2.sqrt();
+            let f = mass / (d2 * d);
+            (f * dx, f * dy)
+        }
+        QuadTree::Internal { cx, cy, mass, size, children } => {
+            let (dx, dy) = (cx - x, cy - y);
+            let d2 = dx * dx + dy * dy + EPS;
+            let d = d2.sqrt();
+            if size / d < theta {
+                let f = mass / (d2 * d);
+                (f * dx, f * dy)
+            } else {
+                let mut total = (0.0, 0.0);
+                for child in children.iter() {
+                    let (fx, fy) = force_on(child, x, y, theta);
+                    total.0 += fx;
+                    total.1 += fy;
+                }
+                total
+            }
+        }
+    }
+}
+
+/// Sequential force computation (oracle / speedup baseline).
+pub fn run_sequential(config: &BarnesHutConfig, bodies: &[Body], tree: &QuadTree) -> Vec<(f64, f64)> {
+    bodies
+        .iter()
+        .map(|b| force_on(tree, b.x, b.y, config.theta))
+        .collect()
+}
+
+/// TWE implementation: a parent task with effect `reads Tree, writes
+/// Bodies:*` spawns one child per chunk with effect `reads Tree, writes
+/// Bodies:[c]`.
+pub fn run_twe(
+    rt: &Runtime,
+    config: &BarnesHutConfig,
+    bodies: &[Body],
+    tree: &QuadTree,
+) -> Vec<(f64, f64)> {
+    let tree = Arc::new(tree.clone());
+    let n = bodies.len();
+    let bodies = Arc::new(bodies.to_vec());
+    let forces: Arc<Vec<RegionCell<(f64, f64)>>> =
+        Arc::new((0..n).map(|_| RegionCell::new((0.0, 0.0))).collect());
+    let theta = config.theta;
+    let ranges = chunk_ranges(n, config.chunks);
+
+    let forces_in_task = forces.clone();
+    rt.run(
+        "forceComputation",
+        EffectSet::parse("reads Tree, writes Bodies:*"),
+        move |ctx| {
+            for (c, range) in ranges.into_iter().enumerate() {
+                let tree = tree.clone();
+                let bodies = bodies.clone();
+                let forces = forces_in_task.clone();
+                ctx.spawn(
+                    "forceChunk",
+                    EffectSet::parse(&format!("reads Tree, writes Bodies:[{c}]")),
+                    move |_| {
+                        for i in range.clone() {
+                            let b = &bodies[i];
+                            *forces[i].get_mut() = force_on(&tree, b.x, b.y, theta);
+                        }
+                    },
+                );
+            }
+            // Children are joined implicitly when the parent returns.
+        },
+    );
+
+    Arc::try_unwrap(forces)
+        .unwrap_or_else(|_| panic!("forces still shared"))
+        .into_iter()
+        .map(RegionCell::into_inner)
+        .collect()
+}
+
+/// Fork-join baseline: scoped threads over chunks, no effect scheduling.
+pub fn run_forkjoin_baseline(
+    threads: usize,
+    config: &BarnesHutConfig,
+    bodies: &[Body],
+    tree: &QuadTree,
+) -> Vec<(f64, f64)> {
+    let n = bodies.len();
+    let mut forces = vec![(0.0, 0.0); n];
+    let ranges = chunk_ranges(n, threads);
+    thread::scope(|scope| {
+        let mut rest: &mut [(f64, f64)] = &mut forces;
+        for range in ranges {
+            let (chunk, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            scope.spawn(move || {
+                for (slot, i) in chunk.iter_mut().zip(range) {
+                    *slot = force_on(tree, bodies[i].x, bodies[i].y, config.theta);
+                }
+            });
+        }
+    });
+    forces
+}
+
+/// Compares two force vectors within floating-point tolerance.
+pub fn forces_match(a: &[(f64, f64)], b: &[(f64, f64)]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b.iter()).all(|(x, y)| {
+            (x.0 - y.0).abs() < 1e-9 * (1.0 + x.0.abs()) && (x.1 - y.1).abs() < 1e-9 * (1.0 + x.1.abs())
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twe_runtime::SchedulerKind;
+
+    fn small() -> BarnesHutConfig {
+        BarnesHutConfig { n_bodies: 300, theta: 0.6, seed: 3, chunks: 8 }
+    }
+
+    #[test]
+    fn twe_matches_sequential() {
+        let config = small();
+        let bodies = generate(&config);
+        let tree = build_tree(&bodies);
+        let expected = run_sequential(&config, &bodies, &tree);
+        for kind in [SchedulerKind::Naive, SchedulerKind::Tree] {
+            let rt = Runtime::new(4, kind);
+            let got = run_twe(&rt, &config, &bodies, &tree);
+            assert!(forces_match(&got, &expected), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn forkjoin_matches_sequential() {
+        let config = small();
+        let bodies = generate(&config);
+        let tree = build_tree(&bodies);
+        let expected = run_sequential(&config, &bodies, &tree);
+        let got = run_forkjoin_baseline(3, &config, &bodies, &tree);
+        assert!(forces_match(&got, &expected));
+    }
+
+    #[test]
+    fn tree_mass_equals_total_mass() {
+        let config = small();
+        let bodies = generate(&config);
+        let tree = build_tree(&bodies);
+        let total: f64 = bodies.iter().map(|b| b.mass).sum();
+        if let QuadTree::Internal { mass, .. } = tree {
+            assert!((mass - total).abs() < 1e-9);
+        } else {
+            panic!("root should be internal");
+        }
+    }
+
+    #[test]
+    fn smaller_theta_is_closer_to_exact() {
+        let config = small();
+        let bodies = generate(&config);
+        let tree = build_tree(&bodies);
+        // Exact pairwise forces.
+        let exact: Vec<(f64, f64)> = bodies
+            .iter()
+            .map(|b| {
+                let mut f = (0.0, 0.0);
+                for o in &bodies {
+                    if (o.x - b.x).abs() < 1e-12 && (o.y - b.y).abs() < 1e-12 {
+                        continue;
+                    }
+                    let (dx, dy) = (o.x - b.x, o.y - b.y);
+                    let d2 = dx * dx + dy * dy + 1e-4;
+                    let d = d2.sqrt();
+                    f.0 += o.mass * dx / (d2 * d);
+                    f.1 += o.mass * dy / (d2 * d);
+                }
+                f
+            })
+            .collect();
+        let err = |theta: f64| -> f64 {
+            let cfg = BarnesHutConfig { theta, ..config.clone() };
+            let approx = run_sequential(&cfg, &bodies, &tree);
+            approx
+                .iter()
+                .zip(exact.iter())
+                .map(|(a, e)| ((a.0 - e.0).powi(2) + (a.1 - e.1).powi(2)).sqrt())
+                .sum::<f64>()
+        };
+        assert!(err(0.2) <= err(0.9) + 1e-9);
+    }
+}

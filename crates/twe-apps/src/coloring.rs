@@ -1,0 +1,233 @@
+//! Greedy graph colouring with dynamic effects (§7.6).
+//!
+//! Each colouring step reads the colours of a node's neighbours and writes
+//! the node's own colour. The neighbour set is data-dependent, so — like
+//! mesh refinement — the effects of a task can only be expressed dynamically.
+//! A task claims a write on its node and reads on all neighbours; conflicts
+//! abort and retry the task. The result is a valid colouring (no two
+//! adjacent nodes share a colour), which is what the validation checks —
+//! the exact colours may differ between runs, as the paper notes for
+//! nondeterministic-but-safe computations.
+
+use crate::util::SplitMix64;
+use std::sync::Arc;
+use twe_effects::EffectSet;
+use twe_runtime::{DynCell, Runtime};
+
+/// Workload parameters.
+#[derive(Clone, Debug)]
+pub struct ColoringConfig {
+    /// Number of nodes.
+    pub n_nodes: usize,
+    /// Average degree of the random graph.
+    pub avg_degree: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ColoringConfig {
+    fn default() -> Self {
+        ColoringConfig { n_nodes: 2_000, avg_degree: 8, seed: 23 }
+    }
+}
+
+/// A node: its adjacency list and its colour (`None` while uncoloured).
+#[derive(Clone, Debug)]
+pub struct ColorNode {
+    /// Neighbouring node indices.
+    pub neighbors: Vec<usize>,
+    /// Assigned colour.
+    pub color: Option<u32>,
+}
+
+/// The shared graph.
+pub struct ColorGraph {
+    /// One dynamically-claimable cell per node.
+    pub nodes: Vec<Arc<DynCell<ColorNode>>>,
+}
+
+/// Builds a reproducible random undirected graph.
+pub fn generate(config: &ColoringConfig) -> ColorGraph {
+    let n = config.n_nodes;
+    let mut rng = SplitMix64::new(config.seed);
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let edges = n * config.avg_degree / 2;
+    for _ in 0..edges {
+        let u = rng.next_below(n as u64) as usize;
+        let v = rng.next_below(n as u64) as usize;
+        if u != v && !adj[u].contains(&v) {
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+    }
+    ColorGraph {
+        nodes: adj
+            .into_iter()
+            .map(|neighbors| DynCell::new(ColorNode { neighbors, color: None }))
+            .collect(),
+    }
+}
+
+fn smallest_free_color(used: &[u32]) -> u32 {
+    let mut c = 0u32;
+    loop {
+        if !used.contains(&c) {
+            return c;
+        }
+        c += 1;
+    }
+}
+
+/// Summary of a colouring run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColoringOutput {
+    /// Number of distinct colours used.
+    pub colors_used: u32,
+    /// Number of nodes coloured.
+    pub colored: usize,
+}
+
+fn summarize(graph: &ColorGraph) -> ColoringOutput {
+    let mut max = 0;
+    let mut colored = 0;
+    for node in &graph.nodes {
+        if let Some(c) = node.read().color {
+            colored += 1;
+            max = max.max(c + 1);
+        }
+    }
+    ColoringOutput { colors_used: max, colored }
+}
+
+/// Sequential greedy colouring (oracle for the invariants; the specific
+/// colours differ from the parallel runs, which is expected).
+pub fn run_sequential(graph: &ColorGraph) -> ColoringOutput {
+    for i in 0..graph.nodes.len() {
+        let neighbors = graph.nodes[i].read().neighbors.clone();
+        let used: Vec<u32> = neighbors
+            .iter()
+            .filter_map(|&n| graph.nodes[n].read().color)
+            .collect();
+        graph.nodes[i].write().color = Some(smallest_free_color(&used));
+    }
+    summarize(graph)
+}
+
+/// TWE implementation with dynamic effects: one retryable task per node.
+pub fn run_twe(rt: &Runtime, graph: &ColorGraph) -> ColoringOutput {
+    let nodes = Arc::new(graph.nodes.clone());
+    let futures: Vec<_> = (0..graph.nodes.len())
+        .map(|i| {
+            let nodes = nodes.clone();
+            rt.execute_later_retry("colorNode", EffectSet::pure(), move |ctx| {
+                ctx.acquire_write(&nodes[i])?;
+                let neighbors = nodes[i].read().neighbors.clone();
+                let mut used = Vec::with_capacity(neighbors.len());
+                for &n in &neighbors {
+                    ctx.acquire_read(&nodes[n])?;
+                    if let Some(c) = nodes[n].read().color {
+                        used.push(c);
+                    }
+                }
+                nodes[i].write().color = Some(smallest_free_color(&used));
+                Ok(())
+            })
+        })
+        .collect();
+    for f in futures {
+        f.wait();
+    }
+    summarize(graph)
+}
+
+/// Per-node-mutex baseline (no safety guarantees): lock the node and its
+/// neighbours in index order, then colour.
+pub fn run_lock_baseline(threads: usize, graph: &ColorGraph) -> ColoringOutput {
+    let locks: Vec<parking_lot::Mutex<()>> =
+        (0..graph.nodes.len()).map(|_| parking_lot::Mutex::new(())).collect();
+    let chunks = crate::util::chunk_ranges(graph.nodes.len(), threads);
+    std::thread::scope(|scope| {
+        for range in chunks {
+            let locks = &locks;
+            let nodes = &graph.nodes;
+            scope.spawn(move || {
+                for i in range {
+                    let neighbors = nodes[i].read().neighbors.clone();
+                    let mut order: Vec<usize> = neighbors.clone();
+                    order.push(i);
+                    order.sort_unstable();
+                    order.dedup();
+                    let _guards: Vec<_> = order.iter().map(|&n| locks[n].lock()).collect();
+                    let used: Vec<u32> =
+                        neighbors.iter().filter_map(|&n| nodes[n].read().color).collect();
+                    nodes[i].write().color = Some(smallest_free_color(&used));
+                }
+            });
+        }
+    });
+    summarize(graph)
+}
+
+/// Is the colouring proper (every node coloured, no adjacent nodes equal)?
+pub fn validate(graph: &ColorGraph) -> bool {
+    for (i, node) in graph.nodes.iter().enumerate() {
+        let me = node.read();
+        let Some(my_color) = me.color else { return false };
+        for &n in &me.neighbors {
+            if n == i {
+                continue;
+            }
+            if graph.nodes[n].read().color == Some(my_color) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twe_runtime::SchedulerKind;
+
+    fn small() -> ColoringConfig {
+        ColoringConfig { n_nodes: 200, avg_degree: 6, seed: 13 }
+    }
+
+    #[test]
+    fn sequential_coloring_is_proper() {
+        let graph = generate(&small());
+        let out = run_sequential(&graph);
+        assert!(validate(&graph));
+        assert_eq!(out.colored, graph.nodes.len());
+        assert!(out.colors_used <= 1 + 6 * 4); // loose bound: max degree + 1
+    }
+
+    #[test]
+    fn twe_coloring_is_proper_under_both_schedulers() {
+        for kind in [SchedulerKind::Naive, SchedulerKind::Tree] {
+            let graph = generate(&small());
+            let rt = Runtime::new(4, kind);
+            let out = run_twe(&rt, &graph);
+            assert!(validate(&graph), "{kind:?}");
+            assert_eq!(out.colored, graph.nodes.len());
+        }
+    }
+
+    #[test]
+    fn lock_baseline_coloring_is_proper() {
+        let graph = generate(&small());
+        run_lock_baseline(4, &graph);
+        assert!(validate(&graph));
+    }
+
+    #[test]
+    fn colors_used_is_at_most_max_degree_plus_one() {
+        let graph = generate(&small());
+        let max_degree = graph.nodes.iter().map(|n| n.read().neighbors.len()).max().unwrap();
+        let rt = Runtime::new(4, SchedulerKind::Tree);
+        let out = run_twe(&rt, &graph);
+        assert!(validate(&graph));
+        assert!(out.colors_used as usize <= max_degree + 1);
+    }
+}

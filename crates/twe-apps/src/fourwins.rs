@@ -1,0 +1,381 @@
+//! FourWins (Connect Four) — the interactive, actor-style application of
+//! §6.1 whose measured portion is the computer player's AI: a recursive
+//! parallel exploration of the tree of future moves (Figures 6.2 and 6.4).
+//!
+//! The AI is a negamax search. The TWE version explores the moves at the top
+//! of the tree with spawned tasks (each writing its own scratch region
+//! `AiScratch:[m]` and reading the board), switching to sequential search
+//! below a cut-off depth. The module also contains the actor-style message
+//! flow (controller → board → view) used by the expressiveness evaluation;
+//! see `examples/fourwins_interactive.rs`.
+
+use crate::util::chunk_ranges;
+use std::sync::Arc;
+use std::thread;
+use twe_effects::EffectSet;
+use twe_runtime::Runtime;
+
+/// Board width (columns).
+pub const COLS: usize = 7;
+/// Board height (rows).
+pub const ROWS: usize = 6;
+
+/// A Connect Four board. `0` = empty, `1` = current player, `2` = opponent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Board {
+    cells: [[u8; COLS]; ROWS],
+}
+
+impl Default for Board {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Board {
+    /// An empty board.
+    pub fn new() -> Self {
+        Board { cells: [[0; COLS]; ROWS] }
+    }
+
+    /// Builds a board from a sequence of alternating moves (columns), player
+    /// 1 first. Useful for setting up test positions.
+    pub fn from_moves(moves: &[usize]) -> Self {
+        let mut board = Board::new();
+        let mut player = 1u8;
+        for &col in moves {
+            board.drop_piece(col, player);
+            player = 3 - player;
+        }
+        board
+    }
+
+    /// Columns that still have room.
+    pub fn legal_moves(&self) -> Vec<usize> {
+        (0..COLS).filter(|&c| self.cells[ROWS - 1][c] == 0).collect()
+    }
+
+    /// Drops a piece for `player` into `col`; returns the row it landed in.
+    pub fn drop_piece(&mut self, col: usize, player: u8) -> usize {
+        for row in 0..ROWS {
+            if self.cells[row][col] == 0 {
+                self.cells[row][col] = player;
+                return row;
+            }
+        }
+        panic!("column {col} is full");
+    }
+
+    /// Removes the top piece from `col` (used to undo during search).
+    pub fn undo(&mut self, col: usize) {
+        for row in (0..ROWS).rev() {
+            if self.cells[row][col] != 0 {
+                self.cells[row][col] = 0;
+                return;
+            }
+        }
+    }
+
+    /// Does `player` have four in a row anywhere?
+    pub fn wins(&self, player: u8) -> bool {
+        let at = |r: isize, c: isize| -> u8 {
+            if r < 0 || c < 0 || r >= ROWS as isize || c >= COLS as isize {
+                0
+            } else {
+                self.cells[r as usize][c as usize]
+            }
+        };
+        for r in 0..ROWS as isize {
+            for c in 0..COLS as isize {
+                for (dr, dc) in [(0, 1), (1, 0), (1, 1), (1, -1)] {
+                    if (0..4).all(|k| at(r + dr * k, c + dc * k) == player) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// A simple positional evaluation for `player` (centre preference plus
+    /// open-three counts). Deterministic, used symmetrically by all variants.
+    pub fn evaluate(&self, player: u8) -> i32 {
+        let opponent = 3 - player;
+        if self.wins(player) {
+            return 100_000;
+        }
+        if self.wins(opponent) {
+            return -100_000;
+        }
+        let mut score = 0i32;
+        for r in 0..ROWS {
+            for c in 0..COLS {
+                let weight = 3 - (c as i32 - 3).abs();
+                if self.cells[r][c] == player {
+                    score += weight;
+                } else if self.cells[r][c] == opponent {
+                    score -= weight;
+                }
+            }
+        }
+        score
+    }
+}
+
+/// Workload parameters for the AI benchmark.
+#[derive(Clone, Debug)]
+pub struct FourWinsConfig {
+    /// Search depth.
+    pub depth: u32,
+    /// Depth below which the TWE version stops spawning tasks.
+    pub parallel_depth: u32,
+    /// The position to search from (move list from the empty board).
+    pub opening: Vec<usize>,
+}
+
+impl Default for FourWinsConfig {
+    fn default() -> Self {
+        FourWinsConfig { depth: 7, parallel_depth: 2, opening: vec![3, 3, 2, 4] }
+    }
+}
+
+/// Result of a search: the best column and its negamax score.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SearchResult {
+    /// Best move (column).
+    pub best_move: usize,
+    /// Negamax score of the position for the player to move.
+    pub score: i32,
+}
+
+/// Plain sequential negamax (oracle / speedup baseline).
+pub fn negamax(board: &mut Board, player: u8, depth: u32) -> i32 {
+    if board.wins(3 - player) {
+        return -100_000 - depth as i32;
+    }
+    if depth == 0 {
+        return board.evaluate(player);
+    }
+    let moves = board.legal_moves();
+    if moves.is_empty() {
+        return 0;
+    }
+    let mut best = i32::MIN;
+    for m in moves {
+        board.drop_piece(m, player);
+        let score = -negamax(board, 3 - player, depth - 1);
+        board.undo(m);
+        best = best.max(score);
+    }
+    best
+}
+
+/// Sequential root search.
+pub fn run_sequential(config: &FourWinsConfig) -> SearchResult {
+    let mut board = Board::from_moves(&config.opening);
+    let mut best = SearchResult { best_move: usize::MAX, score: i32::MIN };
+    for m in board.legal_moves() {
+        board.drop_piece(m, 1);
+        let score = -negamax(&mut board, 2, config.depth - 1);
+        board.undo(m);
+        if score > best.score {
+            best = SearchResult { best_move: m, score };
+        }
+    }
+    best
+}
+
+fn parallel_search(
+    ctx: &twe_runtime::TaskCtx<'_>,
+    board: &Board,
+    player: u8,
+    depth: u32,
+    spawn_depth: u32,
+    scratch_prefix: &str,
+) -> i32 {
+    if board.wins(3 - player) {
+        return -100_000 - depth as i32;
+    }
+    if depth == 0 {
+        return board.evaluate(player);
+    }
+    let moves = board.legal_moves();
+    if moves.is_empty() {
+        return 0;
+    }
+    if spawn_depth == 0 {
+        let mut b = board.clone();
+        let mut best = i32::MIN;
+        for m in moves {
+            b.drop_piece(m, player);
+            best = best.max(-negamax(&mut b, 3 - player, depth - 1));
+            b.undo(m);
+        }
+        return best;
+    }
+    // Spawn one subtree-exploration task per move; each child owns the
+    // scratch region for its move and reads the (immutable) board copy.
+    let mut futures = Vec::new();
+    for m in moves {
+        let mut child_board = board.clone();
+        child_board.drop_piece(m, player);
+        let prefix = format!("{scratch_prefix}:[{m}]");
+        let effects = EffectSet::parse(&format!("reads Board, writes AiScratch{prefix}:*"));
+        let child_prefix = prefix.clone();
+        futures.push(ctx.spawn("ai.exploreSubtree", effects, move |child_ctx| {
+            -parallel_search(
+                child_ctx,
+                &child_board,
+                3 - player,
+                depth - 1,
+                spawn_depth - 1,
+                &child_prefix,
+            )
+        }));
+    }
+    futures.into_iter().map(|f| f.join(ctx)).max().unwrap_or(0)
+}
+
+/// TWE implementation of the AI search.
+pub fn run_twe(rt: &Runtime, config: &FourWinsConfig) -> SearchResult {
+    let board = Board::from_moves(&config.opening);
+    let depth = config.depth;
+    let parallel_depth = config.parallel_depth;
+    rt.run(
+        "ai.chooseMove",
+        EffectSet::parse("reads Board, writes AiScratch:*"),
+        move |ctx| {
+            let mut best = SearchResult { best_move: usize::MAX, score: i32::MIN };
+            let mut futures = Vec::new();
+            for m in board.legal_moves() {
+                let mut child = board.clone();
+                child.drop_piece(m, 1);
+                let effects =
+                    EffectSet::parse(&format!("reads Board, writes AiScratch:[{m}]:*"));
+                futures.push((
+                    m,
+                    ctx.spawn("ai.exploreRoot", effects, move |child_ctx| {
+                        -parallel_search(
+                            child_ctx,
+                            &child,
+                            2,
+                            depth - 1,
+                            parallel_depth.saturating_sub(1),
+                            &format!(":[{m}]"),
+                        )
+                    }),
+                ));
+            }
+            for (m, f) in futures {
+                let score = f.join(ctx);
+                if score > best.score {
+                    best = SearchResult { best_move: m, score };
+                }
+            }
+            best
+        },
+    )
+}
+
+/// Fork-join baseline: one OS thread per chunk of root moves.
+pub fn run_forkjoin_baseline(threads: usize, config: &FourWinsConfig) -> SearchResult {
+    let board = Board::from_moves(&config.opening);
+    let moves = board.legal_moves();
+    let ranges = chunk_ranges(moves.len(), threads);
+    let moves = Arc::new(moves);
+    let results: Vec<(usize, i32)> = thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                let board = board.clone();
+                let moves = moves.clone();
+                let depth = config.depth;
+                scope.spawn(move || {
+                    let mut board = board;
+                    let mut out = Vec::new();
+                    for &m in &moves[range] {
+                        board.drop_piece(m, 1);
+                        out.push((m, -negamax(&mut board, 2, depth - 1)));
+                        board.undo(m);
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+    let mut best = SearchResult { best_move: usize::MAX, score: i32::MIN };
+    for (m, score) in results {
+        if score > best.score || (score == best.score && m < best.best_move) {
+            best = SearchResult { best_move: m, score };
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twe_runtime::SchedulerKind;
+
+    fn small() -> FourWinsConfig {
+        FourWinsConfig { depth: 5, parallel_depth: 2, opening: vec![3, 3, 2] }
+    }
+
+    #[test]
+    fn board_mechanics_work() {
+        let mut b = Board::new();
+        assert_eq!(b.legal_moves().len(), COLS);
+        b.drop_piece(0, 1);
+        b.drop_piece(0, 2);
+        assert_eq!(b.cells[0][0], 1);
+        assert_eq!(b.cells[1][0], 2);
+        b.undo(0);
+        assert_eq!(b.cells[1][0], 0);
+    }
+
+    #[test]
+    fn vertical_and_diagonal_wins_are_detected() {
+        let mut b = Board::new();
+        for _ in 0..4 {
+            b.drop_piece(2, 1);
+        }
+        assert!(b.wins(1));
+        assert!(!b.wins(2));
+        let diag = Board::from_moves(&[0, 1, 1, 2, 2, 3, 2, 3, 3, 6, 3]);
+        assert!(diag.wins(1));
+    }
+
+    #[test]
+    fn ai_blocks_or_wins_with_immediate_four() {
+        // Player 1 has three in a row at the bottom: the search must play the
+        // winning fourth column.
+        let config = FourWinsConfig {
+            depth: 3,
+            parallel_depth: 1,
+            opening: vec![0, 6, 1, 6, 2, 5],
+        };
+        let seq = run_sequential(&config);
+        assert_eq!(seq.best_move, 3);
+        assert!(seq.score >= 100_000);
+    }
+
+    #[test]
+    fn twe_score_matches_sequential() {
+        let config = small();
+        let expected = run_sequential(&config);
+        for kind in [SchedulerKind::Naive, SchedulerKind::Tree] {
+            let rt = Runtime::new(4, kind);
+            let got = run_twe(&rt, &config);
+            assert_eq!(got.score, expected.score, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn forkjoin_score_matches_sequential() {
+        let config = small();
+        let expected = run_sequential(&config);
+        let got = run_forkjoin_baseline(3, &config);
+        assert_eq!(got.score, expected.score);
+    }
+}

@@ -1,0 +1,342 @@
+//! ImageEdit — the image-editing application written for the expressiveness
+//! evaluation (§6.1) whose measured filters (edge detection and sharpening)
+//! appear in Figure 6.2.
+//!
+//! The image's pixel data is divided into a grid of row-blocks; the data for
+//! each block lives in its own region (`Image:[b]`, an index-parameterised
+//! array in TWEJava). A filter pass runs one task per block with effect
+//! `reads Input, writes Image:[b]`; multi-pass filters (sharpen = blur +
+//! combine, edge detection = gradient + threshold + a short sequential
+//! cross-block linking step) chain such passes.
+
+use crate::util::{chunk_ranges, RegionCell, SplitMix64};
+use std::ops::Range;
+use std::sync::Arc;
+use std::thread;
+use twe_effects::EffectSet;
+use twe_runtime::Runtime;
+
+/// A grayscale image with block-of-rows partitioning.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Image {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major pixel values in `[0, 255]`.
+    pub pixels: Vec<f32>,
+}
+
+impl Image {
+    /// Generates a reproducible synthetic test image (soft gradients plus
+    /// speckle noise, so filters have structure to find).
+    pub fn synthetic(width: usize, height: usize, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut pixels = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                let base = 128.0
+                    + 64.0 * ((x as f32 / 17.0).sin() + (y as f32 / 23.0).cos())
+                    + if (x / 32 + y / 32) % 2 == 0 { 20.0 } else { -20.0 };
+                let noise = (rng.next_f64() as f32 - 0.5) * 12.0;
+                pixels.push((base + noise).clamp(0.0, 255.0));
+            }
+        }
+        Image { width, height, pixels }
+    }
+
+    fn at(&self, x: isize, y: isize) -> f32 {
+        let xi = x.clamp(0, self.width as isize - 1) as usize;
+        let yi = y.clamp(0, self.height as isize - 1) as usize;
+        self.pixels[yi * self.width + xi]
+    }
+}
+
+/// Which filter to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Filter {
+    /// 3×3 Gaussian blur.
+    Blur,
+    /// Unsharp-mask sharpening (blur + weighted combine).
+    Sharpen,
+    /// Sobel-based edge detection with thresholding and a sequential
+    /// cross-block edge-linking step.
+    EdgeDetect,
+    /// Brightness adjustment (+20).
+    Brighten,
+    /// Identity-preserving grayscale normalisation (contrast stretch).
+    Grayscale,
+}
+
+/// Workload parameters.
+#[derive(Clone, Debug)]
+pub struct ImageEditConfig {
+    /// Image width.
+    pub width: usize,
+    /// Image height.
+    pub height: usize,
+    /// Number of row blocks (each block is one region).
+    pub blocks: usize,
+    /// Filter to apply.
+    pub filter: Filter,
+    /// RNG seed for the synthetic image.
+    pub seed: u64,
+}
+
+impl Default for ImageEditConfig {
+    fn default() -> Self {
+        ImageEditConfig { width: 512, height: 512, blocks: 32, filter: Filter::EdgeDetect, seed: 11 }
+    }
+}
+
+fn blur_pixel(src: &Image, x: usize, y: usize) -> f32 {
+    let (x, y) = (x as isize, y as isize);
+    let mut sum = 0.0;
+    let kernel = [[1.0, 2.0, 1.0], [2.0, 4.0, 2.0], [1.0, 2.0, 1.0]];
+    for dy in -1..=1isize {
+        for dx in -1..=1isize {
+            sum += kernel[(dy + 1) as usize][(dx + 1) as usize] * src.at(x + dx, y + dy);
+        }
+    }
+    sum / 16.0
+}
+
+fn sobel_pixel(src: &Image, x: usize, y: usize) -> f32 {
+    let (x, y) = (x as isize, y as isize);
+    let gx = -src.at(x - 1, y - 1) - 2.0 * src.at(x - 1, y) - src.at(x - 1, y + 1)
+        + src.at(x + 1, y - 1)
+        + 2.0 * src.at(x + 1, y)
+        + src.at(x + 1, y + 1);
+    let gy = -src.at(x - 1, y - 1) - 2.0 * src.at(x, y - 1) - src.at(x + 1, y - 1)
+        + src.at(x - 1, y + 1)
+        + 2.0 * src.at(x, y + 1)
+        + src.at(x + 1, y + 1);
+    (gx * gx + gy * gy).sqrt()
+}
+
+fn apply_rows(filter: Filter, src: &Image, rows: Range<usize>, out: &mut [f32]) {
+    let width = src.width;
+    for (i, y) in rows.enumerate() {
+        for x in 0..width {
+            let v = match filter {
+                Filter::Blur => blur_pixel(src, x, y),
+                Filter::Sharpen => {
+                    let blurred = blur_pixel(src, x, y);
+                    (1.5 * src.at(x as isize, y as isize) - 0.5 * blurred).clamp(0.0, 255.0)
+                }
+                Filter::EdgeDetect => {
+                    if sobel_pixel(src, x, y) > 128.0 {
+                        255.0
+                    } else {
+                        0.0
+                    }
+                }
+                Filter::Brighten => (src.at(x as isize, y as isize) + 20.0).clamp(0.0, 255.0),
+                Filter::Grayscale => src.at(x as isize, y as isize).clamp(0.0, 255.0),
+            };
+            out[i * width + x] = v;
+        }
+    }
+}
+
+/// The short sequential step at the end of edge detection that links edges
+/// crossing block boundaries (the one non-parallel step in the paper's
+/// filter): a boundary pixel flagged as an edge on one side promotes weak
+/// responses on the other side.
+fn link_block_boundaries(img: &mut Image, blocks: &[Range<usize>]) {
+    for block in blocks.iter().skip(1) {
+        let y = block.start;
+        if y == 0 || y >= img.height {
+            continue;
+        }
+        for x in 0..img.width {
+            let above = img.pixels[(y - 1) * img.width + x];
+            let here = img.pixels[y * img.width + x];
+            if above >= 255.0 && here == 0.0 {
+                // Promote the neighbour directly below a strong edge so edges
+                // do not visually break at block seams.
+                let left = img.pixels[y * img.width + x.saturating_sub(1)];
+                let right = img.pixels[y * img.width + (x + 1).min(img.width - 1)];
+                if left >= 255.0 || right >= 255.0 {
+                    img.pixels[y * img.width + x] = 255.0;
+                }
+            }
+        }
+    }
+}
+
+/// Sequential reference implementation.
+pub fn run_sequential(config: &ImageEditConfig, src: &Image) -> Image {
+    let blocks = chunk_ranges(src.height, config.blocks);
+    let mut out = vec![0.0f32; src.width * src.height];
+    for block in &blocks {
+        let start = block.start * src.width;
+        let end = block.end * src.width;
+        apply_rows(config.filter, src, block.clone(), &mut out[start..end]);
+    }
+    let mut result = Image { width: src.width, height: src.height, pixels: out };
+    if config.filter == Filter::EdgeDetect {
+        link_block_boundaries(&mut result, &blocks);
+    }
+    result
+}
+
+/// TWE implementation: one task per block with effect
+/// `reads Input, writes Image:[b]`, plus the sequential linking step for
+/// edge detection run as a task with effect `writes Image:*`.
+pub fn run_twe(rt: &Runtime, config: &ImageEditConfig, src: &Image) -> Image {
+    let blocks = chunk_ranges(src.height, config.blocks);
+    let src = Arc::new(src.clone());
+    let width = src.width;
+    let out: Arc<Vec<RegionCell<Vec<f32>>>> = Arc::new(
+        blocks
+            .iter()
+            .map(|b| RegionCell::new(vec![0.0f32; (b.end - b.start) * width]))
+            .collect(),
+    );
+    let filter = config.filter;
+    let futures: Vec<_> = blocks
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(b, rows)| {
+            let src = src.clone();
+            let out = out.clone();
+            rt.execute_later(
+                "filterBlock",
+                EffectSet::parse(&format!("reads Input, writes Image:[{b}]")),
+                move |_| {
+                    apply_rows(filter, &src, rows.clone(), out[b].get_mut());
+                },
+            )
+        })
+        .collect();
+    for f in futures {
+        f.wait();
+    }
+    let mut pixels = vec![0.0f32; src.width * src.height];
+    for (b, rows) in blocks.iter().enumerate() {
+        pixels[rows.start * width..rows.end * width].copy_from_slice(out[b].get());
+    }
+    let mut result = Image { width: src.width, height: src.height, pixels };
+    if config.filter == Filter::EdgeDetect {
+        // The final, sequential cross-block step runs as a single task that
+        // needs write access to the whole image.
+        let blocks_clone = blocks.clone();
+        let cell = Arc::new(RegionCell::new(result));
+        let cell2 = cell.clone();
+        rt.run("linkEdges", EffectSet::parse("writes Image:*"), move |_| {
+            link_block_boundaries(cell2.get_mut(), &blocks_clone);
+        });
+        result = Arc::try_unwrap(cell)
+            .unwrap_or_else(|_| panic!("image still shared"))
+            .into_inner();
+    }
+    result
+}
+
+/// Fork-join baseline: scoped threads over blocks, no effect scheduling.
+pub fn run_forkjoin_baseline(threads: usize, config: &ImageEditConfig, src: &Image) -> Image {
+    let blocks = chunk_ranges(src.height, config.blocks);
+    let mut pixels = vec![0.0f32; src.width * src.height];
+    let groups = chunk_ranges(blocks.len(), threads);
+    thread::scope(|scope| {
+        let mut rest: &mut [f32] = &mut pixels;
+        let mut offset_block = 0usize;
+        for group in groups {
+            let rows_in_group: usize = blocks[group.clone()].iter().map(|b| b.end - b.start).sum();
+            let (chunk, tail) = rest.split_at_mut(rows_in_group * src.width);
+            rest = tail;
+            let my_blocks: Vec<Range<usize>> = blocks[group.clone()].to_vec();
+            let first_row = blocks[offset_block].start;
+            scope.spawn(move || {
+                for rows in my_blocks {
+                    let local_start = (rows.start - first_row) * src.width;
+                    let local_end = (rows.end - first_row) * src.width;
+                    apply_rows(config.filter, src, rows.clone(), &mut chunk[local_start..local_end]);
+                }
+            });
+            offset_block = group.end;
+        }
+    });
+    let mut result = Image { width: src.width, height: src.height, pixels };
+    if config.filter == Filter::EdgeDetect {
+        link_block_boundaries(&mut result, &blocks);
+    }
+    result
+}
+
+/// Pixel-exact comparison.
+pub fn images_match(a: &Image, b: &Image) -> bool {
+    a.width == b.width
+        && a.height == b.height
+        && a.pixels
+            .iter()
+            .zip(b.pixels.iter())
+            .all(|(x, y)| (x - y).abs() < 1e-4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twe_runtime::SchedulerKind;
+
+    fn small(filter: Filter) -> (ImageEditConfig, Image) {
+        let config = ImageEditConfig { width: 96, height: 80, blocks: 7, filter, seed: 4 };
+        let img = Image::synthetic(config.width, config.height, config.seed);
+        (config, img)
+    }
+
+    #[test]
+    fn all_filters_twe_match_sequential() {
+        for filter in [
+            Filter::Blur,
+            Filter::Sharpen,
+            Filter::EdgeDetect,
+            Filter::Brighten,
+            Filter::Grayscale,
+        ] {
+            let (config, img) = small(filter);
+            let expected = run_sequential(&config, &img);
+            let rt = Runtime::new(4, SchedulerKind::Tree);
+            let got = run_twe(&rt, &config, &img);
+            assert!(images_match(&got, &expected), "{filter:?}");
+        }
+    }
+
+    #[test]
+    fn naive_scheduler_also_correct_for_edge_detect() {
+        let (config, img) = small(Filter::EdgeDetect);
+        let expected = run_sequential(&config, &img);
+        let rt = Runtime::new(3, SchedulerKind::Naive);
+        assert!(images_match(&run_twe(&rt, &config, &img), &expected));
+    }
+
+    #[test]
+    fn forkjoin_matches_sequential() {
+        for filter in [Filter::Sharpen, Filter::EdgeDetect] {
+            let (config, img) = small(filter);
+            let expected = run_sequential(&config, &img);
+            let got = run_forkjoin_baseline(3, &config, &img);
+            assert!(images_match(&got, &expected), "{filter:?}");
+        }
+    }
+
+    #[test]
+    fn edge_detect_produces_binary_output() {
+        let (config, img) = small(Filter::EdgeDetect);
+        let out = run_sequential(&config, &img);
+        assert!(out.pixels.iter().all(|&p| p == 0.0 || p == 255.0));
+        // The synthetic image has block structure, so some edges must exist.
+        assert!(out.pixels.iter().any(|&p| p == 255.0));
+    }
+
+    #[test]
+    fn brighten_increases_mean() {
+        let (config, img) = small(Filter::Brighten);
+        let out = run_sequential(&config, &img);
+        let mean_in: f32 = img.pixels.iter().sum::<f32>() / img.pixels.len() as f32;
+        let mean_out: f32 = out.pixels.iter().sum::<f32>() / out.pixels.len() as f32;
+        assert!(mean_out > mean_in);
+    }
+}

@@ -1,0 +1,198 @@
+//! Monte Carlo financial simulation (from the Java Grande parallel
+//! benchmarks), used in Figures 6.1 and 6.4.
+//!
+//! Each path simulates a geometric-Brownian-motion price series and reports
+//! its expected return; the reduction step accumulates the per-path results
+//! into globally shared statistics. In the DPJ original the reduction is an
+//! unchecked `commutative` method with internal locking; in TWE it is a task
+//! with a write effect on the shared `Global` region, so atomicity is
+//! guaranteed by the scheduler rather than asserted by the programmer.
+
+use crate::util::{chunk_ranges, RegionCell, SplitMix64};
+use std::sync::Arc;
+use std::thread;
+use twe_effects::EffectSet;
+use twe_runtime::Runtime;
+
+/// Workload parameters.
+#[derive(Clone, Debug)]
+pub struct MonteCarloConfig {
+    /// Number of simulated paths.
+    pub n_paths: usize,
+    /// Time steps per path.
+    pub n_steps: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Paths per task in the TWE version.
+    pub paths_per_task: usize,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        MonteCarloConfig { n_paths: 2_000, n_steps: 100, seed: 99, paths_per_task: 16 }
+    }
+}
+
+/// The aggregate result of the simulation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MonteCarloOutput {
+    /// Number of paths simulated.
+    pub paths: u64,
+    /// Sum of per-path expected returns.
+    pub sum: f64,
+    /// Sum of squares (for the variance the benchmark reports).
+    pub sum_sq: f64,
+}
+
+impl MonteCarloOutput {
+    fn empty() -> Self {
+        MonteCarloOutput { paths: 0, sum: 0.0, sum_sq: 0.0 }
+    }
+
+    fn add(&mut self, value: f64) {
+        self.paths += 1;
+        self.sum += value;
+        self.sum_sq += value * value;
+    }
+
+    /// Mean return over all paths.
+    pub fn mean(&self) -> f64 {
+        if self.paths == 0 {
+            0.0
+        } else {
+            self.sum / self.paths as f64
+        }
+    }
+}
+
+/// Simulates one path and returns its value. Deterministic per (seed, path).
+fn simulate_path(seed: u64, path: usize, n_steps: usize) -> f64 {
+    let mut rng = SplitMix64::new(seed ^ (path as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let (s0, mu, sigma, dt) = (100.0f64, 0.03f64, 0.2f64, 1.0 / 252.0);
+    let mut price = s0;
+    for _ in 0..n_steps {
+        let z = rng.next_gaussian();
+        price *= ((mu - 0.5 * sigma * sigma) * dt + sigma * dt.sqrt() * z).exp();
+    }
+    (price / s0).ln()
+}
+
+/// Sequential reference implementation.
+pub fn run_sequential(config: &MonteCarloConfig) -> MonteCarloOutput {
+    let mut out = MonteCarloOutput::empty();
+    for p in 0..config.n_paths {
+        out.add(simulate_path(config.seed, p, config.n_steps));
+    }
+    out
+}
+
+/// TWE implementation: chunk tasks simulate paths into per-chunk regions and
+/// a reduction task per chunk folds them into the shared `Global` region.
+pub fn run_twe(rt: &Runtime, config: &MonteCarloConfig) -> MonteCarloOutput {
+    let global = Arc::new(RegionCell::new(MonteCarloOutput::empty()));
+    let n_tasks = config.n_paths.div_ceil(config.paths_per_task.max(1));
+    let ranges = chunk_ranges(config.n_paths, n_tasks);
+    let futures: Vec<_> = ranges
+        .into_iter()
+        .enumerate()
+        .map(|(i, range)| {
+            let global = global.clone();
+            let config = config.clone();
+            rt.execute_later(
+                "mcChunk",
+                EffectSet::parse(&format!("writes Results:[{i}]")),
+                move |ctx| {
+                    let mut local = MonteCarloOutput::empty();
+                    for p in range.clone() {
+                        local.add(simulate_path(config.seed, p, config.n_steps));
+                    }
+                    // The reduction: a task with a write effect on Global,
+                    // guaranteed atomic by the scheduler.
+                    ctx.execute("mcReduce", EffectSet::parse("writes Global"), move |_| {
+                        let g = global.get_mut();
+                        g.paths += local.paths;
+                        g.sum += local.sum;
+                        g.sum_sq += local.sum_sq;
+                    });
+                },
+            )
+        })
+        .collect();
+    for f in futures {
+        f.wait();
+    }
+    Arc::try_unwrap(global)
+        .unwrap_or_else(|_| panic!("global still shared"))
+        .into_inner()
+}
+
+/// Fork-join baseline (the "DPJ"-style comparator): per-thread partials
+/// merged at the end, no effect-based scheduling.
+pub fn run_forkjoin_baseline(threads: usize, config: &MonteCarloConfig) -> MonteCarloOutput {
+    let ranges = chunk_ranges(config.n_paths, threads);
+    let partials: Vec<MonteCarloOutput> = thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                let config = config.clone();
+                scope.spawn(move || {
+                    let mut local = MonteCarloOutput::empty();
+                    for p in range {
+                        local.add(simulate_path(config.seed, p, config.n_steps));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut out = MonteCarloOutput::empty();
+    for p in partials {
+        out.paths += p.paths;
+        out.sum += p.sum;
+        out.sum_sq += p.sum_sq;
+    }
+    out
+}
+
+/// Do two outputs agree up to summation order?
+pub fn outputs_match(a: &MonteCarloOutput, b: &MonteCarloOutput) -> bool {
+    a.paths == b.paths
+        && (a.sum - b.sum).abs() < 1e-7 * (1.0 + a.sum.abs())
+        && (a.sum_sq - b.sum_sq).abs() < 1e-7 * (1.0 + a.sum_sq.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twe_runtime::SchedulerKind;
+
+    fn small() -> MonteCarloConfig {
+        MonteCarloConfig { n_paths: 400, n_steps: 30, seed: 5, paths_per_task: 16 }
+    }
+
+    #[test]
+    fn twe_matches_sequential() {
+        let config = small();
+        let expected = run_sequential(&config);
+        for kind in [SchedulerKind::Naive, SchedulerKind::Tree] {
+            let rt = Runtime::new(4, kind);
+            assert!(outputs_match(&run_twe(&rt, &config), &expected), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn forkjoin_matches_sequential() {
+        let config = small();
+        let expected = run_sequential(&config);
+        assert!(outputs_match(&run_forkjoin_baseline(3, &config), &expected));
+    }
+
+    #[test]
+    fn mean_is_plausible_for_gbm() {
+        let out = run_sequential(&MonteCarloConfig { n_paths: 2000, ..small() });
+        // Drift 3%, one-year-ish horizon scaled by steps; just check bounds.
+        assert!(out.mean().abs() < 1.0);
+        assert_eq!(out.paths, 2000);
+    }
+}

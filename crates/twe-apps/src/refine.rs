@@ -1,0 +1,282 @@
+//! Delaunay-style mesh refinement with dynamic effects (§7.6).
+//!
+//! The real Delaunay refinement algorithm repeatedly picks a "bad" triangle,
+//! grows a *cavity* of neighbouring triangles by a data-dependent rule, and
+//! retriangulates the cavity. The set of triangles a refinement touches is
+//! only known while it runs, so no static effect summary (short of "the whole
+//! mesh", which serialises everything) covers it — exactly the class of
+//! algorithms chapter 7 adds dynamic effects for.
+//!
+//! Here the mesh is a synthetic planar-ish triangle graph (the paper's own
+//! meshes are not distributed with it). A refinement task claims the bad
+//! triangle and its cavity through dynamic write effects
+//! (`TaskCtx::acquire_write`), aborting and retrying when another task has
+//! already claimed part of the cavity; once the whole cavity is claimed it
+//! "retriangulates": the bad triangle is fixed and every cavity member's
+//! touch counter is bumped. The validation checks the same invariants the
+//! real algorithm guarantees: every initially-bad triangle is processed
+//! exactly once and no bad triangles remain.
+
+use crate::util::SplitMix64;
+use std::sync::Arc;
+use twe_effects::EffectSet;
+use twe_runtime::{DynCell, Runtime};
+
+/// Workload parameters.
+#[derive(Clone, Debug)]
+pub struct RefineConfig {
+    /// Number of triangles in the synthetic mesh.
+    pub n_triangles: usize,
+    /// Fraction of triangles that start out "bad" (need refinement).
+    pub bad_fraction: f64,
+    /// Maximum cavity size grown around a bad triangle.
+    pub max_cavity: usize,
+    /// RNG seed for mesh construction.
+    pub seed: u64,
+}
+
+impl Default for RefineConfig {
+    fn default() -> Self {
+        RefineConfig { n_triangles: 2_000, bad_fraction: 0.2, max_cavity: 6, seed: 17 }
+    }
+}
+
+/// One triangle of the synthetic mesh.
+#[derive(Clone, Debug)]
+pub struct Triangle {
+    /// Neighbouring triangle indices (2–3 of them, like a planar mesh).
+    pub neighbors: Vec<usize>,
+    /// Does this triangle still need refinement?
+    pub bad: bool,
+    /// How many cavities this triangle has been part of.
+    pub touched: u64,
+    /// How many times this triangle was the centre of a refinement.
+    pub refined: u64,
+}
+
+/// The shared mesh: one dynamically-claimable cell per triangle.
+pub struct Mesh {
+    /// The triangles.
+    pub triangles: Vec<Arc<DynCell<Triangle>>>,
+    /// Indices of the initially-bad triangles (the work list).
+    pub bad_list: Vec<usize>,
+}
+
+/// Builds a reproducible synthetic mesh.
+pub fn generate(config: &RefineConfig) -> Mesh {
+    let mut rng = SplitMix64::new(config.seed);
+    let n = config.n_triangles;
+    let mut bad_list = Vec::new();
+    let triangles: Vec<Arc<DynCell<Triangle>>> = (0..n)
+        .map(|i| {
+            // Ring-plus-chords topology: predictable degree, irregular shape.
+            let mut neighbors = vec![(i + 1) % n, (i + n - 1) % n];
+            if rng.next_f64() < 0.5 {
+                neighbors.push(rng.next_below(n as u64) as usize);
+            }
+            neighbors.retain(|&x| x != i);
+            neighbors.dedup();
+            let bad = rng.next_f64() < config.bad_fraction;
+            if bad {
+                bad_list.push(i);
+            }
+            DynCell::new(Triangle { neighbors, bad, touched: 0, refined: 0 })
+        })
+        .collect();
+    Mesh { triangles, bad_list }
+}
+
+/// Grows the cavity around `center` following neighbour links (the
+/// data-dependent part: the cavity shape depends on the current mesh state).
+fn grow_cavity(mesh: &[Arc<DynCell<Triangle>>], center: usize, max_cavity: usize) -> Vec<usize> {
+    let mut cavity = vec![center];
+    let mut frontier = vec![center];
+    while cavity.len() < max_cavity {
+        let Some(t) = frontier.pop() else { break };
+        let neighbors = mesh[t].read().neighbors.clone();
+        for n in neighbors {
+            if !cavity.contains(&n) {
+                cavity.push(n);
+                frontier.push(n);
+                if cavity.len() >= max_cavity {
+                    break;
+                }
+            }
+        }
+    }
+    cavity.sort_unstable();
+    cavity.dedup();
+    cavity
+}
+
+/// Applies one refinement to an already-claimed cavity.
+fn retriangulate(mesh: &[Arc<DynCell<Triangle>>], center: usize, cavity: &[usize]) {
+    for &t in cavity {
+        let mut tri = mesh[t].write();
+        tri.touched += 1;
+    }
+    let mut c = mesh[center].write();
+    c.bad = false;
+    c.refined += 1;
+}
+
+/// Outcome summary used for validation and reporting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RefineOutput {
+    /// Number of refinements performed.
+    pub refinements: u64,
+    /// Total number of cavity memberships (work volume).
+    pub touches: u64,
+    /// Number of triangles still bad at the end (must be 0).
+    pub remaining_bad: u64,
+}
+
+fn summarize(mesh: &Mesh) -> RefineOutput {
+    let mut out = RefineOutput { refinements: 0, touches: 0, remaining_bad: 0 };
+    for t in &mesh.triangles {
+        let tri = t.read();
+        out.refinements += tri.refined;
+        out.touches += tri.touched;
+        out.remaining_bad += u64::from(tri.bad);
+    }
+    out
+}
+
+/// Sequential reference implementation.
+pub fn run_sequential(config: &RefineConfig, mesh: &Mesh) -> RefineOutput {
+    for &center in &mesh.bad_list {
+        let cavity = grow_cavity(&mesh.triangles, center, config.max_cavity);
+        retriangulate(&mesh.triangles, center, &cavity);
+    }
+    summarize(mesh)
+}
+
+/// TWE implementation with dynamic effects: one retryable task per bad
+/// triangle; the task claims its whole cavity with dynamic write effects and
+/// aborts/retries on conflict.
+pub fn run_twe(rt: &Runtime, config: &RefineConfig, mesh: &Mesh) -> RefineOutput {
+    let triangles = Arc::new(mesh.triangles.clone());
+    let max_cavity = config.max_cavity;
+    let futures: Vec<_> = mesh
+        .bad_list
+        .iter()
+        .map(|&center| {
+            let triangles = triangles.clone();
+            rt.execute_later_retry("refine", EffectSet::pure(), move |ctx| {
+                // Grow the cavity, claiming each member as it is discovered —
+                // the "adding elements to dynamic reference sets" of §7.2.3.
+                ctx.acquire_write(&triangles[center])?;
+                let cavity = grow_cavity(&triangles, center, max_cavity);
+                for &t in &cavity {
+                    ctx.acquire_write(&triangles[t])?;
+                }
+                retriangulate(&triangles, center, &cavity);
+                Ok(())
+            })
+        })
+        .collect();
+    for f in futures {
+        f.wait();
+    }
+    summarize(mesh)
+}
+
+/// Coarse-grained-lock baseline: plain threads take one global lock around
+/// each refinement (no safety guarantees, no parallelism in the refinement
+/// itself — the "serialise everything" alternative a static effect summary
+/// would force).
+pub fn run_coarse_baseline(threads: usize, config: &RefineConfig, mesh: &Mesh) -> RefineOutput {
+    let lock = parking_lot::Mutex::new(());
+    let chunks = crate::util::chunk_ranges(mesh.bad_list.len(), threads);
+    std::thread::scope(|scope| {
+        for range in chunks {
+            let lock = &lock;
+            let triangles = &mesh.triangles;
+            let bad = &mesh.bad_list;
+            scope.spawn(move || {
+                for &center in &bad[range] {
+                    let _g = lock.lock();
+                    let cavity = grow_cavity(triangles, center, config.max_cavity);
+                    retriangulate(triangles, center, &cavity);
+                }
+            });
+        }
+    });
+    summarize(mesh)
+}
+
+/// Validates the refinement invariants: no bad triangles remain and every
+/// initially-bad triangle was refined exactly once.
+pub fn validate(config: &RefineConfig, mesh: &Mesh, out: &RefineOutput) -> bool {
+    let _ = config;
+    out.remaining_bad == 0
+        && out.refinements == mesh.bad_list.len() as u64
+        && mesh.triangles.iter().all(|t| t.read().refined <= 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twe_runtime::SchedulerKind;
+
+    fn small() -> RefineConfig {
+        RefineConfig { n_triangles: 300, bad_fraction: 0.3, max_cavity: 5, seed: 8 }
+    }
+
+    #[test]
+    fn sequential_refines_every_bad_triangle() {
+        let config = small();
+        let mesh = generate(&config);
+        let out = run_sequential(&config, &mesh);
+        assert!(validate(&config, &mesh, &out));
+        assert_eq!(out.refinements, mesh.bad_list.len() as u64);
+    }
+
+    #[test]
+    fn twe_dynamic_effects_refine_everything_exactly_once() {
+        let config = small();
+        for kind in [SchedulerKind::Naive, SchedulerKind::Tree] {
+            let mesh = generate(&config);
+            let rt = Runtime::new(4, kind);
+            let out = run_twe(&rt, &config, &mesh);
+            assert!(validate(&config, &mesh, &out), "{kind:?}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn coarse_baseline_matches_invariants() {
+        let config = small();
+        let mesh = generate(&config);
+        let out = run_coarse_baseline(4, &config, &mesh);
+        assert!(validate(&config, &mesh, &out));
+    }
+
+    #[test]
+    fn conflicts_are_detected_under_contention() {
+        // A tiny mesh with many bad triangles forces overlapping cavities, so
+        // at least some tasks should abort and retry.
+        let config = RefineConfig { n_triangles: 40, bad_fraction: 0.9, max_cavity: 8, seed: 3 };
+        let mesh = generate(&config);
+        let rt = Runtime::new(4, SchedulerKind::Tree);
+        let out = run_twe(&rt, &config, &mesh);
+        assert!(validate(&config, &mesh, &out));
+        // Not guaranteed in theory, but with 36 overlapping cavities on 40
+        // triangles the dynamic table essentially always sees conflicts; if
+        // it saw none the abort path would be untested, so surface that.
+        assert!(
+            rt.stats().dynamic.acquires > 0,
+            "dynamic effects were never exercised"
+        );
+    }
+
+    #[test]
+    fn cavity_growth_is_bounded_and_contains_center() {
+        let config = small();
+        let mesh = generate(&config);
+        for &center in mesh.bad_list.iter().take(10) {
+            let cavity = grow_cavity(&mesh.triangles, center, config.max_cavity);
+            assert!(cavity.contains(&center));
+            assert!(cavity.len() <= config.max_cavity);
+        }
+    }
+}

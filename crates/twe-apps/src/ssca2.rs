@@ -1,0 +1,182 @@
+//! SSCA2 graph construction (adapted from STAMP), used in Figure 6.4.
+//!
+//! The kernel inserts a large batch of directed edges into per-node adjacency
+//! arrays. Each insertion touches the adjacency lists of its two endpoints,
+//! so in the TWE version every insertion batch runs as a short
+//! transaction-like task whose effects name exactly the node regions it
+//! writes (`writes Nodes:[u], writes Nodes:[v], …`). The "sync" baseline of
+//! the paper protects each adjacency list with a Java `synchronized` block —
+//! here, one mutex per node.
+
+use crate::util::{chunk_ranges, RegionCell, SplitMix64};
+use std::sync::Arc;
+use std::thread;
+use twe_effects::{Effect, EffectSet, Rpl};
+use twe_runtime::Runtime;
+
+/// Workload parameters.
+#[derive(Clone, Debug)]
+pub struct Ssca2Config {
+    /// Number of graph nodes.
+    pub n_nodes: usize,
+    /// Number of directed edges to insert.
+    pub n_edges: usize,
+    /// Edges inserted per task (the paper uses very small batches).
+    pub edges_per_task: usize,
+    /// RNG seed for the edge list.
+    pub seed: u64,
+}
+
+impl Default for Ssca2Config {
+    fn default() -> Self {
+        Ssca2Config { n_nodes: 1_000, n_edges: 20_000, edges_per_task: 4, seed: 31 }
+    }
+}
+
+/// A directed edge.
+pub type Edge = (u32, u32);
+
+/// Generates a reproducible scale-free-ish edge list.
+pub fn generate(config: &Ssca2Config) -> Vec<Edge> {
+    let mut rng = SplitMix64::new(config.seed);
+    (0..config.n_edges)
+        .map(|_| {
+            // Square the uniform to bias towards low-numbered (hub) nodes,
+            // giving the hot adjacency lists SSCA2 is known for.
+            let biased = |r: &mut SplitMix64| {
+                let x = r.next_f64();
+                ((x * x) * config.n_nodes as f64) as u32 % config.n_nodes as u32
+            };
+            (biased(&mut rng), rng.next_below(config.n_nodes as u64) as u32)
+        })
+        .collect()
+}
+
+/// The constructed graph: per-node outgoing adjacency lists.
+pub type Adjacency = Vec<Vec<u32>>;
+
+/// Canonicalises an adjacency structure so insertion order does not matter.
+pub fn canonical(mut adj: Adjacency) -> Adjacency {
+    for list in &mut adj {
+        list.sort_unstable();
+    }
+    adj
+}
+
+/// Sequential reference implementation.
+pub fn run_sequential(config: &Ssca2Config, edges: &[Edge]) -> Adjacency {
+    let mut adj: Adjacency = vec![Vec::new(); config.n_nodes];
+    for &(u, v) in edges {
+        adj[u as usize].push(v);
+        adj[v as usize].push(u);
+    }
+    adj
+}
+
+/// TWE implementation: one task per small batch of edges, with write effects
+/// on exactly the node regions the batch touches.
+pub fn run_twe(rt: &Runtime, config: &Ssca2Config, edges: &[Edge]) -> Adjacency {
+    let adj: Arc<Vec<RegionCell<Vec<u32>>>> =
+        Arc::new((0..config.n_nodes).map(|_| RegionCell::new(Vec::new())).collect());
+    let n_tasks = config.n_edges.div_ceil(config.edges_per_task.max(1));
+    let ranges = chunk_ranges(edges.len(), n_tasks);
+    let edges = Arc::new(edges.to_vec());
+    let futures: Vec<_> = ranges
+        .into_iter()
+        .map(|range| {
+            let adj = adj.clone();
+            let edges = edges.clone();
+            // Effect: a write on the region of every endpoint in the batch.
+            let mut effect_set = EffectSet::pure();
+            for &(u, v) in &edges[range.clone()] {
+                for node in [u, v] {
+                    effect_set.push(Effect::write(
+                        Rpl::parse("Nodes").child_index(node as i64),
+                    ));
+                }
+            }
+            rt.execute_later("insertEdges", effect_set, move |_| {
+                for &(u, v) in &edges[range.clone()] {
+                    adj[u as usize].get_mut().push(v);
+                    adj[v as usize].get_mut().push(u);
+                }
+            })
+        })
+        .collect();
+    for f in futures {
+        f.wait();
+    }
+    Arc::try_unwrap(adj)
+        .unwrap_or_else(|_| panic!("adjacency still shared"))
+        .into_iter()
+        .map(RegionCell::into_inner)
+        .collect()
+}
+
+/// The "sync" baseline: plain threads, one mutex per adjacency list.
+pub fn run_sync_baseline(threads: usize, config: &Ssca2Config, edges: &[Edge]) -> Adjacency {
+    let adj: Vec<parking_lot::Mutex<Vec<u32>>> =
+        (0..config.n_nodes).map(|_| parking_lot::Mutex::new(Vec::new())).collect();
+    let ranges = chunk_ranges(edges.len(), threads);
+    thread::scope(|scope| {
+        for range in ranges {
+            let adj = &adj;
+            scope.spawn(move || {
+                for &(u, v) in &edges[range] {
+                    adj[u as usize].lock().push(v);
+                    adj[v as usize].lock().push(u);
+                }
+            });
+        }
+    });
+    adj.into_iter().map(|m| m.into_inner()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twe_runtime::SchedulerKind;
+
+    fn small() -> Ssca2Config {
+        Ssca2Config { n_nodes: 60, n_edges: 600, edges_per_task: 3, seed: 9 }
+    }
+
+    #[test]
+    fn twe_builds_the_same_graph_as_sequential() {
+        let config = small();
+        let edges = generate(&config);
+        let expected = canonical(run_sequential(&config, &edges));
+        for kind in [SchedulerKind::Naive, SchedulerKind::Tree] {
+            let rt = Runtime::new(4, kind);
+            let got = canonical(run_twe(&rt, &config, &edges));
+            assert_eq!(got, expected, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn sync_baseline_builds_the_same_graph() {
+        let config = small();
+        let edges = generate(&config);
+        let expected = canonical(run_sequential(&config, &edges));
+        assert_eq!(canonical(run_sync_baseline(4, &config, &edges)), expected);
+    }
+
+    #[test]
+    fn every_edge_appears_twice_in_the_adjacency() {
+        let config = small();
+        let edges = generate(&config);
+        let adj = run_sequential(&config, &edges);
+        let total: usize = adj.iter().map(Vec::len).sum();
+        assert_eq!(total, 2 * edges.len());
+    }
+
+    #[test]
+    fn workload_is_biased_towards_hub_nodes() {
+        let config = Ssca2Config { n_nodes: 100, n_edges: 10_000, ..small() };
+        let edges = generate(&config);
+        let adj = run_sequential(&config, &edges);
+        let low: usize = adj[..10].iter().map(Vec::len).sum();
+        let high: usize = adj[90..].iter().map(Vec::len).sum();
+        assert!(low > high, "low-numbered nodes should be hotter ({low} vs {high})");
+    }
+}

@@ -1,0 +1,281 @@
+//! TSP branch-and-bound, used in Figure 6.4.
+//!
+//! The search explores permutations of the remaining cities, pruning branches
+//! whose partial length already exceeds the best complete tour found so far.
+//! Parallelism is recursive: each extension of the partial tour can be
+//! explored by its own task until a depth cut-off, below which the search
+//! runs sequentially (the paper used a cut-off of 6 for 20 nodes). The
+//! globally shared best-tour bound is a Java `AtomicLong` in the paper and an
+//! `AtomicU64` here — TWE explicitly allows atomics, each acting like a tiny
+//! task on its own region (§5.5.4).
+
+use crate::util::SplitMix64;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use twe_effects::EffectSet;
+use twe_runtime::Runtime;
+
+/// Workload parameters.
+#[derive(Clone, Debug)]
+pub struct TspConfig {
+    /// Number of cities.
+    pub n_cities: usize,
+    /// Depth (number of fixed tour prefixes) below which search is sequential.
+    pub cutoff: usize,
+    /// RNG seed for city coordinates.
+    pub seed: u64,
+}
+
+impl Default for TspConfig {
+    fn default() -> Self {
+        TspConfig { n_cities: 12, cutoff: 3, seed: 77 }
+    }
+}
+
+/// A symmetric distance matrix (scaled to integers, as in the original).
+#[derive(Clone, Debug)]
+pub struct DistanceMatrix {
+    n: usize,
+    d: Vec<u64>,
+}
+
+impl DistanceMatrix {
+    /// Distance between cities `a` and `b`.
+    pub fn dist(&self, a: usize, b: usize) -> u64 {
+        self.d[a * self.n + b]
+    }
+
+    /// Number of cities.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Is the instance empty?
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+/// Generates random city coordinates and the corresponding distance matrix.
+pub fn generate(config: &TspConfig) -> DistanceMatrix {
+    let mut rng = SplitMix64::new(config.seed);
+    let coords: Vec<(f64, f64)> = (0..config.n_cities)
+        .map(|_| (rng.next_f64() * 1000.0, rng.next_f64() * 1000.0))
+        .collect();
+    let n = config.n_cities;
+    let mut d = vec![0u64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let dx = coords[i].0 - coords[j].0;
+            let dy = coords[i].1 - coords[j].1;
+            d[i * n + j] = (dx * dx + dy * dy).sqrt() as u64;
+        }
+    }
+    DistanceMatrix { n, d }
+}
+
+/// Sequential branch-and-bound over the remaining cities; updates `best`.
+fn search_sequential(
+    dist: &DistanceMatrix,
+    path: &mut Vec<usize>,
+    visited: &mut Vec<bool>,
+    length: u64,
+    best: &AtomicU64,
+) {
+    let n = dist.len();
+    if length >= best.load(Ordering::Relaxed) {
+        return; // prune
+    }
+    if path.len() == n {
+        let total = length + dist.dist(*path.last().unwrap(), path[0]);
+        best.fetch_min(total, Ordering::Relaxed);
+        return;
+    }
+    let last = *path.last().unwrap();
+    for next in 0..n {
+        if visited[next] {
+            continue;
+        }
+        let extended = length + dist.dist(last, next);
+        if extended >= best.load(Ordering::Relaxed) {
+            continue;
+        }
+        visited[next] = true;
+        path.push(next);
+        search_sequential(dist, path, visited, extended, best);
+        path.pop();
+        visited[next] = false;
+    }
+}
+
+/// Sequential solver (oracle / speedup baseline). Returns the optimal tour
+/// length.
+pub fn run_sequential(dist: &DistanceMatrix) -> u64 {
+    let best = AtomicU64::new(u64::MAX);
+    let mut path = vec![0usize];
+    let mut visited = vec![false; dist.len()];
+    visited[0] = true;
+    search_sequential(dist, &mut path, &mut visited, 0, &best);
+    best.load(Ordering::Relaxed)
+}
+
+fn search_twe(
+    ctx: &twe_runtime::TaskCtx<'_>,
+    dist: &Arc<DistanceMatrix>,
+    path: Vec<usize>,
+    length: u64,
+    cutoff: usize,
+    best: &Arc<AtomicU64>,
+) {
+    let n = dist.len();
+    if length >= best.load(Ordering::Relaxed) {
+        return;
+    }
+    if path.len() >= cutoff || path.len() == n {
+        // Below the cut-off: finish this subtree sequentially.
+        let mut visited = vec![false; n];
+        for &c in &path {
+            visited[c] = true;
+        }
+        let mut path = path;
+        search_sequential(dist, &mut path, &mut visited, length, best);
+        return;
+    }
+    let last = *path.last().unwrap();
+    let mut futures = Vec::new();
+    for next in 0..n {
+        if path.contains(&next) {
+            continue;
+        }
+        let extended = length + dist.dist(last, next);
+        if extended >= best.load(Ordering::Relaxed) {
+            continue;
+        }
+        let mut child_path = path.clone();
+        child_path.push(next);
+        let dist = dist.clone();
+        let best = best.clone();
+        // The partial tour is task-private data; the only shared state is the
+        // atomic bound, so the task's declared effect is a read of the
+        // (immutable) distance matrix.
+        futures.push(ctx.spawn("tspSubtree", EffectSet::parse("reads Graph"), move |cctx| {
+            search_twe(cctx, &dist, child_path, extended, cutoff, &best);
+        }));
+    }
+    for f in futures {
+        f.join(ctx);
+    }
+}
+
+/// TWE implementation: recursive spawn with a depth cut-off and an atomic
+/// global bound.
+pub fn run_twe(rt: &Runtime, config: &TspConfig, dist: &DistanceMatrix) -> u64 {
+    let dist = Arc::new(dist.clone());
+    let best = Arc::new(AtomicU64::new(u64::MAX));
+    let cutoff = config.cutoff.max(1);
+    let best2 = best.clone();
+    rt.run("tsp", EffectSet::parse("reads Graph"), move |ctx| {
+        search_twe(ctx, &dist, vec![0], 0, cutoff, &best2);
+    });
+    best.load(Ordering::Relaxed)
+}
+
+/// Fork-join baseline: the first two tour positions are distributed over
+/// plain threads; each thread searches its subtree sequentially (this is the
+/// `ForkJoinTask`-style comparator of Figure 6.4).
+pub fn run_forkjoin_baseline(threads: usize, dist: &DistanceMatrix) -> u64 {
+    let n = dist.len();
+    let best = Arc::new(AtomicU64::new(u64::MAX));
+    let subtrees: Vec<Vec<usize>> = (1..n)
+        .flat_map(|a| (1..n).filter(move |&b| b != a).map(move |b| vec![0, a, b]))
+        .collect();
+    let chunks = crate::util::chunk_ranges(subtrees.len(), threads);
+    thread::scope(|scope| {
+        for range in chunks {
+            let best = best.clone();
+            let subtrees = &subtrees;
+            scope.spawn(move || {
+                for prefix in &subtrees[range] {
+                    let mut visited = vec![false; n];
+                    for &c in prefix {
+                        visited[c] = true;
+                    }
+                    let length =
+                        dist.dist(prefix[0], prefix[1]) + dist.dist(prefix[1], prefix[2]);
+                    let mut path = prefix.clone();
+                    search_sequential(dist, &mut path, &mut visited, length, &best);
+                }
+            });
+        }
+    });
+    best.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twe_runtime::SchedulerKind;
+
+    fn small() -> TspConfig {
+        TspConfig { n_cities: 9, cutoff: 3, seed: 21 }
+    }
+
+    /// Brute-force optimum for tiny instances.
+    fn brute_force(dist: &DistanceMatrix) -> u64 {
+        fn permute(dist: &DistanceMatrix, rest: &mut Vec<usize>, path: &mut Vec<usize>, best: &mut u64) {
+            if rest.is_empty() {
+                let mut len = 0;
+                for w in path.windows(2) {
+                    len += dist.dist(w[0], w[1]);
+                }
+                len += dist.dist(*path.last().unwrap(), path[0]);
+                *best = (*best).min(len);
+                return;
+            }
+            for i in 0..rest.len() {
+                let c = rest.remove(i);
+                path.push(c);
+                permute(dist, rest, path, best);
+                path.pop();
+                rest.insert(i, c);
+            }
+        }
+        let mut best = u64::MAX;
+        let mut rest: Vec<usize> = (1..dist.len()).collect();
+        permute(dist, &mut rest, &mut vec![0], &mut best);
+        best
+    }
+
+    #[test]
+    fn sequential_finds_the_optimum() {
+        let config = TspConfig { n_cities: 8, cutoff: 3, seed: 5 };
+        let dist = generate(&config);
+        assert_eq!(run_sequential(&dist), brute_force(&dist));
+    }
+
+    #[test]
+    fn twe_matches_sequential_optimum() {
+        let config = small();
+        let dist = generate(&config);
+        let expected = run_sequential(&dist);
+        for kind in [SchedulerKind::Naive, SchedulerKind::Tree] {
+            let rt = Runtime::new(4, kind);
+            assert_eq!(run_twe(&rt, &config, &dist), expected, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn forkjoin_matches_sequential_optimum() {
+        let config = small();
+        let dist = generate(&config);
+        assert_eq!(run_forkjoin_baseline(4, &dist), run_sequential(&dist));
+    }
+
+    #[test]
+    fn triangle_instance_has_obvious_answer() {
+        // Three cities: the only tour visits all of them.
+        let dist = DistanceMatrix { n: 3, d: vec![0, 3, 4, 3, 0, 5, 4, 5, 0] };
+        assert_eq!(run_sequential(&dist), 12);
+    }
+}

@@ -1,0 +1,177 @@
+//! Shared utilities for the benchmark applications.
+
+use std::cell::UnsafeCell;
+
+/// A shared mutable cell whose synchronisation is provided *externally* by
+/// the TWE scheduler's task-isolation guarantee.
+///
+/// In TWEJava the compiler proves that every access to a field in region `R`
+/// happens inside a task whose declared effects cover `R`, and the scheduler
+/// guarantees tasks with interfering effects never run concurrently, so the
+/// field needs no per-access synchronisation. `RegionCell` is the Rust
+/// analogue of such a field: the benchmark code only touches it from tasks
+/// whose declared effects cover the corresponding region, which is exactly
+/// the discipline the TWEJava compiler enforces statically.
+///
+/// # Safety contract
+///
+/// Callers must only call [`RegionCell::get_mut`] / [`RegionCell::get`] from
+/// tasks whose effects make the access conflict-free under the TWE model.
+pub struct RegionCell<T> {
+    value: UnsafeCell<T>,
+}
+
+// Safety: synchronisation is delegated to the TWE scheduler (task isolation),
+// exactly as TWEJava delegates it to the effect system + scheduler.
+unsafe impl<T: Send> Send for RegionCell<T> {}
+unsafe impl<T: Send> Sync for RegionCell<T> {}
+
+impl<T> RegionCell<T> {
+    /// Wraps a value.
+    pub fn new(value: T) -> Self {
+        RegionCell { value: UnsafeCell::new(value) }
+    }
+
+    /// Shared access. Safe only under the TWE effect discipline (see type
+    /// docs).
+    #[allow(clippy::mut_from_ref)]
+    pub fn get(&self) -> &T {
+        unsafe { &*self.value.get() }
+    }
+
+    /// Exclusive access. Safe only under the TWE effect discipline (see type
+    /// docs).
+    #[allow(clippy::mut_from_ref)]
+    pub fn get_mut(&self) -> &mut T {
+        unsafe { &mut *self.value.get() }
+    }
+
+    /// Consumes the cell and returns the value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+/// A tiny, fast, deterministic PRNG (SplitMix64). Used so every benchmark
+/// workload is reproducible from a seed without threading `rand` state
+/// through the task closures.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed.wrapping_add(0x9E3779B97F4A7C15) }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Approximately standard-normal value (sum of uniforms).
+    pub fn next_gaussian(&mut self) -> f64 {
+        let mut sum = 0.0;
+        for _ in 0..12 {
+            sum += self.next_f64();
+        }
+        sum - 6.0
+    }
+}
+
+/// Splits `0..len` into at most `chunks` contiguous ranges of near-equal size.
+pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
+    let chunks = chunks.max(1).min(len.max(1));
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let size = base + usize::from(i < extra);
+        if size == 0 {
+            continue;
+        }
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_everything_exactly_once() {
+        for len in [0usize, 1, 7, 100, 101] {
+            for chunks in [1usize, 2, 3, 8, 200] {
+                let ranges = chunk_ranges(len, chunks);
+                let mut covered = vec![false; len];
+                for r in &ranges {
+                    for i in r.clone() {
+                        assert!(!covered[i]);
+                        covered[i] = true;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "len={len} chunks={chunks}");
+                assert!(ranges.len() <= chunks.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_spreads() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let va: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+        let mut c = SplitMix64::new(43);
+        assert_ne!(va, (0..10).map(|_| c.next_u64()).collect::<Vec<_>>());
+        // f64 samples stay in [0, 1).
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gaussian_has_reasonable_moments() {
+        let mut r = SplitMix64::new(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.next_gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn region_cell_basic_access() {
+        let cell = RegionCell::new(5u32);
+        *cell.get_mut() += 1;
+        assert_eq!(*cell.get(), 6);
+        assert_eq!(cell.into_inner(), 6);
+    }
+}

@@ -1,0 +1,85 @@
+//! Criterion versions of the application benchmarks at reduced sizes, so
+//! `cargo bench` gives statistically sound per-commit numbers for the three
+//! benchmark families (fork-join style, fine-grain critical sections, dynamic
+//! effects) without the multi-minute figure sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use twe_apps::{imageedit, kmeans, refine};
+use twe_runtime::{Runtime, SchedulerKind};
+
+fn bench_kmeans(c: &mut Criterion) {
+    let cfg = kmeans::KMeansConfig {
+        n_points: 2_000,
+        n_clusters: 128,
+        n_features: 8,
+        seed: 1,
+        points_per_task: 4,
+    };
+    let input = kmeans::generate(&cfg);
+    let mut group = c.benchmark_group("kmeans_2k_points");
+    group.sample_size(10);
+    group.bench_function("seq", |b| b.iter(|| black_box(kmeans::run_sequential(&input))));
+    for kind in [SchedulerKind::Naive, SchedulerKind::Tree] {
+        group.bench_function(format!("twe-{}", kind.label()), |b| {
+            let rt = Runtime::new(2, kind);
+            b.iter(|| black_box(kmeans::run_twe(&rt, &input)))
+        });
+    }
+    group.bench_function("sync", |b| b.iter(|| black_box(kmeans::run_sync_baseline(4, &input))));
+    group.finish();
+}
+
+fn bench_imageedit(c: &mut Criterion) {
+    let cfg = imageedit::ImageEditConfig {
+        width: 512,
+        height: 512,
+        blocks: 32,
+        filter: imageedit::Filter::EdgeDetect,
+        seed: 2,
+    };
+    let img = imageedit::Image::synthetic(cfg.width, cfg.height, cfg.seed);
+    let mut group = c.benchmark_group("imageedit_edge_512");
+    group.sample_size(10);
+    group.bench_function("seq", |b| b.iter(|| black_box(imageedit::run_sequential(&cfg, &img))));
+    group.bench_function("twe-tree", |b| {
+        let rt = Runtime::new(2, SchedulerKind::Tree);
+        b.iter(|| black_box(imageedit::run_twe(&rt, &cfg, &img)))
+    });
+    group.finish();
+}
+
+fn bench_refine(c: &mut Criterion) {
+    let cfg = refine::RefineConfig {
+        n_triangles: 5_000,
+        bad_fraction: 0.2,
+        max_cavity: 6,
+        seed: 3,
+    };
+    let mut group = c.benchmark_group("refine_5k_triangles");
+    group.sample_size(10);
+    group.bench_function("seq", |b| {
+        b.iter(|| {
+            let mesh = refine::generate(&cfg);
+            black_box(refine::run_sequential(&cfg, &mesh))
+        })
+    });
+    group.bench_function("twe-dynamic", |b| {
+        let rt = Runtime::new(2, SchedulerKind::Tree);
+        b.iter(|| {
+            let mesh = refine::generate(&cfg);
+            black_box(refine::run_twe(&rt, &cfg, &mesh))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .sample_size(10);
+    targets = bench_kmeans, bench_imageedit, bench_refine
+}
+criterion_main!(benches);

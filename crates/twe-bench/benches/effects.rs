@@ -1,0 +1,74 @@
+//! Micro-benchmarks of the effect system primitives: RPL disjointness and
+//! inclusion checks and compound-effect coverage queries. These are the
+//! operations on the scheduler's critical path (every insertion performs
+//! several of them), so their cost bounds the per-task scheduling overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use twe_effects::{CompoundEffect, Effect, EffectSet, Rpl};
+
+fn bench_rpl_relations(c: &mut Criterion) {
+    let pairs: Vec<(Rpl, Rpl)> = vec![
+        (Rpl::parse("A"), Rpl::parse("B")),
+        (Rpl::parse("A:B:C"), Rpl::parse("A:B:D")),
+        (Rpl::parse("A:*"), Rpl::parse("A:B:C")),
+        (Rpl::parse("A:[1]"), Rpl::parse("A:[?]")),
+        (Rpl::parse("Data:[17]"), Rpl::parse("Data:[17]")),
+        (Rpl::parse("A:*:X"), Rpl::parse("A:B")),
+    ];
+    c.bench_function("rpl_disjoint", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for (x, y) in &pairs {
+                acc += u32::from(black_box(x).disjoint(black_box(y)));
+            }
+            acc
+        })
+    });
+    c.bench_function("rpl_included_in", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for (x, y) in &pairs {
+                acc += u32::from(black_box(x).included_in(black_box(y)));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_effect_sets(c: &mut Criterion) {
+    let task_a = EffectSet::parse("reads Root, writes Clusters:[5]");
+    let task_b = EffectSet::parse("reads Root, writes Clusters:[9]");
+    let wild = EffectSet::parse("writes Root:*");
+    c.bench_function("effectset_non_interfering", |b| {
+        b.iter(|| {
+            black_box(task_a.non_interfering(black_box(&task_b)))
+                ^ black_box(task_a.non_interfering(black_box(&wild)))
+        })
+    });
+    c.bench_function("effectset_included_in", |b| {
+        b.iter(|| black_box(&task_a).included_in(black_box(&wild)))
+    });
+}
+
+fn bench_compound_coverage(c: &mut Criterion) {
+    // The covering effect after a typical spawn/join sequence.
+    let covering = CompoundEffect::declared(EffectSet::parse("writes Top, writes Bottom"))
+        .sub(EffectSet::parse("writes Top"))
+        .add(EffectSet::parse("writes Top"))
+        .sub(EffectSet::parse("writes Bottom"));
+    let probe = Effect::parse("writes Top").unwrap();
+    c.bench_function("compound_covers", |b| {
+        b.iter(|| black_box(&covering).covers(black_box(&probe)))
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .sample_size(10);
+    targets = bench_rpl_relations, bench_effect_sets, bench_compound_coverage
+}
+criterion_main!(benches);

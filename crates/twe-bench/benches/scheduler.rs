@@ -1,0 +1,85 @@
+//! Micro-benchmarks of the two schedulers' task-dispatch throughput: the cost
+//! of `executeLater` + effect checks + completion for batches of tasks with
+//! disjoint effects (the scalable case the tree scheduler is built for) and
+//! with identical effects (the fully-serialised worst case), plus the
+//! fine-grained critical-section pattern of K-Means (`execute`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use twe_effects::EffectSet;
+use twe_runtime::{Runtime, SchedulerKind};
+
+fn dispatch_batch(rt: &Runtime, n: usize, disjoint: bool) {
+    let futures: Vec<_> = (0..n)
+        .map(|i| {
+            let effects = if disjoint {
+                EffectSet::parse(&format!("writes Data:[{i}]"))
+            } else {
+                EffectSet::parse("writes Data")
+            };
+            rt.execute_later("bench", effects, move |_| black_box(i))
+        })
+        .collect();
+    for f in futures {
+        black_box(f.wait());
+    }
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("task_dispatch");
+    group.sample_size(20);
+    for kind in [SchedulerKind::Naive, SchedulerKind::Tree] {
+        for (label, disjoint) in [("disjoint", true), ("conflicting", false)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}-{label}", kind.label()), 128),
+                &128usize,
+                |b, &n| {
+                    let rt = Runtime::new(2, kind);
+                    b.iter(|| dispatch_batch(&rt, n, disjoint));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_critical_sections(c: &mut Criterion) {
+    // Outer tasks on disjoint regions, each running a short critical-section
+    // task on one of a few shared regions — the K-Means accumulate pattern.
+    let mut group = c.benchmark_group("critical_sections");
+    group.sample_size(15);
+    for kind in [SchedulerKind::Naive, SchedulerKind::Tree] {
+        group.bench_function(kind.label(), |b| {
+            let rt = Runtime::new(2, kind);
+            b.iter(|| {
+                let futures: Vec<_> = (0..64)
+                    .map(|i| {
+                        rt.execute_later(
+                            "outer",
+                            EffectSet::parse(&format!("writes Local:[{i}]")),
+                            move |ctx| {
+                                ctx.execute(
+                                    "crit",
+                                    EffectSet::parse(&format!("writes Shared:[{}]", i % 8)),
+                                    move |_| black_box(i),
+                                )
+                            },
+                        )
+                    })
+                    .collect();
+                futures.into_iter().map(|f| f.wait()).sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .sample_size(10);
+    targets = bench_dispatch, bench_critical_sections
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Regenerates the tables behind every figure of the TWE evaluation.
+//!
+//! ```text
+//! figures [--fig 6.1|6.2|6.3|6.4|7.1|all] [--quick] [--json out.json]
+//! ```
+//!
+//! `--quick` shrinks the workloads so the whole sweep finishes in a couple of
+//! minutes on a laptop; without it the workloads approximate the paper's
+//! sizes (50 000-point K-Means, 2048×2048 images, 400 000-edge SSCA2, …).
+
+use twe_bench::{print_rows, run_figures};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "all".to_string();
+    let mut quick = false;
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fig" => {
+                which = args.get(i + 1).cloned().unwrap_or_else(|| "all".into());
+                i += 2;
+            }
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            "--json" => {
+                json_path = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: figures [--fig 6.1|6.2|6.3|6.4|7.1|all] [--quick] [--json out.json]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!(
+        "# regenerating figure(s) {which} ({} workloads), host parallelism = {}",
+        if quick { "quick" } else { "full-size" },
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    let rows = run_figures(&which, quick);
+    print_rows(&rows);
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&rows).expect("serialize rows");
+        std::fs::write(&path, json).expect("write JSON output");
+        eprintln!("# wrote {path}");
+    }
+}

@@ -1,0 +1,446 @@
+//! Read/write effects on regions and sets thereof.
+//!
+//! An [`Effect`] is a read or a write of an RPL. The interference and
+//! inclusion relations follow §2.2 of the paper:
+//!
+//! * two effects are **non-interfering** (`A # B`) if both are reads or their
+//!   RPLs are disjoint;
+//! * `reads R ⊆ reads S`, `reads R ⊆ writes S` and `writes R ⊆ writes S`
+//!   whenever `R ⊆ S`; a write is never included in a read.
+//!
+//! An [`EffectSet`] is a list of effects. Set inclusion is conservative: every
+//! individual effect of the smaller set must be covered by *some* individual
+//! effect of the larger set (the paper notes this excludes coverage by a
+//! combination of effects but is sufficient in practice).
+
+use crate::rpl::Rpl;
+use std::fmt;
+
+/// Whether an effect reads or writes its region.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum EffectKind {
+    /// A read of every location in the region.
+    Read,
+    /// A write (and implicitly a read) of every location in the region.
+    Write,
+}
+
+/// A single read or write effect on a region named by an RPL.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Effect {
+    /// Read or write.
+    pub kind: EffectKind,
+    /// The region path list this effect is on.
+    pub rpl: Rpl,
+}
+
+impl Effect {
+    /// A read effect on `rpl`.
+    pub fn read(rpl: Rpl) -> Self {
+        Effect { kind: EffectKind::Read, rpl }
+    }
+
+    /// A write effect on `rpl`.
+    pub fn write(rpl: Rpl) -> Self {
+        Effect { kind: EffectKind::Write, rpl }
+    }
+
+    /// Parses `"reads A:B"` / `"writes A:*"` (used by tests and the IR).
+    pub fn parse(text: &str) -> Option<Self> {
+        let text = text.trim();
+        if let Some(rest) = text.strip_prefix("reads ") {
+            Some(Effect::read(Rpl::parse(rest)))
+        } else if let Some(rest) = text.strip_prefix("writes ") {
+            Some(Effect::write(Rpl::parse(rest)))
+        } else {
+            None
+        }
+    }
+
+    /// Is this a write effect?
+    pub fn is_write(&self) -> bool {
+        self.kind == EffectKind::Write
+    }
+
+    /// Is this a read effect?
+    pub fn is_read(&self) -> bool {
+        self.kind == EffectKind::Read
+    }
+
+    /// Non-interference (`self # other`): both reads, or disjoint RPLs.
+    pub fn non_interfering(&self, other: &Effect) -> bool {
+        (self.is_read() && other.is_read()) || self.rpl.disjoint(&other.rpl)
+    }
+
+    /// Interference: `!self.non_interfering(other)`.
+    pub fn interferes(&self, other: &Effect) -> bool {
+        !self.non_interfering(other)
+    }
+
+    /// Effect inclusion `self ⊆ other`.
+    ///
+    /// A read on `R` is covered by a read or a write on `S ⊇ R`; a write on
+    /// `R` is covered only by a write on `S ⊇ R`.
+    pub fn included_in(&self, other: &Effect) -> bool {
+        if self.is_write() && other.is_read() {
+            return false;
+        }
+        self.rpl.included_in(&other.rpl)
+    }
+}
+
+impl fmt::Display for Effect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            EffectKind::Read => write!(f, "reads {}", self.rpl),
+            EffectKind::Write => write!(f, "writes {}", self.rpl),
+        }
+    }
+}
+
+impl fmt::Debug for Effect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A set of read/write effects — the effect summary attached to a task or
+/// method. The empty set is the `pure` effect.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct EffectSet {
+    effects: Vec<Effect>,
+}
+
+impl EffectSet {
+    /// The `pure` effect: no reads or writes.
+    pub fn pure() -> Self {
+        EffectSet { effects: Vec::new() }
+    }
+
+    /// The top effect `writes Root:*`, which covers every possible effect.
+    pub fn top() -> Self {
+        EffectSet::from_effects([Effect::write(Rpl::root().under_star())])
+    }
+
+    /// Builds a set from individual effects.
+    pub fn from_effects(effects: impl IntoIterator<Item = Effect>) -> Self {
+        EffectSet { effects: effects.into_iter().collect() }
+    }
+
+    /// Parses a comma-separated effect list, e.g. `"writes Top, reads Root"`.
+    /// Each item must parse with [`Effect::parse`]; items that do not parse
+    /// are skipped.
+    pub fn parse(text: &str) -> Self {
+        EffectSet {
+            effects: text.split(',').filter_map(Effect::parse).collect(),
+        }
+    }
+
+    /// One read effect.
+    pub fn read(rpl: Rpl) -> Self {
+        EffectSet::from_effects([Effect::read(rpl)])
+    }
+
+    /// One write effect.
+    pub fn write(rpl: Rpl) -> Self {
+        EffectSet::from_effects([Effect::write(rpl)])
+    }
+
+    /// The individual effects.
+    pub fn effects(&self) -> &[Effect] {
+        &self.effects
+    }
+
+    /// Is this the `pure` effect?
+    pub fn is_pure(&self) -> bool {
+        self.effects.is_empty()
+    }
+
+    /// Number of individual effects.
+    pub fn len(&self) -> usize {
+        self.effects.len()
+    }
+
+    /// Is the set empty (i.e. `pure`)?
+    pub fn is_empty(&self) -> bool {
+        self.effects.is_empty()
+    }
+
+    /// Adds an effect to the set.
+    pub fn push(&mut self, effect: Effect) {
+        self.effects.push(effect);
+    }
+
+    /// Returns the union of two effect sets.
+    pub fn union(&self, other: &EffectSet) -> EffectSet {
+        let mut effects = self.effects.clone();
+        effects.extend(other.effects.iter().cloned());
+        EffectSet { effects }
+    }
+
+    /// Set-level non-interference: every pair of effects drawn from the two
+    /// sets is non-interfering.
+    pub fn non_interfering(&self, other: &EffectSet) -> bool {
+        self.effects
+            .iter()
+            .all(|a| other.effects.iter().all(|b| a.non_interfering(b)))
+    }
+
+    /// Set-level interference: some pair of effects interferes.
+    pub fn interferes(&self, other: &EffectSet) -> bool {
+        !self.non_interfering(other)
+    }
+
+    /// Set-level inclusion: every effect of `self` is included in some single
+    /// effect of `other` (conservative, per §2.2).
+    pub fn included_in(&self, other: &EffectSet) -> bool {
+        self.effects
+            .iter()
+            .all(|a| other.effects.iter().any(|b| a.included_in(b)))
+    }
+
+    /// Does `other` cover `self`? Alias for `self.included_in(other)`.
+    pub fn covered_by(&self, other: &EffectSet) -> bool {
+        self.included_in(other)
+    }
+
+    /// Does this set cover the single effect `e`?
+    pub fn covers_effect(&self, e: &Effect) -> bool {
+        self.effects.iter().any(|b| e.included_in(b))
+    }
+
+    /// Does any effect in this set interfere with `e`?
+    pub fn interferes_effect(&self, e: &Effect) -> bool {
+        self.effects.iter().any(|b| b.interferes(e))
+    }
+
+    /// Iterator over the effects.
+    pub fn iter(&self) -> impl Iterator<Item = &Effect> {
+        self.effects.iter()
+    }
+}
+
+impl FromIterator<Effect> for EffectSet {
+    fn from_iter<T: IntoIterator<Item = Effect>>(iter: T) -> Self {
+        EffectSet::from_effects(iter)
+    }
+}
+
+impl fmt::Display for EffectSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.effects.is_empty() {
+            return write!(f, "pure");
+        }
+        for (i, e) in self.effects.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for EffectSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(s: &str) -> Rpl {
+        Rpl::parse(s)
+    }
+
+    #[test]
+    fn reads_never_interfere_with_reads() {
+        let a = Effect::read(r("A"));
+        let b = Effect::read(r("A"));
+        assert!(a.non_interfering(&b));
+    }
+
+    #[test]
+    fn writes_to_same_region_interfere() {
+        let a = Effect::write(r("A"));
+        let b = Effect::write(r("A"));
+        assert!(a.interferes(&b));
+        let c = Effect::read(r("A"));
+        assert!(a.interferes(&c));
+        assert!(c.interferes(&a));
+    }
+
+    #[test]
+    fn disjoint_regions_never_interfere() {
+        let a = Effect::write(r("A"));
+        let b = Effect::write(r("B"));
+        assert!(a.non_interfering(&b));
+        let c = Effect::write(r("A:B"));
+        assert!(a.non_interfering(&c)); // parent/child regions are distinct location sets
+    }
+
+    #[test]
+    fn wildcard_write_interferes_with_descendants() {
+        let star = Effect::write(r("A:*"));
+        let child = Effect::write(r("A:B"));
+        let other = Effect::write(r("C"));
+        assert!(star.interferes(&child));
+        assert!(star.non_interfering(&other));
+    }
+
+    #[test]
+    fn effect_inclusion_rules() {
+        assert!(Effect::read(r("A")).included_in(&Effect::read(r("A"))));
+        assert!(Effect::read(r("A")).included_in(&Effect::write(r("A"))));
+        assert!(!Effect::write(r("A")).included_in(&Effect::read(r("A"))));
+        assert!(Effect::write(r("A:B")).included_in(&Effect::write(r("A:*"))));
+        assert!(!Effect::write(r("A:*")).included_in(&Effect::write(r("A:B"))));
+    }
+
+    #[test]
+    fn parse_effects() {
+        assert_eq!(Effect::parse("reads A:B"), Some(Effect::read(r("A:B"))));
+        assert_eq!(Effect::parse("writes A:*"), Some(Effect::write(r("A:*"))));
+        assert_eq!(Effect::parse("nonsense"), None);
+        let set = EffectSet::parse("writes Top, writes Bottom");
+        assert_eq!(set.len(), 2);
+        assert_eq!(format!("{set}"), "writes Root:Top, writes Root:Bottom");
+    }
+
+    #[test]
+    fn effect_set_interference() {
+        let image = EffectSet::parse("writes Top, writes Bottom");
+        let gui = EffectSet::parse("writes GUIData");
+        let top_only = EffectSet::parse("writes Top");
+        assert!(image.non_interfering(&gui));
+        assert!(image.interferes(&top_only));
+        assert!(EffectSet::pure().non_interfering(&image));
+    }
+
+    #[test]
+    fn effect_set_inclusion() {
+        let both = EffectSet::parse("writes Top, writes Bottom");
+        let top = EffectSet::parse("writes Top");
+        let read_top = EffectSet::parse("reads Top");
+        assert!(top.included_in(&both));
+        assert!(read_top.included_in(&both));
+        assert!(!both.included_in(&top));
+        assert!(EffectSet::pure().included_in(&top));
+        assert!(EffectSet::pure().included_in(&EffectSet::pure()));
+        assert!(!top.included_in(&EffectSet::pure()));
+    }
+
+    #[test]
+    fn top_covers_everything() {
+        let top = EffectSet::top();
+        for text in ["writes A:B:C", "reads Root", "writes X:*", "reads A:[7]"] {
+            let e = EffectSet::parse(text);
+            assert!(e.included_in(&top), "{text} should be covered by ⊤");
+        }
+        assert!(!top.included_in(&EffectSet::parse("writes A")));
+    }
+
+    #[test]
+    fn inclusion_soundness_wrt_interference() {
+        // If A ⊆ B and B # C then A # C (the defining property of inclusion),
+        // spot-checked over a handful of triples.
+        let effects: Vec<Effect> = [
+            "reads A", "writes A", "reads A:B", "writes A:B", "writes A:*", "reads A:*",
+            "writes B", "reads Root", "writes Root:*",
+        ]
+        .iter()
+        .map(|t| Effect::parse(t).unwrap())
+        .collect();
+        for a in &effects {
+            for b in &effects {
+                if !a.included_in(b) {
+                    continue;
+                }
+                for c in &effects {
+                    if b.non_interfering(c) {
+                        assert!(
+                            a.non_interfering(c),
+                            "inclusion unsound: {a} ⊆ {b}, {b} # {c}, but {a} interferes {c}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_rpl() -> impl Strategy<Value = Rpl> {
+            proptest::collection::vec(
+                prop_oneof![
+                    (0..3u8).prop_map(|i| crate::rpl::RplElement::name(["A", "B", "C"][i as usize])),
+                    (0..3i64).prop_map(crate::rpl::RplElement::Index),
+                    Just(crate::rpl::RplElement::Star),
+                    Just(crate::rpl::RplElement::AnyIndex),
+                ],
+                0..4,
+            )
+            .prop_map(Rpl::new)
+        }
+
+        fn arb_effect() -> impl Strategy<Value = Effect> {
+            (any::<bool>(), arb_rpl()).prop_map(|(w, rpl)| {
+                if w {
+                    Effect::write(rpl)
+                } else {
+                    Effect::read(rpl)
+                }
+            })
+        }
+
+        proptest! {
+            /// Non-interference is symmetric.
+            #[test]
+            fn non_interference_symmetric(a in arb_effect(), b in arb_effect()) {
+                prop_assert_eq!(a.non_interfering(&b), b.non_interfering(&a));
+            }
+
+            /// Inclusion soundness: A ⊆ B and B # C implies A # C.
+            #[test]
+            fn inclusion_sound(a in arb_effect(), b in arb_effect(), c in arb_effect()) {
+                if a.included_in(&b) && b.non_interfering(&c) {
+                    prop_assert!(a.non_interfering(&c));
+                }
+            }
+
+            /// reads R ⊆ writes R always.
+            #[test]
+            fn read_included_in_write_same_region(rpl in arb_rpl()) {
+                prop_assert!(Effect::read(rpl.clone()).included_in(&Effect::write(rpl)));
+            }
+
+            /// A write effect always interferes with itself.
+            #[test]
+            fn write_self_interferes(rpl in arb_rpl()) {
+                let w = Effect::write(rpl);
+                prop_assert!(w.interferes(&w));
+            }
+
+            /// Set inclusion soundness lifted to sets.
+            #[test]
+            fn set_inclusion_sound(
+                a in proptest::collection::vec(arb_effect(), 0..3),
+                b in proptest::collection::vec(arb_effect(), 0..3),
+                c in proptest::collection::vec(arb_effect(), 0..3),
+            ) {
+                let (a, b, c) = (
+                    EffectSet::from_effects(a),
+                    EffectSet::from_effects(b),
+                    EffectSet::from_effects(c),
+                );
+                if a.included_in(&b) && b.non_interfering(&c) {
+                    prop_assert!(a.non_interfering(&c));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Global string interner for region names.
+//!
+//! Region names appear in every RPL element comparison performed by the
+//! scheduler, so they are interned once into small integer [`Symbol`]s and
+//! compared by id afterwards. The interner is process-global and lock-based;
+//! interning happens when regions are *declared* (rare), comparisons (hot)
+//! never touch the lock.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An interned region name.
+///
+/// Two `Symbol`s are equal iff the strings they were interned from are equal.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub(crate) u32);
+
+struct Interner {
+    map: HashMap<String, u32>,
+    strings: Vec<String>,
+}
+
+static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+
+fn interner() -> &'static RwLock<Interner> {
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+/// Interns `name`, returning its [`Symbol`]. Idempotent.
+pub fn intern(name: &str) -> Symbol {
+    {
+        let guard = interner().read();
+        if let Some(&id) = guard.map.get(name) {
+            return Symbol(id);
+        }
+    }
+    let mut guard = interner().write();
+    if let Some(&id) = guard.map.get(name) {
+        return Symbol(id);
+    }
+    let id = guard.strings.len() as u32;
+    guard.strings.push(name.to_owned());
+    guard.map.insert(name.to_owned(), id);
+    Symbol(id)
+}
+
+/// Returns the string a [`Symbol`] was interned from.
+pub fn resolve(sym: Symbol) -> String {
+    interner().read().strings[sym.0 as usize].clone()
+}
+
+impl Symbol {
+    /// Convenience constructor: interns `name`.
+    pub fn new(name: &str) -> Self {
+        intern(name)
+    }
+
+    /// The string this symbol stands for.
+    pub fn as_str(&self) -> String {
+        resolve(*self)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", resolve(*self))
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", resolve(*self))
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = intern("Top");
+        let b = intern("Top");
+        assert_eq!(a, b);
+        assert_eq!(resolve(a), "Top");
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_symbols() {
+        let a = intern("RegionA");
+        let b = intern("RegionB");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn symbols_resolve_after_many_interns() {
+        let symbols: Vec<Symbol> = (0..100)
+            .map(|i| intern(&format!("intern_test_region_{i}")))
+            .collect();
+        for (i, sym) in symbols.iter().enumerate() {
+            assert_eq!(resolve(*sym), format!("intern_test_region_{i}"));
+        }
+    }
+
+    #[test]
+    fn display_matches_resolve() {
+        let s = intern("DisplayedRegion");
+        assert_eq!(format!("{s}"), "DisplayedRegion");
+        assert_eq!(format!("{s:?}"), "DisplayedRegion");
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    (0..64)
+                        .map(|i| intern(&format!("conc_{}", i % 16)).0 + t * 0)
+                        .collect::<Vec<u32>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<u32>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+    }
+}

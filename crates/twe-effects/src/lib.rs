@@ -1,0 +1,53 @@
+//! # twe-effects
+//!
+//! The hierarchical, region-based effect system used by the Tasks With Effects
+//! (TWE) model, adapted from Deterministic Parallel Java (DPJ).
+//!
+//! Memory is partitioned into *regions* named by **Region Path Lists** (RPLs):
+//! colon-separated lists of elements rooted at the implicit region `Root`.
+//! An RPL element may be a simple name (`Top`), a run-time array index
+//! (`[3]`), or one of the wildcards `*` (any sequence of elements) and `[?]`
+//! (any single index). An RPL containing a wildcard denotes the *set* of
+//! fully-specified RPLs obtained by replacing the wildcard.
+//!
+//! An [`Effect`] is a read or a write on an RPL; an [`EffectSet`] is a set of
+//! such effects and is the unit attached to tasks and methods. The two
+//! relations that drive both the static covering-effect analysis and the
+//! run-time scheduler are:
+//!
+//! * **non-interference** (`#`): two effects are non-interfering if both are
+//!   reads or their RPLs are disjoint ([`Effect::non_interfering`]);
+//! * **inclusion** (`⊆`): effect `A` is included in `B` if every effect that
+//!   interferes with `A` also interferes with `B`
+//!   ([`Effect::included_in`]).
+//!
+//! [`compound::CompoundEffect`] implements the *compound effects* of
+//! chapter 4 of the paper (`E`, `E + E`, `E − E`, `E ∩ E`), which represent
+//! the covering effect at each program point during the static analysis.
+//!
+//! ```
+//! use twe_effects::{Rpl, Effect, EffectSet};
+//!
+//! let top = Rpl::from_names(["Top"]);
+//! let bottom = Rpl::from_names(["Bottom"]);
+//! let w_top = Effect::write(top);
+//! let w_bottom = Effect::write(bottom);
+//! // Disjoint sibling regions never interfere.
+//! assert!(w_top.non_interfering(&w_bottom));
+//!
+//! // `writes Top, Bottom` covers `writes Top`.
+//! let both = EffectSet::from_effects([w_top.clone(), w_bottom.clone()]);
+//! assert!(EffectSet::from_effects([w_top]).included_in(&both));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod compound;
+pub mod effect;
+pub mod intern;
+pub mod rpl;
+
+pub use compound::{BitCompound, CompoundEffect, CompoundOp, EffectDomain};
+pub use effect::{Effect, EffectKind, EffectSet};
+pub use intern::{intern, resolve, Symbol};
+pub use rpl::{Rpl, RplElement};

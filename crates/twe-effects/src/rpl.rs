@@ -1,0 +1,558 @@
+//! Region Path Lists (RPLs).
+//!
+//! An RPL names a (not necessarily contiguous) set of memory locations. It is
+//! a list of [`RplElement`]s rooted at the implicit region `Root`. Elements
+//! are simple names, run-time array indices, or the wildcards `*` (any
+//! sequence of zero or more elements) and `[?]` (any single index).
+//!
+//! The two relations used throughout TWE are *disjointness* (two RPLs denote
+//! non-overlapping sets of regions) and *inclusion* (every region denoted by
+//! one RPL is also denoted by the other). Both follow the definitions in
+//! §2.3.1 of the paper; where wildcards make an exact answer expensive the
+//! implementation is conservative in the safe direction (it may report
+//! "overlapping" for RPLs that are in fact disjoint, never the reverse).
+
+use crate::intern::{intern, Symbol};
+use std::fmt;
+
+/// One element of a Region Path List.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RplElement {
+    /// A declared region name (e.g. `Top`), interned.
+    Name(Symbol),
+    /// A concrete run-time array index, e.g. `[3]`.
+    Index(i64),
+    /// The `*` wildcard: any sequence of zero or more elements.
+    Star,
+    /// The `[?]` wildcard: any single index element.
+    AnyIndex,
+}
+
+impl RplElement {
+    /// Convenience constructor for a named element.
+    pub fn name(s: &str) -> Self {
+        RplElement::Name(intern(s))
+    }
+
+    /// Convenience constructor for an index element.
+    pub fn index(i: i64) -> Self {
+        RplElement::Index(i)
+    }
+
+    /// Is this element a wildcard (`*` or `[?]`)?
+    pub fn is_wildcard(&self) -> bool {
+        matches!(self, RplElement::Star | RplElement::AnyIndex)
+    }
+
+    /// Could this element and `other` denote the same concrete element?
+    ///
+    /// `Star` is handled by the callers (it matches *sequences*, not single
+    /// elements), so it is not expected here; if it appears we answer
+    /// conservatively (`true`).
+    fn may_equal(&self, other: &RplElement) -> bool {
+        use RplElement::*;
+        match (self, other) {
+            (Star, _) | (_, Star) => true,
+            (Name(a), Name(b)) => a == b,
+            (Index(a), Index(b)) => a == b,
+            (AnyIndex, Index(_)) | (Index(_), AnyIndex) | (AnyIndex, AnyIndex) => true,
+            (Name(_), Index(_)) | (Index(_), Name(_)) => false,
+            (Name(_), AnyIndex) | (AnyIndex, Name(_)) => false,
+        }
+    }
+}
+
+impl fmt::Debug for RplElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RplElement::Name(s) => write!(f, "{s}"),
+            RplElement::Index(i) => write!(f, "[{i}]"),
+            RplElement::Star => write!(f, "*"),
+            RplElement::AnyIndex => write!(f, "[?]"),
+        }
+    }
+}
+
+impl fmt::Display for RplElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A Region Path List: `Root : e1 : e2 : ... : en`.
+///
+/// The leading `Root` is implicit and not stored. The empty list therefore
+/// denotes the region `Root` itself.
+#[derive(Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Rpl {
+    elements: Vec<RplElement>,
+}
+
+impl Rpl {
+    /// The root region `Root`.
+    pub fn root() -> Self {
+        Rpl { elements: Vec::new() }
+    }
+
+    /// Builds an RPL from a list of elements (excluding the implicit `Root`).
+    pub fn new(elements: impl Into<Vec<RplElement>>) -> Self {
+        Rpl { elements: elements.into() }
+    }
+
+    /// Builds an RPL from simple region names: `from_names(["A", "B"])` is `Root:A:B`.
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        Rpl {
+            elements: names
+                .into_iter()
+                .map(|n| RplElement::name(n.as_ref()))
+                .collect(),
+        }
+    }
+
+    /// Parses an RPL from its textual form, e.g. `"Root:A:[3]:*"`.
+    ///
+    /// A leading `Root` element is accepted and dropped. `*` parses as the
+    /// star wildcard, `[?]` as the any-index wildcard, `[n]` as a concrete
+    /// index, and anything else as a region name.
+    pub fn parse(text: &str) -> Self {
+        let mut elements = Vec::new();
+        for (i, part) in text.split(':').enumerate() {
+            let part = part.trim();
+            if part.is_empty() || (i == 0 && part == "Root") {
+                continue;
+            }
+            let elem = if part == "*" {
+                RplElement::Star
+            } else if part == "[?]" {
+                RplElement::AnyIndex
+            } else if let Some(inner) = part.strip_prefix('[').and_then(|p| p.strip_suffix(']')) {
+                match inner.parse::<i64>() {
+                    Ok(i) => RplElement::Index(i),
+                    Err(_) => RplElement::name(part),
+                }
+            } else {
+                RplElement::name(part)
+            };
+            elements.push(elem);
+        }
+        Rpl { elements }
+    }
+
+    /// The elements of this RPL (excluding the implicit `Root`).
+    pub fn elements(&self) -> &[RplElement] {
+        &self.elements
+    }
+
+    /// Number of elements (excluding `Root`).
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Is this the root region?
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Returns a new RPL with `elem` appended (a child region).
+    pub fn child(&self, elem: RplElement) -> Rpl {
+        let mut elements = self.elements.clone();
+        elements.push(elem);
+        Rpl { elements }
+    }
+
+    /// Returns a new RPL with a named child appended.
+    pub fn child_name(&self, name: &str) -> Rpl {
+        self.child(RplElement::name(name))
+    }
+
+    /// Returns a new RPL with an index child appended.
+    pub fn child_index(&self, index: i64) -> Rpl {
+        self.child(RplElement::Index(index))
+    }
+
+    /// Returns a new RPL with the star wildcard appended (`self:*`).
+    pub fn under_star(&self) -> Rpl {
+        self.child(RplElement::Star)
+    }
+
+    /// True if the RPL contains no wildcard elements.
+    pub fn is_fully_specified(&self) -> bool {
+        !self.elements.iter().any(RplElement::is_wildcard)
+    }
+
+    /// True if the RPL contains at least one wildcard element.
+    pub fn has_wildcard(&self) -> bool {
+        !self.is_fully_specified()
+    }
+
+    /// The maximal wildcard-free prefix of this RPL.
+    pub fn max_wildcard_free_prefix(&self) -> &[RplElement] {
+        let end = self
+            .elements
+            .iter()
+            .position(RplElement::is_wildcard)
+            .unwrap_or(self.elements.len());
+        &self.elements[..end]
+    }
+
+    /// Set-wise inclusion: does `self` (the more general RPL) include every
+    /// fully-specified RPL denoted by `other`?
+    ///
+    /// Examples: `A:*` includes `A`, `A:B`, and `A:*:C`; `A:[?]` includes
+    /// `A:[3]` but not `A:B`.
+    pub fn includes(&self, other: &Rpl) -> bool {
+        includes_rec(&self.elements, &other.elements)
+    }
+
+    /// Set-wise inclusion in the other direction: `self ⊆ other`.
+    pub fn included_in(&self, other: &Rpl) -> bool {
+        other.includes(self)
+    }
+
+    /// Are the two RPLs disjoint (no fully-specified RPL denoted by both)?
+    ///
+    /// This follows the practical procedure of §2.3.1: compare
+    /// element-by-element from the left until a `*` is encountered in either
+    /// RPL, and then (if necessary) from the right. The result is
+    /// conservative: `false` ("maybe overlapping") may be returned for RPLs
+    /// that are in fact disjoint, but `true` is only returned when they truly
+    /// cannot overlap.
+    pub fn disjoint(&self, other: &Rpl) -> bool {
+        !overlaps(&self.elements, &other.elements)
+    }
+
+    /// Convenience: `!self.disjoint(other)`.
+    pub fn overlaps(&self, other: &Rpl) -> bool {
+        overlaps(&self.elements, &other.elements)
+    }
+
+    /// Does `prefix` (a wildcard-free element sequence) prefix this RPL?
+    pub fn starts_with(&self, prefix: &[RplElement]) -> bool {
+        self.elements.len() >= prefix.len() && &self.elements[..prefix.len()] == prefix
+    }
+}
+
+impl fmt::Display for Rpl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Root")?;
+        for e in &self.elements {
+            write!(f, ":{e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Rpl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Does the set denoted by `general` contain every RPL denoted by `specific`?
+fn includes_rec(general: &[RplElement], specific: &[RplElement]) -> bool {
+    use RplElement::*;
+    match (general.first(), specific.first()) {
+        (None, None) => true,
+        // `specific` is longer: the only way `general` (now the single empty
+        // suffix) can cover it is if the rest of `specific` is all-star and…
+        // even then a star denotes non-empty sequences too, so it cannot be
+        // covered by the empty suffix. Not included.
+        (None, Some(_)) => false,
+        (Some(Star), _) => {
+            // The star covers zero elements of the remaining `specific`…
+            includes_rec(&general[1..], specific)
+                // …or it covers the first remaining element (whatever it is).
+                || (!specific.is_empty() && includes_rec(general, &specific[1..]))
+        }
+        (Some(_), None) => false,
+        (Some(_), Some(Star)) => {
+            // `specific`'s star denotes arbitrarily long sequences; a
+            // non-star head in `general` cannot cover all of them.
+            false
+        }
+        (Some(AnyIndex), Some(Index(_))) | (Some(AnyIndex), Some(AnyIndex)) => {
+            includes_rec(&general[1..], &specific[1..])
+        }
+        (Some(AnyIndex), Some(Name(_))) => false,
+        (Some(a), Some(b)) => a == b && includes_rec(&general[1..], &specific[1..]),
+    }
+}
+
+/// Could `a` and `b` denote a common fully-specified RPL?
+fn overlaps(a: &[RplElement], b: &[RplElement]) -> bool {
+    use RplElement::*;
+    // Left scan up to the first star in either RPL.
+    let mut i = 0;
+    loop {
+        match (a.get(i), b.get(i)) {
+            (None, None) => return true, // identical fully-specified RPLs
+            (None, Some(_)) | (Some(_), None) => {
+                // One RPL ended. The shorter one denotes exactly the consumed
+                // prefix; the longer one denotes strictly longer RPLs unless
+                // all its remaining elements are stars (which can denote the
+                // empty sequence).
+                let rest = if a.get(i).is_none() { &b[i..] } else { &a[i..] };
+                return rest.iter().all(|e| matches!(e, Star));
+            }
+            (Some(Star), _) | (_, Some(Star)) => break,
+            (Some(x), Some(y)) => {
+                if !x.may_equal(y) {
+                    return false;
+                }
+                i += 1;
+            }
+        }
+    }
+    // Right scan, stopping at the left-scan boundary or at a star.
+    let (mut ai, mut bi) = (a.len(), b.len());
+    while ai > i && bi > i {
+        let (x, y) = (&a[ai - 1], &b[bi - 1]);
+        if matches!(x, Star) || matches!(y, Star) {
+            return true; // cannot conclude disjointness; be conservative
+        }
+        if !x.may_equal(y) {
+            return false;
+        }
+        ai -= 1;
+        bi -= 1;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rpl(s: &str) -> Rpl {
+        Rpl::parse(s)
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let r = rpl("Root:A:[3]:*");
+        assert_eq!(format!("{r}"), "Root:A:[3]:*");
+        let r2 = rpl("A:[3]:*");
+        assert_eq!(r, r2);
+        assert_eq!(format!("{}", Rpl::root()), "Root");
+        assert_eq!(rpl("Root"), Rpl::root());
+    }
+
+    #[test]
+    fn parse_any_index() {
+        let r = rpl("A:[?]");
+        assert_eq!(r.elements()[1], RplElement::AnyIndex);
+        assert!(r.has_wildcard());
+    }
+
+    #[test]
+    fn builders_match_parse() {
+        let built = Rpl::root().child_name("A").child_index(7).under_star();
+        assert_eq!(built, rpl("A:[7]:*"));
+        assert_eq!(Rpl::from_names(["A", "B"]), rpl("A:B"));
+    }
+
+    #[test]
+    fn fully_specified_and_prefix() {
+        assert!(rpl("A:B:[3]").is_fully_specified());
+        assert!(!rpl("A:*").is_fully_specified());
+        assert_eq!(
+            rpl("A:B:*:C").max_wildcard_free_prefix(),
+            rpl("A:B").elements()
+        );
+        assert_eq!(rpl("A:[?]").max_wildcard_free_prefix(), rpl("A").elements());
+        assert_eq!(rpl("A:B").max_wildcard_free_prefix(), rpl("A:B").elements());
+    }
+
+    // Disjointness examples straight from §2.3.1 of the paper.
+    #[test]
+    fn paper_disjointness_examples() {
+        // Disjoint pairs
+        assert!(rpl("A").disjoint(&rpl("A:B")));
+        assert!(rpl("A:[1]").disjoint(&rpl("A:B")));
+        assert!(rpl("A:*:X").disjoint(&rpl("A:B")));
+        // Non-disjoint pairs
+        assert!(!rpl("A:*").disjoint(&rpl("A")));
+        assert!(!rpl("A:*").disjoint(&rpl("A:B:C")));
+        assert!(!rpl("A:*").disjoint(&rpl("A:[1]")));
+    }
+
+    #[test]
+    fn fully_specified_rpls_disjoint_unless_identical() {
+        assert!(!rpl("A:B").disjoint(&rpl("A:B")));
+        assert!(rpl("A:B").disjoint(&rpl("A:C")));
+        assert!(rpl("A:[1]").disjoint(&rpl("A:[2]")));
+        assert!(!rpl("A:[1]").disjoint(&rpl("A:[1]")));
+        assert!(rpl("A").disjoint(&rpl("B")));
+        assert!(!Rpl::root().disjoint(&Rpl::root()));
+        assert!(Rpl::root().disjoint(&rpl("A")));
+    }
+
+    #[test]
+    fn any_index_overlaps_indices_but_not_names() {
+        assert!(!rpl("A:[?]").disjoint(&rpl("A:[5]")));
+        assert!(rpl("A:[?]").disjoint(&rpl("A:B")));
+        assert!(!rpl("A:[?]").disjoint(&rpl("A:[?]")));
+    }
+
+    #[test]
+    fn star_overlaps_descendants_only() {
+        assert!(!rpl("A:*").disjoint(&rpl("A:B:C:D")));
+        assert!(rpl("A:*").disjoint(&rpl("B")));
+        assert!(rpl("A:*").disjoint(&rpl("B:A")));
+        // Root:* overlaps everything.
+        assert!(!rpl("*").disjoint(&rpl("A:B")));
+        assert!(!rpl("*").disjoint(&Rpl::root()));
+    }
+
+    #[test]
+    fn right_scan_distinguishes_suffixes() {
+        assert!(rpl("A:*:X").disjoint(&rpl("A:Y")));
+        assert!(!rpl("A:*:X").disjoint(&rpl("A:B:X")));
+        assert!(!rpl("A:*:X").disjoint(&rpl("A:X")));
+        assert!(rpl("A:*:[1]").disjoint(&rpl("A:B:[2]")));
+        assert!(!rpl("A:*:[1]").disjoint(&rpl("A:B:[1]")));
+    }
+
+    #[test]
+    fn inclusion_basics() {
+        assert!(rpl("A:B").included_in(&rpl("A:*")));
+        assert!(rpl("A").included_in(&rpl("A:*")));
+        assert!(rpl("A:B:C").included_in(&rpl("A:*")));
+        assert!(!rpl("B").included_in(&rpl("A:*")));
+        assert!(rpl("A:[3]").included_in(&rpl("A:[?]")));
+        assert!(!rpl("A:B").included_in(&rpl("A:[?]")));
+        assert!(rpl("A:B").included_in(&rpl("A:B")));
+        assert!(!rpl("A:*").included_in(&rpl("A:B")));
+        // * under a prefix is included in the bare * under Root
+        assert!(rpl("A:*").included_in(&rpl("*")));
+        assert!(rpl("A:*:C").included_in(&rpl("A:*")));
+    }
+
+    #[test]
+    fn inclusion_is_reflexive_on_wildcards() {
+        assert!(rpl("A:*").included_in(&rpl("A:*")));
+        assert!(rpl("A:[?]").included_in(&rpl("A:[?]")));
+        assert!(rpl("A:[?]").included_in(&rpl("A:*")));
+    }
+
+    #[test]
+    fn inclusion_implies_overlap() {
+        let cases = [
+            ("A:B", "A:*"),
+            ("A", "A"),
+            ("A:[1]", "A:[?]"),
+            ("A:*:C", "A:*"),
+        ];
+        for (small, big) in cases {
+            assert!(rpl(small).included_in(&rpl(big)), "{small} ⊆ {big}");
+            assert!(!rpl(small).disjoint(&rpl(big)), "{small} overlaps {big}");
+        }
+    }
+
+    #[test]
+    fn starts_with_prefix() {
+        assert!(rpl("A:B:C").starts_with(rpl("A:B").elements()));
+        assert!(rpl("A:B").starts_with(rpl("A:B").elements()));
+        assert!(!rpl("A:B").starts_with(rpl("A:B:C").elements()));
+        assert!(rpl("A:B").starts_with(&[]));
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_element() -> impl Strategy<Value = RplElement> {
+            prop_oneof![
+                (0..4u8).prop_map(|i| RplElement::name(["A", "B", "C", "D"][i as usize])),
+                (0..4i64).prop_map(RplElement::Index),
+                Just(RplElement::Star),
+                Just(RplElement::AnyIndex),
+            ]
+        }
+
+        fn arb_rpl() -> impl Strategy<Value = Rpl> {
+            proptest::collection::vec(arb_element(), 0..5).prop_map(Rpl::new)
+        }
+
+        fn arb_concrete_rpl() -> impl Strategy<Value = Rpl> {
+            proptest::collection::vec(
+                prop_oneof![
+                    (0..4u8).prop_map(|i| RplElement::name(["A", "B", "C", "D"][i as usize])),
+                    (0..4i64).prop_map(RplElement::Index),
+                ],
+                0..5,
+            )
+            .prop_map(Rpl::new)
+        }
+
+        proptest! {
+            /// Disjointness is symmetric.
+            #[test]
+            fn disjoint_symmetric(a in arb_rpl(), b in arb_rpl()) {
+                prop_assert_eq!(a.disjoint(&b), b.disjoint(&a));
+            }
+
+            /// An RPL always overlaps itself.
+            #[test]
+            fn overlaps_itself(a in arb_rpl()) {
+                prop_assert!(!a.disjoint(&a));
+            }
+
+            /// Inclusion is reflexive.
+            #[test]
+            fn inclusion_reflexive(a in arb_rpl()) {
+                prop_assert!(a.included_in(&a));
+            }
+
+            /// If a ⊆ b then a and b overlap (for non-degenerate a).
+            #[test]
+            fn inclusion_implies_overlap(a in arb_rpl(), b in arb_rpl()) {
+                if a.included_in(&b) {
+                    prop_assert!(!a.disjoint(&b));
+                }
+            }
+
+            /// Fully-specified RPLs are disjoint iff they differ.
+            #[test]
+            fn concrete_disjoint_iff_unequal(a in arb_concrete_rpl(), b in arb_concrete_rpl()) {
+                prop_assert_eq!(a.disjoint(&b), a != b);
+            }
+
+            /// A concrete RPL included in `g` must overlap anything `g` overlaps…
+            /// (soundness of inclusion w.r.t. interference, spot-checked on concretes).
+            #[test]
+            fn inclusion_monotone_wrt_overlap(
+                a in arb_concrete_rpl(), g in arb_rpl(), c in arb_concrete_rpl()
+            ) {
+                if a.included_in(&g) && !a.disjoint(&c) {
+                    prop_assert!(!g.disjoint(&c));
+                }
+            }
+
+            /// Every RPL is included in Root:* (⊤).
+            #[test]
+            fn star_is_top(a in arb_rpl()) {
+                prop_assert!(a.included_in(&Rpl::root().under_star()));
+            }
+
+            /// Transitivity of inclusion on sampled triples.
+            #[test]
+            fn inclusion_transitive(a in arb_concrete_rpl(), b in arb_rpl(), c in arb_rpl()) {
+                if a.included_in(&b) && b.included_in(&c) {
+                    prop_assert!(a.included_in(&c));
+                }
+            }
+
+            /// Parse/display round-trip.
+            #[test]
+            fn parse_display_roundtrip(a in arb_rpl()) {
+                let text = format!("{a}");
+                prop_assert_eq!(Rpl::parse(&text), a);
+            }
+        }
+    }
+}

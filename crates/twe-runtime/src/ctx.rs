@@ -1,0 +1,204 @@
+//! The per-task execution context.
+//!
+//! A [`TaskCtx`] is handed to every task body. It is the handle through which
+//! the task creates further tasks (`execute_later`, `spawn`, `execute`),
+//! waits for them (via the futures), and adds dynamic effects
+//! (`acquire_read`/`acquire_write`). It also tracks the task's *run-time
+//! covering effect* (declared effects minus effects transferred to spawned
+//! children plus effects transferred back by joins), which implements the
+//! limited run-time check for `spawn` described in §3.1.5.
+
+use crate::dynamics::{Aborted, DynCell};
+use crate::future::{SpawnedTaskFuture, TaskFuture};
+use crate::task::{TaskRecord, TaskStatus};
+use crate::RtInner;
+use std::cell::RefCell;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use twe_effects::{CompoundEffect, EffectSet};
+
+/// The execution context of a running task.
+pub struct TaskCtx<'rt> {
+    pub(crate) rt: &'rt Arc<RtInner>,
+    pub(crate) record: &'rt Arc<TaskRecord>,
+    covering: RefCell<CompoundEffect>,
+}
+
+impl<'rt> TaskCtx<'rt> {
+    pub(crate) fn new(rt: &'rt Arc<RtInner>, record: &'rt Arc<TaskRecord>) -> Self {
+        TaskCtx {
+            rt,
+            record,
+            covering: RefCell::new(CompoundEffect::declared(record.effects.clone())),
+        }
+    }
+
+    /// The id of the current task.
+    pub fn task_id(&self) -> u64 {
+        self.record.id
+    }
+
+    /// The name of the current task.
+    pub fn task_name(&self) -> &str {
+        &self.record.name
+    }
+
+    /// The declared effects of the current task.
+    pub fn declared_effects(&self) -> &EffectSet {
+        &self.record.effects
+    }
+
+    /// Does the current run-time covering effect cover `effects`?
+    ///
+    /// Statically-checked TWEJava code never needs to ask this; it is exposed
+    /// for tests and for code that wants to assert its own effect discipline.
+    pub fn covers(&self, effects: &EffectSet) -> bool {
+        self.covering.borrow().covers_set(effects)
+    }
+
+    /// Creates an asynchronous task that will run once the effect-aware
+    /// scheduler determines it cannot interfere with any running task.
+    pub fn execute_later<T, F>(&self, name: &str, effects: EffectSet, body: F) -> TaskFuture<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&TaskCtx<'_>) -> T + Send + 'static,
+    {
+        self.rt.execute_later_impl(name, effects, body)
+    }
+
+    /// Creates a task and immediately waits for it: the `execute` operation
+    /// of §5.5.1, the TWE idiom for a critical section within a larger task.
+    pub fn execute<T, F>(&self, name: &str, effects: EffectSet, body: F) -> T
+    where
+        T: Send + 'static,
+        F: FnOnce(&TaskCtx<'_>) -> T + Send + 'static,
+    {
+        self.execute_later(name, effects, body).get_value(self)
+    }
+
+    /// Spawns a child task whose effects are transferred directly from this
+    /// task (§3.1.5). The child is enabled immediately — no effect-based
+    /// scheduling is needed because its effects were already held by the
+    /// parent.
+    ///
+    /// Panics if the child's effects are not covered by this task's current
+    /// covering effect (the run-time analogue of the exception TWEJava throws
+    /// when the static analysis deferred the check to run time).
+    pub fn spawn<T, F>(&self, name: &str, effects: EffectSet, body: F) -> SpawnedTaskFuture<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&TaskCtx<'_>) -> T + Send + 'static,
+    {
+        assert!(
+            self.covers(&effects),
+            "spawn of task `{name}` with effects `{effects}` not covered by the current \
+             covering effect of task `{}`",
+            self.record.name
+        );
+        // Transfer the effects away from this task.
+        {
+            let mut covering = self.covering.borrow_mut();
+            *covering = covering.sub(effects.clone());
+        }
+        let (record, state) = self.rt.new_task::<T>(name, effects.clone(), true);
+        // The spawned task is enabled from the start.
+        record.sched.lock().status = TaskStatus::Enabled;
+        self.record.add_spawned_child(record.clone());
+        let job = self.rt.make_job(
+            record.clone(),
+            state.clone(),
+            body,
+            Some(self.record.clone()),
+        );
+        *record.job.lock() = Some(job);
+        self.rt.submit_enabled(record.clone());
+        SpawnedTaskFuture {
+            future: TaskFuture { rt: self.rt.clone(), record, state },
+            transferred: effects,
+            parent_id: self.record.id,
+            joined: AtomicBool::new(false),
+        }
+    }
+
+    /// Adds a dynamic *read* effect on the reference region of `cell`
+    /// (chapter 7). Returns `Err(Aborted)` if it conflicts with another
+    /// task's dynamic effects, in which case the task should abort and retry
+    /// (see `Runtime::execute_later_retry`).
+    pub fn acquire_read<T>(&self, cell: &DynCell<T>) -> Result<(), Aborted> {
+        self.acquire_region(cell.region_id(), false)
+    }
+
+    /// Adds a dynamic *write* effect on the reference region of `cell`.
+    pub fn acquire_write<T>(&self, cell: &DynCell<T>) -> Result<(), Aborted> {
+        self.acquire_region(cell.region_id(), true)
+    }
+
+    fn acquire_region(&self, region: u64, write: bool) -> Result<(), Aborted> {
+        let result = if write {
+            self.rt.dynamic.acquire_write(self.record.id, region)
+        } else {
+            self.rt.dynamic.acquire_read(self.record.id, region)
+        };
+        if result.is_ok() {
+            let mut claims = self.record.dynamic_claims.lock();
+            if !claims.contains(&region) {
+                claims.push(region);
+            }
+        }
+        result
+    }
+
+    /// Releases every dynamic effect this task has added so far (used when a
+    /// retryable task aborts; completed tasks release automatically).
+    pub fn release_dynamic_effects(&self) {
+        let claims: Vec<u64> = self.record.dynamic_claims.lock().drain(..).collect();
+        self.rt.dynamic.release_all(self.record.id, &claims);
+    }
+
+    // ------------------------------------------------------------------
+    // Internal plumbing used by the futures and the job wrapper.
+    // ------------------------------------------------------------------
+
+    /// Blocks the current task until `done()` holds, recording `target` as
+    /// this task's blocker so the scheduler can apply effect transfer
+    /// (Figure 5.11). The blocked worker thread helps run other enabled tasks
+    /// while it waits.
+    pub(crate) fn await_target(&self, target: &Arc<TaskRecord>, done: impl Fn() -> bool) {
+        if done() {
+            return;
+        }
+        *self.record.blocker.lock() = Some(target.clone());
+        self.rt.scheduler().on_await(Some(self.record), target);
+        self.rt.pool.help_until(&done);
+        *self.record.blocker.lock() = None;
+    }
+
+    /// Transfers effects back to this task after a `join` (dynamically we
+    /// always transfer the joined child's effects back, per §3.1.5).
+    pub(crate) fn transfer_back(&self, effects: &EffectSet) {
+        let mut covering = self.covering.borrow_mut();
+        *covering = covering.add(effects.clone());
+    }
+
+    /// Removes a joined child from the spawned-children list.
+    pub(crate) fn unregister_spawned_child(&self, child_id: u64) {
+        self.record.remove_spawned_child(child_id);
+    }
+
+    /// The implicit `join` of all not-yet-joined spawned children performed
+    /// before a task returns (the `awaitSpawned` rule of the dynamic
+    /// semantics, §3.2.3).
+    pub(crate) fn await_remaining_spawned(&self) {
+        loop {
+            let children = self.record.spawned_children_snapshot();
+            if children.is_empty() {
+                return;
+            }
+            for child in children {
+                let c = child.clone();
+                self.await_target(&child, move || c.is_done());
+                self.record.remove_spawned_child(child.id);
+            }
+        }
+    }
+}

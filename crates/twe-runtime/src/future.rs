@@ -1,0 +1,135 @@
+//! User-facing task futures.
+//!
+//! [`TaskFuture`] is returned by `executeLater` and supports `isDone`,
+//! `getValue` (from inside a task, with effect transfer when blocked) and
+//! `wait` (from outside the runtime). [`SpawnedTaskFuture`] is returned by
+//! `spawn` and additionally supports `join`, which transfers the child's
+//! effects back to the parent (§3.1.5). A spawned task may be joined exactly
+//! once and only by the task that spawned it.
+
+use crate::ctx::TaskCtx;
+use crate::task::{FutureState, TaskRecord};
+use crate::RtInner;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use twe_effects::EffectSet;
+
+/// A handle to one execution of a task created with `executeLater`.
+pub struct TaskFuture<T> {
+    pub(crate) rt: Arc<RtInner>,
+    pub(crate) record: Arc<TaskRecord>,
+    pub(crate) state: Arc<FutureState<T>>,
+}
+
+impl<T> Clone for TaskFuture<T> {
+    fn clone(&self) -> Self {
+        TaskFuture {
+            rt: self.rt.clone(),
+            record: self.record.clone(),
+            state: self.state.clone(),
+        }
+    }
+}
+
+impl<T: Send + 'static> TaskFuture<T> {
+    /// Is the task done (non-blocking)?
+    pub fn is_done(&self) -> bool {
+        self.state.is_done()
+    }
+
+    /// The scheduler-facing record (used by tests and the benchmarks).
+    pub fn record(&self) -> &Arc<TaskRecord> {
+        &self.record
+    }
+
+    /// Waits for the task from *inside another task* and returns its value.
+    ///
+    /// If the task has not finished, the calling task blocks and its effects
+    /// are treated as transferred to the awaited task (and to anything that
+    /// task is transitively blocked on), which both avoids a class of
+    /// deadlocks and enables the critical-section idiom of §3.1.4. The value
+    /// may be taken only once; a second `get_value` on the same future
+    /// panics.
+    pub fn get_value(&self, ctx: &TaskCtx<'_>) -> T {
+        let state = self.state.clone();
+        ctx.await_target(&self.record, move || state.is_done());
+        self.state.take()
+    }
+
+    /// Waits for the task from *outside* the runtime (e.g. the main thread)
+    /// and returns its value. The awaited task is prioritized, but no effect
+    /// transfer takes place because the caller is not a task.
+    pub fn wait(&self) -> T {
+        if !self.state.is_done() {
+            self.rt.scheduler().on_await(None, &self.record);
+            let state = self.state.clone();
+            self.rt.pool.help_until(move || state.is_done());
+        }
+        self.state.take()
+    }
+}
+
+/// A handle to a task created with `spawn`, which received its effects by
+/// transfer from the spawning (parent) task.
+pub struct SpawnedTaskFuture<T> {
+    pub(crate) future: TaskFuture<T>,
+    /// The effects transferred from the parent at the spawn.
+    pub(crate) transferred: EffectSet,
+    /// Id of the parent task (only it may join).
+    pub(crate) parent_id: u64,
+    pub(crate) joined: AtomicBool,
+}
+
+impl<T: Send + 'static> SpawnedTaskFuture<T> {
+    /// Is the spawned task done (non-blocking)?
+    pub fn is_done(&self) -> bool {
+        self.future.is_done()
+    }
+
+    /// The effects that were transferred from the parent to this child.
+    pub fn transferred_effects(&self) -> &EffectSet {
+        &self.transferred
+    }
+
+    /// Waits for the spawned task, transfers its effects back to the calling
+    /// (parent) task, and returns its value.
+    ///
+    /// Panics if called from a task other than the one that spawned it, or if
+    /// the task has already been joined — mirroring the exceptions TWEJava
+    /// throws for the same misuses.
+    pub fn join(&self, ctx: &TaskCtx<'_>) -> T {
+        assert_eq!(
+            ctx.task_id(),
+            self.parent_id,
+            "a spawned task may only be joined by the task that spawned it"
+        );
+        assert!(
+            !self.joined.swap(true, Ordering::AcqRel),
+            "a spawned task may be joined only once"
+        );
+        let state = self.future.state.clone();
+        ctx.await_target(&self.future.record, move || state.is_done());
+        // Effect transfer back to the parent: the parent may again perform
+        // operations covered by the child's effects.
+        ctx.transfer_back(&self.transferred);
+        ctx.unregister_spawned_child(self.future.record.id);
+        self.future.state.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // The future types are exercised end-to-end in the runtime integration
+    // tests (`tests/runtime_semantics.rs`) and in `ctx.rs`; the unit tests
+    // here only cover the plumbing that does not need a live runtime.
+    use super::*;
+
+    #[test]
+    fn spawned_future_records_transferred_effects() {
+        // Construct the pieces by hand to check the accessors.
+        let rt = crate::Runtime::new(1, crate::SchedulerKind::Tree);
+        let fut = rt.execute_later("t", EffectSet::parse("writes A"), |_| 5usize);
+        assert_eq!(fut.wait(), 5);
+        assert!(fut.is_done());
+    }
+}

@@ -1,0 +1,605 @@
+//! # twe-runtime
+//!
+//! The Tasks With Effects (TWE) runtime: dynamically-created tasks carry
+//! programmer-declared effect summaries, and an effect-aware scheduler
+//! guarantees **task isolation** — no two tasks with interfering effects ever
+//! run concurrently. Together with (statically checked) effect summaries this
+//! yields data-race freedom, atomicity for task bodies that do not create or
+//! wait for other tasks, avoidance of a class of blocking deadlocks through
+//! effect transfer, and determinism for computations restricted to
+//! `spawn`/`join` (chapter 3 of the paper).
+//!
+//! Two schedulers are provided, selected by [`SchedulerKind`]:
+//!
+//! * [`SchedulerKind::Naive`] — the single-queue, single-lock scheduler of
+//!   the original PPoPP 2013 implementation (§3.4.2);
+//! * [`SchedulerKind::Tree`] — the scalable tree-based scheduler of
+//!   chapter 5, which exploits the hierarchical structure of effect
+//!   specifications.
+//!
+//! Dynamic effects (chapter 7) are supported through [`DynCell`] reference
+//! regions, `TaskCtx::acquire_read`/`acquire_write`, and retryable tasks
+//! ([`Runtime::execute_later_retry`]).
+//!
+//! ```
+//! use twe_runtime::{Runtime, SchedulerKind};
+//! use twe_effects::EffectSet;
+//!
+//! // The increaseContrast example of §3.1.5: work on the two halves of an
+//! // image in parallel inside a task, using spawn/join effect transfer.
+//! let rt = Runtime::new(4, SchedulerKind::Tree);
+//! let result = rt.run(
+//!     "increaseContrast",
+//!     EffectSet::parse("writes Top, writes Bottom"),
+//!     |ctx| {
+//!         let top = ctx.spawn("topHalf", EffectSet::parse("writes Top"), |_| 21u32);
+//!         let bottom = 21u32; // processed in the parent, covered by `writes Bottom`
+//!         top.join(ctx) + bottom
+//!     },
+//! );
+//! assert_eq!(result, 42);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ctx;
+pub mod dynamics;
+pub mod future;
+pub mod naive;
+pub mod scheduler;
+pub mod task;
+pub mod tree;
+
+pub use ctx::TaskCtx;
+pub use dynamics::{Aborted, DynCell, DynamicEffectTable, DynamicStats};
+pub use future::{SpawnedTaskFuture, TaskFuture};
+pub use task::{FutureState, TaskRecord, TaskStatus};
+
+use crate::naive::NaiveScheduler;
+use crate::scheduler::Scheduler;
+use crate::task::TaskJob;
+use crate::tree::TreeScheduler;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+use twe_effects::EffectSet;
+use twe_pool::ThreadPool;
+
+/// Which effect-aware scheduler a [`Runtime`] uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// The single-queue, single-lock scheduler of the original TWEJava
+    /// prototype (§3.4.2).
+    Naive,
+    /// The scalable tree-based scheduler of chapter 5.
+    Tree,
+}
+
+impl SchedulerKind {
+    /// Human-readable name used in benchmark output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedulerKind::Naive => "single-queue",
+            SchedulerKind::Tree => "tree",
+        }
+    }
+}
+
+/// Counters describing what a runtime has executed so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Tasks whose bodies ran to completion.
+    pub tasks_executed: u64,
+    /// Aborted attempts of retryable tasks (dynamic-effect conflicts).
+    pub task_retries: u64,
+    /// Dynamic-effect acquisitions and conflicts.
+    pub dynamic: DynamicStats,
+}
+
+pub(crate) struct RtInner {
+    pub(crate) pool: ThreadPool,
+    scheduler: Box<dyn Scheduler>,
+    next_task_id: AtomicU64,
+    pub(crate) dynamic: DynamicEffectTable,
+    kind: SchedulerKind,
+    tasks_executed: AtomicU64,
+    task_retries: AtomicU64,
+}
+
+impl RtInner {
+    pub(crate) fn scheduler(&self) -> &dyn Scheduler {
+        self.scheduler.as_ref()
+    }
+
+    pub(crate) fn new_task<T: Send + 'static>(
+        self: &Arc<Self>,
+        name: &str,
+        effects: EffectSet,
+        spawned: bool,
+    ) -> (Arc<TaskRecord>, Arc<FutureState<T>>) {
+        let id = self.next_task_id.fetch_add(1, Ordering::Relaxed);
+        let record = TaskRecord::new(id, name, effects, spawned);
+        let state = FutureState::new();
+        (record, state)
+    }
+
+    /// Takes the job of an enabled task and hands it to the thread pool.
+    pub(crate) fn submit_enabled(&self, task: Arc<TaskRecord>) {
+        if let Some(job) = task.job.lock().take() {
+            self.pool.execute(job);
+        }
+    }
+
+    /// Builds the type-erased body wrapper for an ordinary (run-once) task.
+    pub(crate) fn make_job<T, F>(
+        self: &Arc<Self>,
+        record: Arc<TaskRecord>,
+        state: Arc<FutureState<T>>,
+        body: F,
+        spawned_parent: Option<Arc<TaskRecord>>,
+    ) -> TaskJob
+    where
+        T: Send + 'static,
+        F: FnOnce(&TaskCtx<'_>) -> T + Send + 'static,
+    {
+        let rt = self.clone();
+        Box::new(move || {
+            rt.tasks_executed.fetch_add(1, Ordering::Relaxed);
+            let ctx = TaskCtx::new(&rt, &record);
+            let result = catch_unwind(AssertUnwindSafe(|| body(&ctx)));
+            finish_task(&rt, &ctx, &record, &state, result, spawned_parent.as_ref());
+        })
+    }
+
+    /// Builds the wrapper for a *retryable* task with dynamic effects: the
+    /// body runs until it returns `Ok`, releasing its dynamic effects and
+    /// backing off after each `Err(Aborted)` (§7.2.4).
+    pub(crate) fn make_retry_job<T, F>(
+        self: &Arc<Self>,
+        record: Arc<TaskRecord>,
+        state: Arc<FutureState<T>>,
+        body: F,
+        spawned_parent: Option<Arc<TaskRecord>>,
+    ) -> TaskJob
+    where
+        T: Send + 'static,
+        F: Fn(&TaskCtx<'_>) -> Result<T, Aborted> + Send + 'static,
+    {
+        let rt = self.clone();
+        Box::new(move || {
+            rt.tasks_executed.fetch_add(1, Ordering::Relaxed);
+            let ctx = TaskCtx::new(&rt, &record);
+            let mut attempts = 0u32;
+            let outcome = loop {
+                match catch_unwind(AssertUnwindSafe(|| body(&ctx))) {
+                    Ok(Ok(value)) => break Ok(value),
+                    Ok(Err(Aborted)) => {
+                        ctx.release_dynamic_effects();
+                        rt.task_retries.fetch_add(1, Ordering::Relaxed);
+                        attempts += 1;
+                        backoff(record.id, attempts);
+                    }
+                    Err(panic) => break Err(panic),
+                }
+            };
+            finish_task(&rt, &ctx, &record, &state, outcome, spawned_parent.as_ref());
+        })
+    }
+
+    pub(crate) fn execute_later_impl<T, F>(
+        self: &Arc<Self>,
+        name: &str,
+        effects: EffectSet,
+        body: F,
+    ) -> TaskFuture<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&TaskCtx<'_>) -> T + Send + 'static,
+    {
+        let (record, state) = self.new_task::<T>(name, effects, false);
+        let job = self.make_job(record.clone(), state.clone(), body, None);
+        *record.job.lock() = Some(job);
+        self.scheduler().submit(record.clone());
+        TaskFuture { rt: self.clone(), record, state }
+    }
+
+    pub(crate) fn execute_later_retry_impl<T, F>(
+        self: &Arc<Self>,
+        name: &str,
+        effects: EffectSet,
+        body: F,
+    ) -> TaskFuture<T>
+    where
+        T: Send + 'static,
+        F: Fn(&TaskCtx<'_>) -> Result<T, Aborted> + Send + 'static,
+    {
+        let (record, state) = self.new_task::<T>(name, effects, false);
+        let job = self.make_retry_job(record.clone(), state.clone(), body, None);
+        *record.job.lock() = Some(job);
+        self.scheduler().submit(record.clone());
+        TaskFuture { rt: self.clone(), record, state }
+    }
+}
+
+/// Common completion path for both job kinds: implicit join of spawned
+/// children, result publication, scheduler notification.
+fn finish_task<T: Send + 'static>(
+    rt: &Arc<RtInner>,
+    ctx: &TaskCtx<'_>,
+    record: &Arc<TaskRecord>,
+    state: &Arc<FutureState<T>>,
+    outcome: Result<T, Box<dyn std::any::Any + Send>>,
+    spawned_parent: Option<&Arc<TaskRecord>>,
+) {
+    // The implicit join of all remaining spawned children (the awaitSpawned
+    // step of the `return` rule in the dynamic semantics, §3.2.3).
+    ctx.await_remaining_spawned();
+    ctx.release_dynamic_effects();
+    match outcome {
+        Ok(value) => state.complete(value),
+        Err(panic) => state.complete_panic(panic),
+    }
+    record.mark_done();
+    rt.scheduler().task_done(record);
+    if let Some(parent) = spawned_parent {
+        rt.scheduler().spawned_child_done(parent);
+    }
+    rt.pool.notify_all();
+}
+
+/// Bounded, task-staggered backoff between retries of an aborted task.
+fn backoff(task_id: u64, attempts: u32) {
+    if attempts <= 2 {
+        std::thread::yield_now();
+        return;
+    }
+    let stagger = (task_id % 7 + 1) as u64;
+    let micros = (attempts.min(12) as u64) * 25 * stagger;
+    std::thread::sleep(Duration::from_micros(micros));
+}
+
+/// Configures and creates a [`Runtime`].
+#[derive(Clone, Debug)]
+pub struct RuntimeBuilder {
+    threads: Option<usize>,
+    kind: SchedulerKind,
+}
+
+impl Default for RuntimeBuilder {
+    fn default() -> Self {
+        RuntimeBuilder { threads: None, kind: SchedulerKind::Tree }
+    }
+}
+
+impl RuntimeBuilder {
+    /// Number of worker threads (defaults to the host's available
+    /// parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Which scheduler to use (defaults to the tree scheduler).
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Builds the runtime.
+    pub fn build(self) -> Runtime {
+        let threads = self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
+        Runtime::new(threads, self.kind)
+    }
+}
+
+/// The TWE runtime: an effect-aware task scheduler plus a work-stealing
+/// execution substrate.
+pub struct Runtime {
+    inner: Arc<RtInner>,
+}
+
+impl Runtime {
+    /// Creates a runtime with `threads` worker threads and the given
+    /// scheduler.
+    pub fn new(threads: usize, kind: SchedulerKind) -> Self {
+        let inner = Arc::new_cyclic(|weak: &Weak<RtInner>| {
+            let enable_weak = weak.clone();
+            let enable: Box<dyn Fn(Arc<TaskRecord>) + Send + Sync> = Box::new(move |task| {
+                if let Some(rt) = enable_weak.upgrade() {
+                    rt.submit_enabled(task);
+                }
+            });
+            let scheduler: Box<dyn Scheduler> = match kind {
+                SchedulerKind::Naive => Box::new(NaiveScheduler::new(enable)),
+                SchedulerKind::Tree => Box::new(TreeScheduler::new(enable)),
+            };
+            RtInner {
+                pool: ThreadPool::new(threads),
+                scheduler,
+                next_task_id: AtomicU64::new(1),
+                dynamic: DynamicEffectTable::new(),
+                kind,
+                tasks_executed: AtomicU64::new(0),
+                task_retries: AtomicU64::new(0),
+            }
+        });
+        Runtime { inner }
+    }
+
+    /// A builder with defaults (tree scheduler, all available cores).
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::default()
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.inner.pool.num_threads()
+    }
+
+    /// The scheduler in use.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.inner.kind
+    }
+
+    /// Creates an asynchronous task with the given declared effects; it runs
+    /// once the scheduler determines it cannot interfere with any running
+    /// task.
+    pub fn execute_later<T, F>(&self, name: &str, effects: EffectSet, body: F) -> TaskFuture<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&TaskCtx<'_>) -> T + Send + 'static,
+    {
+        self.inner.execute_later_impl(name, effects, body)
+    }
+
+    /// Creates a *retryable* task that may add dynamic effects as it runs
+    /// (chapter 7). The body is re-executed from the start whenever it
+    /// returns `Err(Aborted)` after a dynamic-effect conflict.
+    pub fn execute_later_retry<T, F>(
+        &self,
+        name: &str,
+        effects: EffectSet,
+        body: F,
+    ) -> TaskFuture<T>
+    where
+        T: Send + 'static,
+        F: Fn(&TaskCtx<'_>) -> Result<T, Aborted> + Send + 'static,
+    {
+        self.inner.execute_later_retry_impl(name, effects, body)
+    }
+
+    /// Creates a task and waits for it from the calling (non-task) thread.
+    pub fn run<T, F>(&self, name: &str, effects: EffectSet, body: F) -> T
+    where
+        T: Send + 'static,
+        F: FnOnce(&TaskCtx<'_>) -> T + Send + 'static,
+    {
+        self.execute_later(name, effects, body).wait()
+    }
+
+    /// Execution counters.
+    pub fn stats(&self) -> RuntimeStats {
+        RuntimeStats {
+            tasks_executed: self.inner.tasks_executed.load(Ordering::Relaxed),
+            task_retries: self.inner.task_retries.load(Ordering::Relaxed),
+            dynamic: self.inner.dynamic.stats(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("threads", &self.num_threads())
+            .field("scheduler", &self.inner.kind)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn run_simple_task_returns_value() {
+        for kind in [SchedulerKind::Naive, SchedulerKind::Tree] {
+            let rt = Runtime::new(2, kind);
+            let v = rt.run("simple", EffectSet::parse("writes A"), |_| 7 * 6);
+            assert_eq!(v, 42);
+        }
+    }
+
+    #[test]
+    fn execute_later_and_wait_many() {
+        let rt = Runtime::new(4, SchedulerKind::Tree);
+        let futures: Vec<_> = (0..100)
+            .map(|i| {
+                rt.execute_later(
+                    &format!("t{i}"),
+                    EffectSet::parse(&format!("writes Data:[{i}]")),
+                    move |_| i * 2,
+                )
+            })
+            .collect();
+        let sum: i32 = futures.iter().map(|f| f.wait()).sum();
+        assert_eq!(sum, (0..100).map(|i| i * 2).sum());
+        assert_eq!(rt.stats().tasks_executed, 100);
+    }
+
+    #[test]
+    fn conflicting_tasks_serialize_their_side_effects() {
+        // 64 tasks perform a non-atomic read-modify-write on a shared counter
+        // under the same write effect; task isolation must serialize them.
+        for kind in [SchedulerKind::Naive, SchedulerKind::Tree] {
+            let rt = Runtime::new(4, kind);
+            struct SendCell(std::cell::UnsafeCell<u64>);
+            unsafe impl Send for SendCell {}
+            unsafe impl Sync for SendCell {}
+            let shared = Arc::new(SendCell(std::cell::UnsafeCell::new(0)));
+            let futures: Vec<_> = (0..64)
+                .map(|i| {
+                    let shared = shared.clone();
+                    rt.execute_later(
+                        &format!("inc{i}"),
+                        EffectSet::parse("writes Counter"),
+                        move |_| {
+                            // Only safe because the scheduler guarantees task
+                            // isolation for tasks with conflicting effects.
+                            unsafe {
+                                let p = shared.0.get();
+                                let old = std::ptr::read_volatile(p);
+                                std::thread::yield_now();
+                                std::ptr::write_volatile(p, old + 1);
+                            }
+                        },
+                    )
+                })
+                .collect();
+            for f in futures {
+                f.wait();
+            }
+            assert_eq!(unsafe { *shared.0.get() }, 64, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn spawn_join_returns_child_value_and_restores_coverage() {
+        let rt = Runtime::new(4, SchedulerKind::Tree);
+        let total = rt.run(
+            "parent",
+            EffectSet::parse("writes Top, writes Bottom"),
+            |ctx| {
+                assert!(ctx.covers(&EffectSet::parse("writes Top")));
+                let child = ctx.spawn("child", EffectSet::parse("writes Top"), |_| 10u32);
+                // While the child runs, the parent no longer covers Top…
+                assert!(!ctx.covers(&EffectSet::parse("writes Top")));
+                // …but still covers Bottom.
+                assert!(ctx.covers(&EffectSet::parse("writes Bottom")));
+                let from_child = child.join(ctx);
+                // After the join the coverage is restored.
+                assert!(ctx.covers(&EffectSet::parse("writes Top")));
+                from_child + 32
+            },
+        );
+        assert_eq!(total, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "not covered")]
+    fn spawn_of_uncovered_effects_panics() {
+        let rt = Runtime::new(2, SchedulerKind::Tree);
+        rt.run("parent", EffectSet::parse("writes Mine"), |ctx| {
+            let _ = ctx.spawn("child", EffectSet::parse("writes Other"), |_| ());
+        });
+    }
+
+    #[test]
+    fn unjoined_spawned_children_are_awaited_implicitly() {
+        let rt = Runtime::new(4, SchedulerKind::Tree);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = counter.clone();
+        rt.run("parent", EffectSet::parse("writes Data:*"), move |ctx| {
+            for i in 0..8 {
+                let c = c.clone();
+                ctx.spawn(
+                    &format!("child{i}"),
+                    EffectSet::parse(&format!("writes Data:[{i}]")),
+                    move |_| {
+                        std::thread::sleep(Duration::from_millis(1));
+                        c.fetch_add(1, Ordering::Relaxed);
+                    },
+                );
+            }
+            // Return without joining: the runtime performs the implicit join.
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn get_value_with_effect_transfer_avoids_deadlock() {
+        // A task blocks on another task with *conflicting* effects: without
+        // effect transfer the second task could never start (§3.1.4).
+        for kind in [SchedulerKind::Naive, SchedulerKind::Tree] {
+            let rt = Runtime::new(2, kind);
+            let result = rt.run("outer", EffectSet::parse("writes Shared"), |ctx| {
+                let inner = ctx.execute_later(
+                    "inner",
+                    EffectSet::parse("writes Shared, writes Extra"),
+                    |_| 99u32,
+                );
+                inner.get_value(ctx)
+            });
+            assert_eq!(result, 99, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn execute_acts_as_critical_section() {
+        let rt = Runtime::new(4, SchedulerKind::Tree);
+        let value = Arc::new(AtomicUsize::new(0));
+        let futures: Vec<_> = (0..32)
+            .map(|i| {
+                let value = value.clone();
+                rt.execute_later(
+                    &format!("outer{i}"),
+                    EffectSet::parse(&format!("writes Local:[{i}]")),
+                    move |ctx| {
+                        ctx.execute("crit", EffectSet::parse("writes Shared"), move |_| {
+                            value.fetch_add(1, Ordering::Relaxed);
+                        });
+                    },
+                )
+            })
+            .collect();
+        for f in futures {
+            f.wait();
+        }
+        assert_eq!(value.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn panicking_task_propagates_to_waiter() {
+        let rt = Runtime::new(2, SchedulerKind::Tree);
+        let fut = rt.execute_later("boom", EffectSet::parse("writes A"), |_| {
+            panic!("deliberate failure");
+        });
+        let caught = catch_unwind(AssertUnwindSafe(|| fut.wait()));
+        assert!(caught.is_err());
+        // The runtime stays usable afterwards.
+        let ok = rt.run("after", EffectSet::parse("writes A"), |_| 5);
+        assert_eq!(ok, 5);
+    }
+
+    #[test]
+    fn dynamic_effects_abort_and_retry_to_completion() {
+        let rt = Runtime::new(4, SchedulerKind::Tree);
+        let cells: Vec<_> = (0..4).map(|_| DynCell::new(0u64)).collect();
+        let futures: Vec<_> = (0..16)
+            .map(|i| {
+                let cells = cells.clone();
+                rt.execute_later_retry(&format!("dyn{i}"), EffectSet::pure(), move |ctx| {
+                    // Claim two cells, then update both.
+                    let a = &cells[i % 4];
+                    let b = &cells[(i + 1) % 4];
+                    ctx.acquire_write(a)?;
+                    ctx.acquire_write(b)?;
+                    *a.write() += 1;
+                    *b.write() += 1;
+                    Ok(())
+                })
+            })
+            .collect();
+        for f in futures {
+            f.wait();
+        }
+        let total: u64 = cells.iter().map(|c| *c.read()).sum();
+        assert_eq!(total, 32);
+        assert!(rt.stats().dynamic.acquires >= 32);
+    }
+}

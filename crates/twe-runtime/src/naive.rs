@@ -1,0 +1,250 @@
+//! The naive single-queue scheduler (§3.4.2, §5.2.2).
+//!
+//! All tasks created with `executeLater` — running and waiting alike — live
+//! in one queue protected by one global lock. A task may be enabled only if
+//! its effects conflict with no task ahead of it in the queue (so conflicting
+//! tasks generally run in enqueue order); a task that a running task blocks
+//! on is *prioritized* and then only has to be isolated from tasks that are
+//! already enabled, not from earlier waiting tasks. This is the scheduler the
+//! PPoPP 2013 evaluation used; its single lock and O(n) scans are exactly the
+//! scalability bottleneck the tree scheduler of chapter 5 removes.
+
+use crate::scheduler::{tasks_conflict, Scheduler};
+use crate::task::{TaskRecord, TaskStatus};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Callback used to hand an enabled task to the execution substrate.
+pub type EnableFn = Box<dyn Fn(Arc<TaskRecord>) + Send + Sync>;
+
+/// The single-queue, single-lock scheduler.
+pub struct NaiveScheduler {
+    queue: Mutex<Vec<Arc<TaskRecord>>>,
+    enable: EnableFn,
+}
+
+impl NaiveScheduler {
+    /// Creates a naive scheduler that enables tasks through `enable`.
+    pub fn new(enable: EnableFn) -> Self {
+        NaiveScheduler {
+            queue: Mutex::new(Vec::new()),
+            enable,
+        }
+    }
+
+    /// Can `task` (at position `pos` in the queue) be enabled?
+    ///
+    /// A waiting task must be isolated from every task ahead of it (enabled
+    /// or waiting), so conflicting tasks run in FIFO order; a prioritized
+    /// task only has to be isolated from tasks that are already enabled.
+    fn can_enable(queue: &[Arc<TaskRecord>], pos: usize, task: &Arc<TaskRecord>) -> bool {
+        let prioritized = task.status() == TaskStatus::Prioritized;
+        for (i, other) in queue.iter().enumerate() {
+            if other.id == task.id {
+                continue;
+            }
+            let other_status = other.status();
+            if other_status == TaskStatus::Done {
+                continue;
+            }
+            let other_enabled = other_status == TaskStatus::Enabled;
+            let ahead = i < pos;
+            let relevant = if prioritized { other_enabled } else { other_enabled || ahead };
+            if relevant && tasks_conflict(other, task) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Scans the whole queue and enables every task that has become safe to
+    /// run. Called after anything that may have resolved a conflict.
+    fn enable_ready(&self) {
+        loop {
+            // Collect the tasks to enable under the lock, enable them outside
+            // it (the enable callback submits to the thread pool).
+            let to_enable: Vec<Arc<TaskRecord>> = {
+                let queue = self.queue.lock();
+                let mut ready = Vec::new();
+                for (pos, task) in queue.iter().enumerate() {
+                    let status = task.status();
+                    if status != TaskStatus::Waiting && status != TaskStatus::Prioritized {
+                        continue;
+                    }
+                    if Self::can_enable(&queue, pos, task) {
+                        ready.push(task.clone());
+                    }
+                }
+                // Mark them enabled while still holding the lock so a
+                // concurrent scan does not double-enable them.
+                for task in &ready {
+                    task.sched.lock().status = TaskStatus::Enabled;
+                }
+                ready
+            };
+            if to_enable.is_empty() {
+                return;
+            }
+            for task in to_enable {
+                (self.enable)(task);
+            }
+            // Enabling a task never *unblocks* additional waiting tasks (it
+            // only adds constraints), so a single round suffices; loop again
+            // only as a cheap safety net if the queue changed meanwhile.
+            return;
+        }
+    }
+}
+
+impl Scheduler for NaiveScheduler {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn submit(&self, task: Arc<TaskRecord>) {
+        {
+            let mut queue = self.queue.lock();
+            queue.push(task);
+        }
+        self.enable_ready();
+    }
+
+    fn on_await(&self, _blocked: Option<&Arc<TaskRecord>>, target: &Arc<TaskRecord>) {
+        // Prioritize the awaited task and everything it is transitively
+        // blocked on, then rescan: the caller has already recorded itself as
+        // the blocker, so effect transfer applies in the conflict test.
+        let mut current = Some(target.clone());
+        let mut hops = 0;
+        while let Some(task) = current {
+            {
+                let mut sched = task.sched.lock();
+                if sched.status == TaskStatus::Waiting {
+                    sched.status = TaskStatus::Prioritized;
+                }
+            }
+            current = task.blocker.lock().clone();
+            hops += 1;
+            if hops > 1_000_000 {
+                break;
+            }
+        }
+        self.enable_ready();
+    }
+
+    fn task_done(&self, task: &Arc<TaskRecord>) {
+        {
+            let mut queue = self.queue.lock();
+            queue.retain(|t| t.id != task.id);
+        }
+        self.enable_ready();
+    }
+
+    fn spawned_child_done(&self, _parent: &Arc<TaskRecord>) {
+        self.enable_ready();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use twe_effects::EffectSet;
+
+    fn task(id: u64, effects: &str) -> Arc<TaskRecord> {
+        TaskRecord::new(id, format!("t{id}"), EffectSet::parse(effects), false)
+    }
+
+    fn collecting_scheduler() -> (Arc<Mutex<Vec<u64>>>, NaiveScheduler) {
+        let enabled: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let e2 = enabled.clone();
+        let sched = NaiveScheduler::new(Box::new(move |t| e2.lock().push(t.id)));
+        (enabled, sched)
+    }
+
+    #[test]
+    fn non_conflicting_tasks_enable_immediately() {
+        let (enabled, sched) = collecting_scheduler();
+        sched.submit(task(1, "writes A"));
+        sched.submit(task(2, "writes B"));
+        assert_eq!(&*enabled.lock(), &[1, 2]);
+    }
+
+    #[test]
+    fn conflicting_task_waits_until_predecessor_done() {
+        let (enabled, sched) = collecting_scheduler();
+        let a = task(1, "writes A");
+        let b = task(2, "writes A");
+        sched.submit(a.clone());
+        sched.submit(b.clone());
+        assert_eq!(&*enabled.lock(), &[1]);
+        assert_eq!(b.status(), TaskStatus::Waiting);
+        a.mark_done();
+        sched.task_done(&a);
+        assert_eq!(&*enabled.lock(), &[1, 2]);
+    }
+
+    #[test]
+    fn fifo_order_among_conflicting_waiters() {
+        let (enabled, sched) = collecting_scheduler();
+        let a = task(1, "writes A");
+        let b = task(2, "writes A");
+        let c = task(3, "writes A");
+        sched.submit(a.clone());
+        sched.submit(b.clone());
+        sched.submit(c.clone());
+        assert_eq!(&*enabled.lock(), &[1]);
+        a.mark_done();
+        sched.task_done(&a);
+        // Only b should run; c still conflicts with the waiting/enabled b.
+        assert_eq!(&*enabled.lock(), &[1, 2]);
+        b.mark_done();
+        sched.task_done(&b);
+        assert_eq!(&*enabled.lock(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn await_prioritizes_blocked_on_task_with_effect_transfer() {
+        let (enabled, sched) = collecting_scheduler();
+        let a = task(1, "writes X");
+        let b = task(2, "writes X");
+        sched.submit(a.clone());
+        sched.submit(b.clone());
+        assert_eq!(&*enabled.lock(), &[1]);
+        // a (running) now blocks on b: record the blocker, then notify.
+        *a.blocker.lock() = Some(b.clone());
+        sched.on_await(Some(&a), &b);
+        assert_eq!(&*enabled.lock(), &[1, 2]);
+        assert_eq!(b.status(), TaskStatus::Enabled);
+    }
+
+    #[test]
+    fn prioritized_task_skips_ahead_of_waiting_tasks() {
+        let (enabled, sched) = collecting_scheduler();
+        let a = task(1, "writes X");
+        let w = task(2, "writes X, writes Y"); // waiting behind a
+        let b = task(3, "writes Y");
+        sched.submit(a.clone());
+        sched.submit(w.clone());
+        sched.submit(b.clone());
+        // b conflicts with the earlier waiting task w, so it waits too.
+        assert_eq!(&*enabled.lock(), &[1]);
+        // a blocks on b -> b becomes prioritized and only needs isolation
+        // from *enabled* tasks, so it can jump ahead of w.
+        *a.blocker.lock() = Some(b.clone());
+        sched.on_await(Some(&a), &b);
+        assert_eq!(&*enabled.lock(), &[1, 3]);
+    }
+
+    #[test]
+    fn callback_runs_for_every_enabled_task() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let c2 = count.clone();
+        let sched = NaiveScheduler::new(Box::new(move |_| {
+            c2.fetch_add(1, Ordering::Relaxed);
+        }));
+        for i in 0..20 {
+            sched.submit(task(i, &format!("writes R{i}")));
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 20);
+    }
+}

@@ -1,0 +1,175 @@
+//! The effect-aware scheduler interface and the shared effect-conflict test.
+//!
+//! Both schedulers (the naive single-queue scheduler of §3.4.2 and the
+//! tree-based scheduler of chapter 5) implement [`Scheduler`]; the runtime
+//! routes `executeLater`, `getValue`/`join`, and task completion through it.
+//! The conflict test implements Figure 5.8 / Definition 3, including the
+//! effect-transfer-when-blocked exception and the check of a blocked task's
+//! spawned children.
+
+use crate::task::{blocked_on, TaskRecord};
+use std::sync::Arc;
+use twe_effects::Effect;
+
+/// The interface the runtime uses to drive an effect-aware task scheduler.
+pub trait Scheduler: Send + Sync {
+    /// A short name for diagnostics ("naive" / "tree").
+    fn name(&self) -> &'static str;
+
+    /// `executeLater`: register the task and enable it (submit it for
+    /// execution via the callback installed by the runtime) once no enabled
+    /// task has conflicting effects.
+    fn submit(&self, task: Arc<TaskRecord>);
+
+    /// A task (or an external thread, when `blocked` is `None`) is about to
+    /// wait for `target`: prioritize `target` and recheck it — the blocked
+    /// task's effects are treated as transferred to it (§3.1.4).
+    fn on_await(&self, blocked: Option<&Arc<TaskRecord>>, target: &Arc<TaskRecord>);
+
+    /// `task` has finished: release its effects and recheck waiting tasks.
+    fn task_done(&self, task: &Arc<TaskRecord>);
+
+    /// A *spawned* child of `parent` has finished. Spawned tasks hold effects
+    /// transferred from their parent and are invisible to the scheduler
+    /// except through the conflict test (Figure 5.8), so their completion may
+    /// resolve conflicts for tasks waiting behind the blocked parent.
+    fn spawned_child_done(&self, parent: &Arc<TaskRecord>) {
+        let _ = parent;
+    }
+}
+
+/// Effect-level conflict test with effect transfer (Figure 5.8).
+///
+/// `existing` is an effect of an already-registered task, `new` an effect of
+/// the task being checked. They conflict unless: they belong to the same
+/// task; both are reads; their RPLs are disjoint; or the existing task is
+/// (transitively) blocked on the new task and none of its not-yet-joined
+/// spawned children's effects conflict with `new`.
+pub fn effects_conflict(
+    existing_task: &Arc<TaskRecord>,
+    existing: &Effect,
+    new_task: &Arc<TaskRecord>,
+    new: &Effect,
+) -> bool {
+    if existing_task.id == new_task.id {
+        return false;
+    }
+    if (existing.is_read() && new.is_read()) || existing.rpl.disjoint(&new.rpl) {
+        return false;
+    }
+    if blocked_on(existing_task, new_task) {
+        // The blocked task cannot resume until `new_task` completes, so its
+        // own effects are transferred — but effects it handed to spawned
+        // children that are still running must still be respected.
+        for child in existing_task.spawned_children_snapshot() {
+            if child.is_done() {
+                continue;
+            }
+            for child_effect in child.effects.iter() {
+                if effects_conflict(&child, child_effect, new_task, new) {
+                    return true;
+                }
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Task-level conflict test: do any pair of effects of the two tasks
+/// conflict (with the effect-transfer exception applied per pair)?
+pub fn tasks_conflict(existing: &Arc<TaskRecord>, new: &Arc<TaskRecord>) -> bool {
+    if existing.id == new.id {
+        return false;
+    }
+    existing.effects.iter().any(|ee| {
+        new.effects
+            .iter()
+            .any(|ne| effects_conflict(existing, ee, new, ne))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twe_effects::EffectSet;
+
+    fn task(id: u64, effects: &str) -> Arc<TaskRecord> {
+        TaskRecord::new(id, format!("t{id}"), EffectSet::parse(effects), false)
+    }
+
+    #[test]
+    fn same_task_never_conflicts_with_itself() {
+        let t = task(1, "writes A");
+        assert!(!tasks_conflict(&t, &t));
+    }
+
+    #[test]
+    fn writes_to_same_region_conflict() {
+        let a = task(1, "writes A");
+        let b = task(2, "writes A");
+        assert!(tasks_conflict(&a, &b));
+    }
+
+    #[test]
+    fn reads_do_not_conflict() {
+        let a = task(1, "reads A");
+        let b = task(2, "reads A");
+        assert!(!tasks_conflict(&a, &b));
+    }
+
+    #[test]
+    fn disjoint_regions_do_not_conflict() {
+        let a = task(1, "writes Top");
+        let b = task(2, "writes Bottom");
+        assert!(!tasks_conflict(&a, &b));
+        let c = task(3, "writes Top, writes Bottom");
+        let d = task(4, "writes GUIData");
+        assert!(!tasks_conflict(&c, &d));
+    }
+
+    #[test]
+    fn wildcard_conflicts_with_descendants() {
+        let a = task(1, "writes Root:*");
+        let b = task(2, "writes A:B");
+        assert!(tasks_conflict(&a, &b));
+    }
+
+    #[test]
+    fn blocking_transfers_effects() {
+        // Task A (writes X) blocks on task B (writes X): the conflict is
+        // ignored so B can start (effect transfer when blocked, §3.1.4).
+        let a = task(1, "writes X");
+        let b = task(2, "writes X");
+        assert!(tasks_conflict(&a, &b));
+        *a.blocker.lock() = Some(b.clone());
+        assert!(!tasks_conflict(&a, &b));
+        // But not in the other direction.
+        assert!(tasks_conflict(&b, &a));
+    }
+
+    #[test]
+    fn indirect_blocking_also_transfers() {
+        let a = task(1, "writes X");
+        let mid = task(2, "writes Y");
+        let b = task(3, "writes X");
+        *a.blocker.lock() = Some(mid.clone());
+        *mid.blocker.lock() = Some(b.clone());
+        assert!(!tasks_conflict(&a, &b));
+    }
+
+    #[test]
+    fn spawned_children_of_blocked_task_still_conflict() {
+        // A spawned a child working on X, then blocked on B (also writes X).
+        // The child is still running, so B must not start.
+        let a = task(1, "writes X, writes Y");
+        let child = TaskRecord::new(10, "child", EffectSet::parse("writes X"), true);
+        a.add_spawned_child(child.clone());
+        let b = task(2, "writes X");
+        *a.blocker.lock() = Some(b.clone());
+        assert!(tasks_conflict(&a, &b));
+        // Once the child completes, the conflict disappears.
+        child.mark_done();
+        assert!(!tasks_conflict(&a, &b));
+    }
+}

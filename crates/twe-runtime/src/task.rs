@@ -1,0 +1,282 @@
+//! Scheduler-facing task records and task state.
+//!
+//! A [`TaskRecord`] is the untyped, scheduler-facing view of one task
+//! instance (the analogue of the `TaskFuture` tuple in the formal semantics
+//! and of the `TaskFuture` class of Figure 5.3): its declared effects, its
+//! scheduling state (waiting / prioritized / enabled / done), the task it is
+//! currently blocked on, and its spawned-but-not-yet-joined children. The
+//! typed result of a task lives in a separate [`FutureState`] owned by the
+//! user-facing `TaskFuture<T>`.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use twe_effects::EffectSet;
+
+use crate::tree::EffectRecord;
+
+/// The scheduling status of a task (§5.3.1, Figure 5.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TaskStatus {
+    /// Waiting for its effects to be enabled by the scheduler.
+    Waiting,
+    /// Still waiting, but another task is blocked on it, so the scheduler
+    /// favours it when resolving conflicts.
+    Prioritized,
+    /// All effects enabled; the task has been handed to the thread pool.
+    Enabled,
+    /// The task has finished executing.
+    Done,
+}
+
+/// Mutable scheduling state of a task, guarded by one mutex per task.
+///
+/// The paper implements this with a single `AtomicInteger` (a count of
+/// disabled effects with a special negative range for the rechecking flag);
+/// a small per-task mutex gives the same atomicity with clearer code and
+/// per-task-only contention.
+#[derive(Debug)]
+pub struct TaskSchedState {
+    /// Current status.
+    pub status: TaskStatus,
+    /// Number of this task's effects that are not currently enabled.
+    pub disabled_effects: usize,
+    /// True while `recheckTask` is re-examining this task's effects; prevents
+    /// other operations from disabling them (Figure 5.10).
+    pub rechecking: bool,
+}
+
+/// The closure that actually runs the task body (type-erased).
+pub type TaskJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// The scheduler-facing record of one task instance.
+pub struct TaskRecord {
+    /// Unique id (creation order).
+    pub id: u64,
+    /// Human-readable name for diagnostics.
+    pub name: String,
+    /// The task's declared (static) effects.
+    pub effects: EffectSet,
+    /// Scheduling state (status, disabled-effect count, rechecking flag).
+    pub sched: Mutex<TaskSchedState>,
+    /// The task this task is currently blocked on via `getValue`/`join`
+    /// (`null` when not blocked) — drives the effect-transfer-when-blocked
+    /// mechanism of §3.1.4.
+    pub blocker: Mutex<Option<Arc<TaskRecord>>>,
+    /// Children created with `spawn` and not yet joined; their transferred
+    /// effects must be considered when this task is blocked on another
+    /// (Figure 5.8).
+    pub spawned_children: Mutex<Vec<Arc<TaskRecord>>>,
+    /// Whether this task was created by `spawn` (it then bypasses the
+    /// effect-based scheduler entirely).
+    pub spawned: bool,
+    /// The type-erased body, taken exactly once when the task is enabled.
+    pub job: Mutex<Option<TaskJob>>,
+    /// Set once the task has finished (after its return value is stored).
+    pub done_flag: AtomicBool,
+    /// Per-effect records used by the tree scheduler (empty for the naive
+    /// scheduler and for spawned tasks).
+    pub tree_effects: OnceLock<Vec<Arc<EffectRecord>>>,
+    /// Reference-region ids of dynamic effects currently held (chapter 7).
+    pub dynamic_claims: Mutex<Vec<u64>>,
+}
+
+impl TaskRecord {
+    /// Creates a new record in the `Waiting` state.
+    pub fn new(id: u64, name: impl Into<String>, effects: EffectSet, spawned: bool) -> Arc<Self> {
+        Arc::new(TaskRecord {
+            id,
+            name: name.into(),
+            effects,
+            sched: Mutex::new(TaskSchedState {
+                status: TaskStatus::Waiting,
+                disabled_effects: 0,
+                rechecking: false,
+            }),
+            blocker: Mutex::new(None),
+            spawned_children: Mutex::new(Vec::new()),
+            spawned,
+            job: Mutex::new(None),
+            done_flag: AtomicBool::new(false),
+            tree_effects: OnceLock::new(),
+            dynamic_claims: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Current status.
+    pub fn status(&self) -> TaskStatus {
+        self.sched.lock().status
+    }
+
+    /// Has the task finished executing?
+    pub fn is_done(&self) -> bool {
+        self.done_flag.load(Ordering::Acquire)
+    }
+
+    /// Marks the task done (return value already stored by the caller).
+    pub fn mark_done(&self) {
+        self.sched.lock().status = TaskStatus::Done;
+        self.done_flag.store(true, Ordering::Release);
+    }
+
+    /// Snapshot of the not-yet-joined spawned children.
+    pub fn spawned_children_snapshot(&self) -> Vec<Arc<TaskRecord>> {
+        self.spawned_children.lock().clone()
+    }
+
+    /// Registers a spawned child.
+    pub fn add_spawned_child(&self, child: Arc<TaskRecord>) {
+        self.spawned_children.lock().push(child);
+    }
+
+    /// Removes a spawned child once it has been joined.
+    pub fn remove_spawned_child(&self, child_id: u64) {
+        self.spawned_children.lock().retain(|c| c.id != child_id);
+    }
+}
+
+impl std::fmt::Debug for TaskRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskRecord")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("effects", &self.effects)
+            .field("status", &self.status())
+            .field("done", &self.is_done())
+            .finish()
+    }
+}
+
+/// Walks the blocker chain of `t_prime` looking for `t` (Figure 5.9): is
+/// `t_prime` directly or indirectly blocked on `t`?
+pub fn blocked_on(t_prime: &Arc<TaskRecord>, t: &Arc<TaskRecord>) -> bool {
+    let mut current = t_prime.blocker.lock().clone();
+    let mut hops = 0usize;
+    while let Some(task) = current {
+        if task.id == t.id {
+            return true;
+        }
+        current = task.blocker.lock().clone();
+        // Blocking chains are acyclic in a correct execution; guard against a
+        // pathological cycle so the scheduler itself cannot live-lock.
+        hops += 1;
+        if hops > 1_000_000 {
+            return false;
+        }
+    }
+    false
+}
+
+/// The typed result slot shared between a running task and its future.
+pub struct FutureState<T> {
+    /// The value produced by the task, once it returns.
+    pub result: Mutex<Option<T>>,
+    /// Panic payload if the task body panicked.
+    pub panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Set (with release ordering) after the result or panic is stored.
+    pub done: AtomicBool,
+}
+
+impl<T> FutureState<T> {
+    /// A fresh, not-yet-completed state.
+    pub fn new() -> Arc<Self> {
+        Arc::new(FutureState {
+            result: Mutex::new(None),
+            panic: Mutex::new(None),
+            done: AtomicBool::new(false),
+        })
+    }
+
+    /// Has the result (or panic) been stored?
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Stores the result and publishes completion.
+    pub fn complete(&self, value: T) {
+        *self.result.lock() = Some(value);
+        self.done.store(true, Ordering::Release);
+    }
+
+    /// Stores a panic payload and publishes completion.
+    pub fn complete_panic(&self, payload: Box<dyn std::any::Any + Send>) {
+        *self.panic.lock() = Some(payload);
+        self.done.store(true, Ordering::Release);
+    }
+
+    /// Takes the result; re-raises the payload if the task panicked.
+    /// Panics if called before completion or if the value was already taken.
+    pub fn take(&self) -> T {
+        assert!(self.is_done(), "task result taken before completion");
+        if let Some(payload) = self.panic.lock().take() {
+            std::panic::resume_unwind(payload);
+        }
+        self.result
+            .lock()
+            .take()
+            .expect("task result already taken (getValue may consume it only once)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_ordering_matches_lifecycle() {
+        assert!(TaskStatus::Waiting < TaskStatus::Prioritized);
+        assert!(TaskStatus::Prioritized < TaskStatus::Enabled);
+        assert!(TaskStatus::Enabled < TaskStatus::Done);
+    }
+
+    #[test]
+    fn blocked_on_walks_chains() {
+        let a = TaskRecord::new(1, "a", EffectSet::pure(), false);
+        let b = TaskRecord::new(2, "b", EffectSet::pure(), false);
+        let c = TaskRecord::new(3, "c", EffectSet::pure(), false);
+        assert!(!blocked_on(&a, &b));
+        *a.blocker.lock() = Some(b.clone());
+        *b.blocker.lock() = Some(c.clone());
+        assert!(blocked_on(&a, &b));
+        assert!(blocked_on(&a, &c));
+        assert!(blocked_on(&b, &c));
+        assert!(!blocked_on(&c, &a));
+    }
+
+    #[test]
+    fn future_state_roundtrip() {
+        let s = FutureState::new();
+        assert!(!s.is_done());
+        s.complete(42);
+        assert!(s.is_done());
+        assert_eq!(s.take(), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "already taken")]
+    fn future_state_double_take_panics() {
+        let s = FutureState::new();
+        s.complete(1);
+        let _ = s.take();
+        let _ = s.take();
+    }
+
+    #[test]
+    fn spawned_children_add_remove() {
+        let parent = TaskRecord::new(1, "p", EffectSet::pure(), false);
+        let child = TaskRecord::new(2, "c", EffectSet::pure(), true);
+        parent.add_spawned_child(child.clone());
+        assert_eq!(parent.spawned_children_snapshot().len(), 1);
+        parent.remove_spawned_child(2);
+        assert!(parent.spawned_children_snapshot().is_empty());
+    }
+
+    #[test]
+    fn mark_done_updates_both_views() {
+        let t = TaskRecord::new(7, "t", EffectSet::pure(), false);
+        assert!(!t.is_done());
+        t.mark_done();
+        assert!(t.is_done());
+        assert_eq!(t.status(), TaskStatus::Done);
+    }
+}

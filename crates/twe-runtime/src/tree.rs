@@ -1,0 +1,834 @@
+//! The tree-based scheduler for tasks with hierarchical effects (chapter 5).
+//!
+//! The scheduler maintains a *scheduling tree* mirroring the RPL tree: each
+//! node corresponds to a wildcard-free RPL and holds the effects whose RPLs
+//! have that node's path as their maximal wildcard-free prefix (or that were
+//! stopped higher up by a conflict). The two properties that make it scale:
+//!
+//! 1. an effect can only conflict with effects at the *same* node, at an
+//!    *ancestor*, or (when it contains a wildcard) at a *descendant* — sibling
+//!    subtrees never need to be compared;
+//! 2. scheduling operations lock individual tree nodes hand-over-hand, so
+//!    operations on disjoint subtrees proceed concurrently.
+//!
+//! The implementation follows Figures 5.3–5.14 closely: `insert`, `checkAt`,
+//! `checkBelow`, `conflicts`, `blockedOn`, `enable`/`tryDisable`, `await`,
+//! `recheckTask`/`recheckEffect`, `lockContainingNode`, and `taskDone`.
+
+use crate::scheduler::Scheduler;
+use crate::task::{blocked_on, TaskRecord, TaskStatus};
+use parking_lot::{ArcMutexGuard, Mutex, RawMutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use twe_effects::{Effect, EffectKind, Rpl, RplElement};
+
+/// Callback used to hand an enabled task to the execution substrate.
+pub type EnableFn = Box<dyn Fn(Arc<TaskRecord>) + Send + Sync>;
+
+/// One effect of one task, as tracked by the scheduler tree (Figure 5.3).
+pub struct EffectRecord {
+    /// True for a write effect.
+    pub write: bool,
+    /// The RPL the effect is on.
+    pub rpl: Rpl,
+    /// The owning task (weak: the task owns its records).
+    pub task: Weak<TaskRecord>,
+    /// The tree node currently holding this effect.
+    pub node: Mutex<Option<NodeRef>>,
+    /// Whether the effect is currently enabled.
+    pub enabled: AtomicBool,
+    /// Effects that are waiting because they conflict with this one.
+    pub waiters: Mutex<Vec<Arc<EffectRecord>>>,
+}
+
+impl EffectRecord {
+    fn new(task: &Arc<TaskRecord>, effect: &Effect) -> Arc<Self> {
+        Arc::new(EffectRecord {
+            write: effect.is_write(),
+            rpl: effect.rpl.clone(),
+            task: Arc::downgrade(task),
+            node: Mutex::new(None),
+            enabled: AtomicBool::new(false),
+            waiters: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The effect as a plain [`Effect`] value.
+    pub fn as_effect(&self) -> Effect {
+        Effect {
+            kind: if self.write { EffectKind::Write } else { EffectKind::Read },
+            rpl: self.rpl.clone(),
+        }
+    }
+
+    /// Is the effect currently enabled (and its task not yet done)?
+    pub fn is_enabled(&self) -> bool {
+        if !self.enabled.load(Ordering::Acquire) {
+            return false;
+        }
+        match self.task.upgrade() {
+            Some(t) => !t.is_done(),
+            None => false,
+        }
+    }
+}
+
+impl std::fmt::Debug for EffectRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {} (enabled={})",
+            if self.write { "writes" } else { "reads" },
+            self.rpl,
+            self.enabled.load(Ordering::Relaxed)
+        )
+    }
+}
+
+/// The contents of one scheduler-tree node (Figure 5.3).
+#[derive(Default)]
+pub struct NodeInner {
+    depth: usize,
+    effects: Vec<Arc<EffectRecord>>,
+    children: HashMap<RplElement, NodeRef>,
+}
+
+/// A reference-counted, individually locked tree node.
+pub type NodeRef = Arc<Mutex<NodeInner>>;
+type NodeGuard = ArcMutexGuard<RawMutex, NodeInner>;
+
+fn new_node(depth: usize) -> NodeRef {
+    Arc::new(Mutex::new(NodeInner {
+        depth,
+        effects: Vec::new(),
+        children: HashMap::new(),
+    }))
+}
+
+fn add_effect(node: &NodeRef, guard: &mut NodeGuard, e: &Arc<EffectRecord>) {
+    guard.effects.push(e.clone());
+    *e.node.lock() = Some(node.clone());
+}
+
+fn remove_effect(guard: &mut NodeGuard, e: &Arc<EffectRecord>) {
+    guard.effects.retain(|x| !Arc::ptr_eq(x, e));
+}
+
+/// The tree-based scheduler.
+pub struct TreeScheduler {
+    root: NodeRef,
+    /// Serialises whole-task rechecks (Figure 5.12): only one task at a time
+    /// may have its effects rechecked, preventing two conflicting tasks from
+    /// repeatedly disabling each other's effects without progress.
+    recheck_lock: Mutex<()>,
+    enable: EnableFn,
+}
+
+impl TreeScheduler {
+    /// Creates a tree scheduler that enables tasks through `enable`.
+    pub fn new(enable: EnableFn) -> Self {
+        TreeScheduler {
+            root: new_node(0),
+            recheck_lock: Mutex::new(()),
+            enable,
+        }
+    }
+
+    /// Number of effects currently recorded in the tree (diagnostic).
+    pub fn recorded_effects(&self) -> usize {
+        fn count(node: &NodeRef) -> usize {
+            let guard = node.lock();
+            let children: Vec<NodeRef> = guard.children.values().cloned().collect();
+            let here = guard.effects.len();
+            drop(guard);
+            here + children.iter().map(count).sum::<usize>()
+        }
+        count(&self.root)
+    }
+
+    // ------------------------------------------------------------------
+    // Enabling / disabling effects (Figure 5.10)
+    // ------------------------------------------------------------------
+
+    fn enable_effect(&self, e: &Arc<EffectRecord>) {
+        if e.enabled.swap(true, Ordering::AcqRel) {
+            return; // already enabled
+        }
+        let Some(task) = e.task.upgrade() else { return };
+        let submit = {
+            let mut s = task.sched.lock();
+            s.disabled_effects = s.disabled_effects.saturating_sub(1);
+            if s.disabled_effects == 0 && s.status < TaskStatus::Enabled {
+                s.status = TaskStatus::Enabled;
+                true
+            } else {
+                false
+            }
+        };
+        if submit {
+            (self.enable)(task);
+        }
+    }
+
+    fn try_disable(&self, e: &Arc<EffectRecord>) -> bool {
+        let Some(task) = e.task.upgrade() else { return false };
+        let mut s = task.sched.lock();
+        let can_disable =
+            s.disabled_effects > 0 && !s.rechecking && s.status < TaskStatus::Enabled;
+        if can_disable && e.enabled.swap(false, Ordering::AcqRel) {
+            s.disabled_effects += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Conflict checking (Figures 5.6, 5.7, 5.8)
+    // ------------------------------------------------------------------
+
+    /// Do the two effect records conflict (Figure 5.8)? `existing` is the
+    /// record already in the tree, `new` the one being inserted or rechecked.
+    fn conflicts(&self, existing: &Arc<EffectRecord>, new: &Arc<EffectRecord>) -> bool {
+        let (Some(existing_task), Some(new_task)) = (existing.task.upgrade(), new.task.upgrade())
+        else {
+            return false;
+        };
+        if existing_task.id == new_task.id || existing_task.is_done() {
+            return false;
+        }
+        if (!existing.write && !new.write) || existing.rpl.disjoint(&new.rpl) {
+            return false;
+        }
+        if blocked_on(&existing_task, &new_task) {
+            // The existing task cannot resume until the new task completes;
+            // only effects it transferred to still-running spawned children
+            // keep the conflict alive.
+            let new_effect = new.as_effect();
+            for child in existing_task.spawned_children_snapshot() {
+                if child.is_done() {
+                    continue;
+                }
+                for child_effect in child.effects.iter() {
+                    if crate::scheduler::effects_conflict(
+                        &child,
+                        child_effect,
+                        &new_task,
+                        &new_effect,
+                    ) {
+                        return true;
+                    }
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Checks `e` against the enabled effects at the locked node (Figure 5.6).
+    fn check_at(&self, guard: &mut NodeGuard, e: &Arc<EffectRecord>, prio: bool) -> bool {
+        let effects = guard.effects.clone();
+        for existing in effects {
+            if Arc::ptr_eq(&existing, e) {
+                continue;
+            }
+            if existing.is_enabled() && self.conflicts(&existing, e) {
+                if prio && self.try_disable(&existing) {
+                    e.waiters.lock().push(existing.clone());
+                } else {
+                    existing.waiters.lock().push(e.clone());
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Checks `e` against the effects in the subtrees rooted at `children`
+    /// (Figure 5.7). `ne` is the (locked) node containing `e`; conflicting
+    /// effects that are not enabled (or can be disabled) are moved up to it.
+    fn check_below(
+        &self,
+        children: Vec<NodeRef>,
+        e: &Arc<EffectRecord>,
+        ne: &NodeRef,
+        ne_guard: &mut NodeGuard,
+        prio: bool,
+    ) -> bool {
+        if !e.rpl.has_wildcard() {
+            // A wildcard-free RPL is disjoint from every RPL with a longer
+            // wildcard-free prefix, so nothing below can conflict.
+            return false;
+        }
+        for child in children {
+            let mut cg = child.lock_arc();
+            let mut conflict_found = false;
+            let mut i = 0;
+            while i < cg.effects.len() {
+                let existing = cg.effects[i].clone();
+                if self.conflicts(&existing, e) {
+                    if !existing.enabled.load(Ordering::Acquire)
+                        || (prio && self.try_disable(&existing))
+                    {
+                        // Move the (disabled) conflicting effect up to ne so
+                        // that rechecking it later starts from a node where it
+                        // will encounter `e`.
+                        e.waiters.lock().push(existing.clone());
+                        cg.effects.remove(i);
+                        ne_guard.effects.push(existing.clone());
+                        *existing.node.lock() = Some(ne.clone());
+                        continue;
+                    } else {
+                        existing.waiters.lock().push(e.clone());
+                        conflict_found = true;
+                        break;
+                    }
+                }
+                i += 1;
+            }
+            if !conflict_found {
+                let grandchildren: Vec<NodeRef> = cg.children.values().cloned().collect();
+                conflict_found = self.check_below(grandchildren, e, ne, ne_guard, prio);
+            }
+            drop(cg);
+            if conflict_found {
+                return true;
+            }
+        }
+        false
+    }
+
+    // ------------------------------------------------------------------
+    // Insertion (Figure 5.4)
+    // ------------------------------------------------------------------
+
+    fn insert(
+        &self,
+        node: NodeRef,
+        mut guard: NodeGuard,
+        effects: Vec<Arc<EffectRecord>>,
+        depth: usize,
+    ) {
+        let mut below: Vec<(NodeRef, Vec<Arc<EffectRecord>>)> = Vec::new();
+        for e in effects {
+            let at_this_node =
+                e.rpl.len() == depth || e.rpl.elements()[depth].is_wildcard();
+            if at_this_node {
+                add_effect(&node, &mut guard, &e);
+                let conflicts_here = self.check_at(&mut guard, &e, false);
+                if !conflicts_here {
+                    let children: Vec<NodeRef> = guard.children.values().cloned().collect();
+                    let conflicts_below =
+                        self.check_below(children, &e, &node, &mut guard, false);
+                    if !conflicts_below {
+                        self.enable_effect(&e);
+                    }
+                }
+            } else {
+                let conflicts_here = self.check_at(&mut guard, &e, false);
+                if conflicts_here {
+                    add_effect(&node, &mut guard, &e);
+                } else {
+                    let next = e.rpl.elements()[depth];
+                    let child_depth = guard.depth + 1;
+                    let child = guard
+                        .children
+                        .entry(next)
+                        .or_insert_with(|| new_node(child_depth))
+                        .clone();
+                    match below.iter_mut().find(|(c, _)| Arc::ptr_eq(c, &child)) {
+                        Some((_, v)) => v.push(e),
+                        None => below.push((child, vec![e])),
+                    }
+                }
+            }
+        }
+        // Hand-over-hand: lock the needed children, then release this node,
+        // then recurse into the children.
+        let locked: Vec<(NodeRef, NodeGuard, Vec<Arc<EffectRecord>>)> = below
+            .into_iter()
+            .map(|(child, effs)| {
+                let child_guard = child.lock_arc();
+                (child, child_guard, effs)
+            })
+            .collect();
+        drop(guard);
+        for (child, child_guard, effs) in locked {
+            self.insert(child, child_guard, effs, depth + 1);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Rechecking (Figures 5.12, 5.13)
+    // ------------------------------------------------------------------
+
+    fn lock_containing_node(&self, e: &Arc<EffectRecord>) -> (NodeRef, NodeGuard) {
+        loop {
+            let node = { e.node.lock().clone() };
+            let Some(node) = node else {
+                std::hint::spin_loop();
+                continue;
+            };
+            let guard = node.lock_arc();
+            let still_there = e
+                .node
+                .lock()
+                .as_ref()
+                .map(|n| Arc::ptr_eq(n, &node))
+                .unwrap_or(false);
+            if still_there {
+                return (node, guard);
+            }
+            drop(guard);
+        }
+    }
+
+    /// Re-checks a single effect that could not previously be enabled
+    /// (Figure 5.12, lines 14–30). Consumes the guard of its containing node.
+    fn recheck_effect(
+        &self,
+        mut node: NodeRef,
+        mut guard: NodeGuard,
+        e: &Arc<EffectRecord>,
+        prio: bool,
+    ) {
+        loop {
+            let conflicts_here = self.check_at(&mut guard, e, prio);
+            if conflicts_here {
+                drop(guard);
+                return;
+            }
+            let d = guard.depth;
+            if e.rpl.len() == d || e.rpl.elements()[d].is_wildcard() {
+                let children: Vec<NodeRef> = guard.children.values().cloned().collect();
+                let conflicts_below = self.check_below(children, e, &node, &mut guard, prio);
+                if !conflicts_below {
+                    self.enable_effect(e);
+                }
+                drop(guard);
+                return;
+            }
+            // No conflict here and not yet at the maximal wildcard-free
+            // prefix: move the effect down one level and continue from there.
+            remove_effect(&mut guard, e);
+            let next = e.rpl.elements()[d];
+            let child_depth = d + 1;
+            let child = guard
+                .children
+                .entry(next)
+                .or_insert_with(|| new_node(child_depth))
+                .clone();
+            let mut child_guard = child.lock_arc();
+            add_effect(&child, &mut child_guard, e);
+            drop(guard);
+            node = child;
+            guard = child_guard;
+        }
+    }
+
+    /// Re-checks all the effects of a task that could not previously be
+    /// enabled (Figure 5.12, lines 1–13).
+    fn recheck_task(&self, task: &Arc<TaskRecord>) {
+        let _serial = self.recheck_lock.lock();
+        if task.is_done() || task.sched.lock().status >= TaskStatus::Enabled {
+            return;
+        }
+        task.sched.lock().rechecking = true;
+        let records = task.tree_effects.get().cloned().unwrap_or_default();
+        for e in records {
+            let (node, guard) = self.lock_containing_node(&e);
+            if !e.enabled.load(Ordering::Acquire) {
+                self.recheck_effect(node, guard, &e, true);
+                if task.sched.lock().status >= TaskStatus::Enabled {
+                    break;
+                }
+            } else {
+                drop(guard);
+            }
+        }
+        task.sched.lock().rechecking = false;
+    }
+
+    /// Re-checks the waiters recorded on `e` after the conflict that made
+    /// them wait has been resolved (used by task completion and by
+    /// spawned-child completion).
+    fn recheck_waiters_of(&self, e: &Arc<EffectRecord>) {
+        let waiters: Vec<Arc<EffectRecord>> = std::mem::take(&mut *e.waiters.lock());
+        for waiter in waiters {
+            let Some(waiter_task) = waiter.task.upgrade() else { continue };
+            if waiter_task.is_done() {
+                continue;
+            }
+            let (node, guard) = self.lock_containing_node(&waiter);
+            if !waiter.enabled.load(Ordering::Acquire) {
+                let prio = waiter_task.sched.lock().status == TaskStatus::Prioritized;
+                self.recheck_effect(node, guard, &waiter, prio);
+                if prio && waiter_task.sched.lock().status == TaskStatus::Prioritized {
+                    // Rechecking the single effect was not sufficient (some of
+                    // the task's other effects may have been disabled):
+                    // recheck the whole task.
+                    self.recheck_task(&waiter_task);
+                }
+            } else {
+                drop(guard);
+            }
+        }
+    }
+}
+
+impl Scheduler for TreeScheduler {
+    fn name(&self) -> &'static str {
+        "tree"
+    }
+
+    fn submit(&self, task: Arc<TaskRecord>) {
+        let records: Vec<Arc<EffectRecord>> = task
+            .effects
+            .iter()
+            .map(|e| EffectRecord::new(&task, e))
+            .collect();
+        {
+            let mut s = task.sched.lock();
+            s.disabled_effects = records.len();
+        }
+        let _ = task.tree_effects.set(records.clone());
+        if records.is_empty() {
+            // A pure task can run immediately.
+            let submit = {
+                let mut s = task.sched.lock();
+                if s.status < TaskStatus::Enabled {
+                    s.status = TaskStatus::Enabled;
+                    true
+                } else {
+                    false
+                }
+            };
+            if submit {
+                (self.enable)(task);
+            }
+            return;
+        }
+        let root = self.root.clone();
+        let guard = root.lock_arc();
+        self.insert(root, guard, records, 0);
+    }
+
+    fn on_await(&self, _blocked: Option<&Arc<TaskRecord>>, target: &Arc<TaskRecord>) {
+        if target.is_done() {
+            return;
+        }
+        {
+            let mut s = target.sched.lock();
+            if s.status == TaskStatus::Waiting {
+                s.status = TaskStatus::Prioritized;
+            }
+        }
+        // Walk the blocker chain starting from the target (Figure 5.11): the
+        // fact that the caller is now blocked may allow tasks in the chain to
+        // be enabled through effect transfer.
+        let mut current = Some(target.clone());
+        let mut hops = 0usize;
+        while let Some(task) = current {
+            let status = task.sched.lock().status;
+            if status < TaskStatus::Enabled && !task.spawned {
+                self.recheck_task(&task);
+            }
+            current = task.blocker.lock().clone();
+            hops += 1;
+            if hops > 1_000_000 {
+                break;
+            }
+        }
+    }
+
+    fn task_done(&self, task: &Arc<TaskRecord>) {
+        // The runtime has already set the task's status to Done.
+        let records = task.tree_effects.get().cloned().unwrap_or_default();
+        for e in &records {
+            let (_node, mut guard) = self.lock_containing_node(e);
+            remove_effect(&mut guard, e);
+            drop(guard);
+        }
+        for e in &records {
+            self.recheck_waiters_of(e);
+        }
+    }
+
+    fn spawned_child_done(&self, parent: &Arc<TaskRecord>) {
+        // A completed spawned child may have been the only thing keeping a
+        // conflict alive (Figure 5.8 checks the spawned children of blocked
+        // tasks), so recheck the waiters recorded on the parent's effects.
+        let records = parent.tree_effects.get().cloned().unwrap_or_default();
+        for e in &records {
+            self.recheck_waiters_of(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twe_effects::EffectSet;
+
+    fn task(id: u64, effects: &str) -> Arc<TaskRecord> {
+        TaskRecord::new(id, format!("t{id}"), EffectSet::parse(effects), false)
+    }
+
+    struct Harness {
+        sched: TreeScheduler,
+        enabled: Arc<Mutex<Vec<u64>>>,
+    }
+
+    fn harness() -> Harness {
+        let enabled: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let e2 = enabled.clone();
+        let sched = TreeScheduler::new(Box::new(move |t| e2.lock().push(t.id)));
+        Harness { sched, enabled }
+    }
+
+    impl Harness {
+        fn enabled_ids(&self) -> Vec<u64> {
+            self.enabled.lock().clone()
+        }
+        fn finish(&self, t: &Arc<TaskRecord>) {
+            t.mark_done();
+            self.sched.task_done(t);
+        }
+    }
+
+    #[test]
+    fn disjoint_sibling_effects_enable_immediately() {
+        let h = harness();
+        h.sched.submit(task(1, "writes A"));
+        h.sched.submit(task(2, "writes B"));
+        h.sched.submit(task(3, "writes A:C"));
+        assert_eq!(h.enabled_ids(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn conflicting_effects_wait_and_resume_on_completion() {
+        let h = harness();
+        let a = task(1, "writes A");
+        let b = task(2, "writes A");
+        h.sched.submit(a.clone());
+        h.sched.submit(b.clone());
+        assert_eq!(h.enabled_ids(), vec![1]);
+        assert_eq!(b.status(), TaskStatus::Waiting);
+        h.finish(&a);
+        assert_eq!(h.enabled_ids(), vec![1, 2]);
+        assert_eq!(b.status(), TaskStatus::Enabled);
+    }
+
+    #[test]
+    fn read_read_sharing_is_allowed() {
+        let h = harness();
+        h.sched.submit(task(1, "reads A"));
+        h.sched.submit(task(2, "reads A"));
+        h.sched.submit(task(3, "reads Root"));
+        assert_eq!(h.enabled_ids(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn wildcard_effect_waits_for_descendant_writers() {
+        let h = harness();
+        let worker = task(1, "writes A:B");
+        let scribble = task(2, "writes A:*");
+        h.sched.submit(worker.clone());
+        h.sched.submit(scribble.clone());
+        assert_eq!(h.enabled_ids(), vec![1]);
+        h.finish(&worker);
+        assert_eq!(h.enabled_ids(), vec![1, 2]);
+    }
+
+    #[test]
+    fn descendant_writer_waits_for_wildcard_holder() {
+        let h = harness();
+        let scribble = task(1, "writes A:*");
+        let worker = task(2, "writes A:B:C");
+        h.sched.submit(scribble.clone());
+        h.sched.submit(worker.clone());
+        assert_eq!(h.enabled_ids(), vec![1]);
+        h.finish(&scribble);
+        assert_eq!(h.enabled_ids(), vec![1, 2]);
+    }
+
+    #[test]
+    fn kmeans_pattern_accumulate_tasks_on_distinct_clusters_run_in_parallel() {
+        let h = harness();
+        // WorkTasks read Root; accumulate tasks write Root:[k].
+        h.sched.submit(task(1, "reads Root"));
+        h.sched.submit(task(2, "reads Root"));
+        let acc5 = task(3, "reads Root, writes Root:[5]");
+        let acc9 = task(4, "reads Root, writes Root:[9]");
+        let acc5_again = task(5, "reads Root, writes Root:[5]");
+        h.sched.submit(acc5.clone());
+        h.sched.submit(acc9.clone());
+        h.sched.submit(acc5_again.clone());
+        // Distinct clusters run in parallel; a second task on cluster 5 waits.
+        assert_eq!(h.enabled_ids(), vec![1, 2, 3, 4]);
+        assert_eq!(acc5_again.status(), TaskStatus::Waiting);
+        h.finish(&acc5);
+        assert_eq!(h.enabled_ids(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn effect_transfer_when_blocked_enables_scribble() {
+        // The §5.3.2 scenario: work (writes TF) blocks on scribble
+        // (writes Root:*), whose effect conflicts with work's until the
+        // blocking transfers it.
+        let h = harness();
+        let work = task(1, "writes TF");
+        let scribble = task(2, "writes Root:*");
+        h.sched.submit(work.clone());
+        h.sched.submit(scribble.clone());
+        assert_eq!(h.enabled_ids(), vec![1]);
+        assert_eq!(scribble.status(), TaskStatus::Waiting);
+        // work blocks on scribble.
+        *work.blocker.lock() = Some(scribble.clone());
+        h.sched.on_await(Some(&work), &scribble);
+        assert_eq!(h.enabled_ids(), vec![1, 2]);
+        assert_eq!(scribble.status(), TaskStatus::Enabled);
+    }
+
+    #[test]
+    fn prioritized_task_can_disable_enabled_but_unstarted_effects() {
+        let h = harness();
+        // Task 1 runs. Task 2 (writes A, writes B) has A enabled but B blocked
+        // by task 1, so it is not yet submitted. Task 3 (writes A) is awaited
+        // by a running task, gets prioritized, and may steal A from task 2.
+        let t1 = task(1, "writes B");
+        let t2 = task(2, "writes A, writes B");
+        let t3 = task(3, "writes A");
+        h.sched.submit(t1.clone());
+        h.sched.submit(t2.clone());
+        assert_eq!(h.enabled_ids(), vec![1]);
+        h.sched.submit(t3.clone());
+        // t3 conflicts with t2's enabled (but unstarted) effect on A.
+        assert_eq!(h.enabled_ids(), vec![1]);
+        // A running task blocks on t3: prioritization lets it disable t2's A.
+        let blocker_task = task(99, "writes C");
+        h.sched.submit(blocker_task.clone());
+        *blocker_task.blocker.lock() = Some(t3.clone());
+        h.sched.on_await(Some(&blocker_task), &t3);
+        assert!(h.enabled_ids().contains(&3));
+        assert_eq!(t2.status(), TaskStatus::Waiting);
+        // Everyone eventually runs once the others finish.
+        h.finish(&t3);
+        h.finish(&t1);
+        assert!(h.enabled_ids().contains(&2));
+    }
+
+    #[test]
+    fn many_tasks_on_distinct_index_regions_all_enable() {
+        let h = harness();
+        let tasks: Vec<_> = (0..64)
+            .map(|i| task(i, &format!("writes Data:[{i}]")))
+            .collect();
+        for t in &tasks {
+            h.sched.submit(t.clone());
+        }
+        assert_eq!(h.enabled_ids().len(), 64);
+        for t in &tasks {
+            h.finish(t);
+        }
+        assert_eq!(h.sched.recorded_effects(), 0);
+    }
+
+    #[test]
+    fn pure_task_enables_immediately() {
+        let h = harness();
+        h.sched.submit(task(1, ""));
+        assert_eq!(h.enabled_ids(), vec![1]);
+    }
+
+    #[test]
+    fn effects_are_removed_from_tree_on_completion() {
+        let h = harness();
+        let a = task(1, "writes A:B, reads C");
+        h.sched.submit(a.clone());
+        assert!(h.sched.recorded_effects() >= 2);
+        h.finish(&a);
+        assert_eq!(h.sched.recorded_effects(), 0);
+    }
+
+    #[test]
+    fn waiting_chain_unwinds_in_order() {
+        let h = harness();
+        let tasks: Vec<_> = (1..=5).map(|i| task(i, "writes Hot")).collect();
+        for t in &tasks {
+            h.sched.submit(t.clone());
+        }
+        assert_eq!(h.enabled_ids(), vec![1]);
+        for (i, t) in tasks.iter().enumerate() {
+            h.finish(t);
+            let expect: Vec<u64> = (1..=(i as u64 + 2).min(5)).collect();
+            assert_eq!(h.enabled_ids(), expect);
+        }
+    }
+
+    #[test]
+    fn concurrent_submissions_preserve_isolation() {
+        use std::sync::atomic::AtomicUsize;
+        // Stress: many threads submit tasks with random effects; an enable
+        // callback verifies that no two concurrently-enabled tasks conflict.
+        let active: Arc<Mutex<Vec<Arc<TaskRecord>>>> = Arc::new(Mutex::new(Vec::new()));
+        let violations = Arc::new(AtomicUsize::new(0));
+        let enabled_count = Arc::new(AtomicUsize::new(0));
+        let (a2, v2, c2) = (active.clone(), violations.clone(), enabled_count.clone());
+        let sched = Arc::new(TreeScheduler::new(Box::new(move |t| {
+            let mut act = a2.lock();
+            for other in act.iter() {
+                if crate::scheduler::tasks_conflict(other, &t) && !other.is_done() {
+                    v2.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            act.push(t);
+            c2.fetch_add(1, Ordering::Relaxed);
+        })));
+
+        let all: Arc<Mutex<Vec<Arc<TaskRecord>>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for thread in 0..4u64 {
+            let sched = sched.clone();
+            let all = all.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    let id = thread * 1000 + i;
+                    let eff = match i % 4 {
+                        0 => format!("writes Data:[{}]", i % 8),
+                        1 => "reads Data".to_string(),
+                        2 => format!("writes Other:[{}]", i % 3),
+                        _ => "writes Data:*".to_string(),
+                    };
+                    let t = TaskRecord::new(id, format!("t{id}"), EffectSet::parse(&eff), false);
+                    all.lock().push(t.clone());
+                    sched.submit(t);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Drain: repeatedly finish enabled tasks until all have run.
+        let mut remaining: Vec<Arc<TaskRecord>> = all.lock().clone();
+        let mut rounds = 0;
+        while !remaining.is_empty() {
+            rounds += 1;
+            assert!(rounds < 10_000, "scheduler stalled with {} tasks", remaining.len());
+            let mut next = Vec::new();
+            for t in remaining {
+                if t.status() == TaskStatus::Enabled {
+                    t.mark_done();
+                    sched.task_done(&t);
+                } else {
+                    next.push(t);
+                }
+            }
+            remaining = next;
+        }
+        assert_eq!(violations.load(Ordering::Relaxed), 0, "task isolation violated");
+        assert_eq!(enabled_count.load(Ordering::Relaxed), 200);
+        assert_eq!(sched.recorded_effects(), 0);
+    }
+}

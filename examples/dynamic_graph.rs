@@ -1,0 +1,48 @@
+//! Dynamic effects (chapter 7): algorithms whose effects can only be
+//! discovered while the task runs. Runs the Delaunay-style cavity refinement
+//! and the greedy graph colouring benchmarks and reports the abort/retry
+//! statistics that §7.6 discusses as the main overhead of the approach.
+//!
+//! Run with `cargo run --release --example dynamic_graph`.
+
+use twe::apps::{coloring, refine};
+use twe::runtime::{Runtime, SchedulerKind};
+
+fn main() {
+    let rt = Runtime::builder().scheduler(SchedulerKind::Tree).build();
+
+    // Mesh refinement.
+    let cfg = refine::RefineConfig {
+        n_triangles: 20_000,
+        bad_fraction: 0.25,
+        max_cavity: 6,
+        seed: 42,
+    };
+    let mesh = refine::generate(&cfg);
+    let start = std::time::Instant::now();
+    let out = refine::run_twe(&rt, &cfg, &mesh);
+    let took = start.elapsed();
+    assert!(refine::validate(&cfg, &mesh, &out), "refinement invariants violated");
+    println!(
+        "refine: {} refinements, {} cavity touches in {took:?}",
+        out.refinements, out.touches
+    );
+
+    // Graph colouring.
+    let ccfg = coloring::ColoringConfig { n_nodes: 20_000, avg_degree: 8, seed: 42 };
+    let graph = coloring::generate(&ccfg);
+    let start = std::time::Instant::now();
+    let cout = coloring::run_twe(&rt, &graph);
+    let took = start.elapsed();
+    assert!(coloring::validate(&graph), "colouring is not proper");
+    println!(
+        "coloring: {} nodes coloured with {} colours in {took:?}",
+        cout.colored, cout.colors_used
+    );
+
+    let stats = rt.stats();
+    println!(
+        "dynamic-effect activity: {} acquisitions, {} conflicts, {} task retries",
+        stats.dynamic.acquires, stats.dynamic.conflicts, stats.task_retries
+    );
+}

@@ -1,0 +1,79 @@
+//! FourWins as an actor-style application (§6.1): game state, board, view and
+//! players are modules with private regions; messages between them are tasks
+//! whose effects name the target module's region. The computer player runs
+//! the parallel AI search (the measured part of Figure 6.2) while the "GUI"
+//! keeps processing events concurrently — the combination of unstructured and
+//! structured concurrency the TWE model is designed for.
+//!
+//! Run with `cargo run --release --example fourwins_interactive`.
+
+use std::sync::Arc;
+use twe::apps::fourwins::{self, Board, FourWinsConfig};
+use twe::apps::util::RegionCell;
+use twe::effects::EffectSet;
+use twe::runtime::{Runtime, SchedulerKind};
+
+fn main() {
+    let rt = Runtime::builder().scheduler(SchedulerKind::Tree).build();
+
+    // Module state, each in its own region.
+    let board = Arc::new(RegionCell::new(Board::new()));
+    let view_log = Arc::new(RegionCell::new(Vec::<String>::new()));
+
+    // Human moves arrive as "UI events"; after each one the controller asks
+    // the board module to apply it, the view module to refresh, and the AI
+    // to pick a reply.
+    let human_moves = [3usize, 2, 4, 3];
+    let mut game_moves: Vec<usize> = Vec::new();
+
+    for (turn, &col) in human_moves.iter().enumerate() {
+        // controller.onMove -> board.applyMove (message = task on Board).
+        let b = board.clone();
+        rt.run(
+            "board.applyMove",
+            EffectSet::parse("writes Board"),
+            move |_| {
+                b.get_mut().drop_piece(col, 1);
+            },
+        );
+        game_moves.push(col);
+
+        // view.refresh runs concurrently with the AI below (reads Board,
+        // writes View — non-interfering with the AI's scratch regions).
+        let b = board.clone();
+        let v = view_log.clone();
+        let view_future = rt.execute_later(
+            "view.refresh",
+            EffectSet::parse("reads Board, writes View"),
+            move |_| {
+                v.get_mut().push(format!("turn {turn}: human played column {col}"));
+                b.get().legal_moves().len()
+            },
+        );
+
+        // ai.chooseMove: the parallel search of Figure 6.2.
+        let config = FourWinsConfig {
+            depth: 6,
+            parallel_depth: 2,
+            opening: game_moves.clone(),
+        };
+        let reply = fourwins::run_twe(&rt, &config);
+        let open_columns = view_future.wait();
+
+        let b = board.clone();
+        rt.run("board.applyMove", EffectSet::parse("writes Board"), move |_| {
+            b.get_mut().drop_piece(reply.best_move, 2);
+        });
+        game_moves.push(reply.best_move);
+        println!(
+            "turn {turn}: human -> {col}, computer -> {} (score {}, {} columns open)",
+            reply.best_move, reply.score, open_columns
+        );
+    }
+
+    println!("view log:");
+    for line in view_log.get().iter() {
+        println!("  {line}");
+    }
+    println!("runtime stats: {:?}", rt.stats());
+}
