@@ -143,7 +143,10 @@ pub fn spawn_bindings(body: &Block) -> HashMap<String, Option<TaskId>> {
                         })
                         .or_insert(Some(*task));
                 }
-                Stmt::If { then_branch, else_branch } => {
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                } => {
                     walk(then_branch, map);
                     walk(else_branch, map);
                 }
@@ -284,7 +287,10 @@ impl<'p> Lowering<'p> {
             }
             // executeLater and getValue do not change the covering effect.
             Stmt::ExecuteLater { .. } | Stmt::GetValue { .. } => current,
-            Stmt::If { then_branch, else_branch } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+            } => {
                 let then_entry = self.cfg.new_block();
                 let else_entry = self.cfg.new_block();
                 self.cfg.add_edge(current, then_entry);
@@ -401,8 +407,16 @@ mod tests {
     #[test]
     fn conflicting_bindings_resolve_to_none() {
         let mut p = Program::new();
-        let a = p.add_task(TaskDecl::new("a", EffectSet::parse("writes A"), Block::new()));
-        let b = p.add_task(TaskDecl::new("b", EffectSet::parse("writes B"), Block::new()));
+        let a = p.add_task(TaskDecl::new(
+            "a",
+            EffectSet::parse("writes A"),
+            Block::new(),
+        ));
+        let b = p.add_task(TaskDecl::new(
+            "b",
+            EffectSet::parse("writes B"),
+            Block::new(),
+        ));
         let body = Block::of([
             Stmt::if_else(
                 Block::of([Stmt::spawn(a, "f")]),

@@ -133,7 +133,13 @@ pub fn check_program(program: &Program, algorithm: Algorithm) -> CheckReport {
         report.merge(one);
     }
     for method in &program.methods {
-        let one = check_body(program, &method.name, &method.effect, &method.body, algorithm);
+        let one = check_body(
+            program,
+            &method.name,
+            &method.effect,
+            &method.body,
+            algorithm,
+        );
         report.merge(one);
     }
     report.errors.extend(determinism_check(program));
@@ -209,9 +215,9 @@ fn walk_deterministic(
                 "executeLater of task `{}` is not allowed in deterministic code",
                 program.tasks[*task].name
             )),
-            Stmt::GetValue { var } => {
-                err(format!("getValue on `{var}` is not allowed in deterministic code"))
-            }
+            Stmt::GetValue { var } => err(format!(
+                "getValue on `{var}` is not allowed in deterministic code"
+            )),
             Stmt::Call(m) => {
                 if !program.methods[*m].deterministic {
                     err(format!(
@@ -228,9 +234,24 @@ fn walk_deterministic(
                     ));
                 }
             }
-            Stmt::If { then_branch, else_branch } => {
-                walk_deterministic(program, context, then_branch, &format!("{site}.then"), errors);
-                walk_deterministic(program, context, else_branch, &format!("{site}.else"), errors);
+            Stmt::If {
+                then_branch,
+                else_branch,
+            } => {
+                walk_deterministic(
+                    program,
+                    context,
+                    then_branch,
+                    &format!("{site}.then"),
+                    errors,
+                );
+                walk_deterministic(
+                    program,
+                    context,
+                    else_branch,
+                    &format!("{site}.else"),
+                    errors,
+                );
             }
             Stmt::While { body } => {
                 walk_deterministic(program, context, body, &format!("{site}.body"), errors);
@@ -258,25 +279,24 @@ mod tests {
             TaskDecl::new(
                 "det",
                 EffectSet::parse("writes A"),
-                Block::of([
-                    Stmt::execute_later(child, "f"),
-                    Stmt::get_value("f"),
-                ]),
+                Block::of([Stmt::execute_later(child, "f"), Stmt::get_value("f")]),
             )
             .deterministic(),
         );
         let errors = determinism_check(&p);
         assert_eq!(errors.len(), 2);
-        assert!(matches!(errors[0].kind, CheckErrorKind::DeterminismViolation(_)));
+        assert!(matches!(
+            errors[0].kind,
+            CheckErrorKind::DeterminismViolation(_)
+        ));
     }
 
     #[test]
     fn determinism_check_flags_nondeterministic_callees_and_spawnees() {
         let mut p = Program::new();
         let nondet_task = p.add_task(TaskDecl::new("nd", EffectSet::pure(), Block::new()));
-        let det_task = p.add_task(
-            TaskDecl::new("d", EffectSet::pure(), Block::new()).deterministic(),
-        );
+        let det_task =
+            p.add_task(TaskDecl::new("d", EffectSet::pure(), Block::new()).deterministic());
         let nondet_method = p.add_method(MethodDecl::new("ndm", EffectSet::pure(), Block::new()));
         let det_method =
             p.add_method(MethodDecl::new("dm", EffectSet::pure(), Block::new()).deterministic());
@@ -285,8 +305,14 @@ mod tests {
                 "root",
                 EffectSet::pure(),
                 Block::of([
-                    Stmt::Spawn { task: nondet_task, var: None },
-                    Stmt::Spawn { task: det_task, var: None },
+                    Stmt::Spawn {
+                        task: nondet_task,
+                        var: None,
+                    },
+                    Stmt::Spawn {
+                        task: det_task,
+                        var: None,
+                    },
                     Stmt::Call(nondet_method),
                     Stmt::Call(det_method),
                 ]),

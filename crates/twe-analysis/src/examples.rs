@@ -132,7 +132,10 @@ pub fn barnes_hut_force() -> Program {
             "forceComputation",
             es("reads Tree, writes Bodies:*"),
             Block::of([
-                Stmt::while_loop(Block::of([Stmt::Spawn { task: chunk, var: None }])),
+                Stmt::while_loop(Block::of([Stmt::Spawn {
+                    task: chunk,
+                    var: None,
+                }])),
                 Stmt::read("Tree"),
             ]),
         )
@@ -180,7 +183,11 @@ pub fn use_after_spawn() -> Program {
 /// uses `executeLater`/`getValue` and calls a non-deterministic method.
 pub fn nondeterministic_in_deterministic() -> Program {
     let mut p = Program::new();
-    let helper = p.add_method(MethodDecl::new("logSomething", es("writes Log"), Block::new()));
+    let helper = p.add_method(MethodDecl::new(
+        "logSomething",
+        es("writes Log"),
+        Block::new(),
+    ));
     let other = p.add_task(TaskDecl::new("other", es("writes Log"), Block::new()));
     p.add_task(
         TaskDecl::new(
@@ -236,7 +243,10 @@ pub fn fourwins_modules() -> Program {
             "ai.chooseMove",
             es("reads Board, writes AiScratch:*"),
             Block::of([
-                Stmt::while_loop(Block::of([Stmt::Spawn { task: ai_subtree, var: None }])),
+                Stmt::while_loop(Block::of([Stmt::Spawn {
+                    task: ai_subtree,
+                    var: None,
+                }])),
                 Stmt::read("Board"),
             ]),
         )

@@ -70,7 +70,12 @@ pub struct TaskDecl {
 impl TaskDecl {
     /// Creates a task declaration.
     pub fn new(name: impl Into<String>, effect: EffectSet, body: Block) -> Self {
-        TaskDecl { name: name.into(), effect, deterministic: false, body }
+        TaskDecl {
+            name: name.into(),
+            effect,
+            deterministic: false,
+            body,
+        }
     }
 
     /// Marks the task `@Deterministic`.
@@ -96,7 +101,12 @@ pub struct MethodDecl {
 impl MethodDecl {
     /// Creates a method declaration.
     pub fn new(name: impl Into<String>, effect: EffectSet, body: Block) -> Self {
-        MethodDecl { name: name.into(), effect, deterministic: false, body }
+        MethodDecl {
+            name: name.into(),
+            effect,
+            deterministic: false,
+            body,
+        }
     }
 
     /// Marks the method `@Deterministic`.
@@ -201,27 +211,40 @@ impl Stmt {
 
     /// Convenience constructor: spawn with a handle variable.
     pub fn spawn(task: TaskId, var: &str) -> Stmt {
-        Stmt::Spawn { task, var: Some(var.to_string()) }
+        Stmt::Spawn {
+            task,
+            var: Some(var.to_string()),
+        }
     }
 
     /// Convenience constructor: join a handle variable.
     pub fn join(var: &str) -> Stmt {
-        Stmt::Join { var: var.to_string() }
+        Stmt::Join {
+            var: var.to_string(),
+        }
     }
 
     /// Convenience constructor: executeLater with a handle variable.
     pub fn execute_later(task: TaskId, var: &str) -> Stmt {
-        Stmt::ExecuteLater { task, var: Some(var.to_string()) }
+        Stmt::ExecuteLater {
+            task,
+            var: Some(var.to_string()),
+        }
     }
 
     /// Convenience constructor: getValue on a handle variable.
     pub fn get_value(var: &str) -> Stmt {
-        Stmt::GetValue { var: var.to_string() }
+        Stmt::GetValue {
+            var: var.to_string(),
+        }
     }
 
     /// Convenience constructor: an if statement.
     pub fn if_else(then_branch: Block, else_branch: Block) -> Stmt {
-        Stmt::If { then_branch, else_branch }
+        Stmt::If {
+            then_branch,
+            else_branch,
+        }
     }
 
     /// Convenience constructor: a while loop.
@@ -237,7 +260,11 @@ mod tests {
     #[test]
     fn program_lookup_by_name() {
         let mut p = Program::new();
-        let t = p.add_task(TaskDecl::new("work", EffectSet::parse("writes A"), Block::new()));
+        let t = p.add_task(TaskDecl::new(
+            "work",
+            EffectSet::parse("writes A"),
+            Block::new(),
+        ));
         let m = p.add_method(MethodDecl::new(
             "helper",
             EffectSet::parse("reads A"),
@@ -254,13 +281,13 @@ mod tests {
             .push(Stmt::write("A"))
             .push(Stmt::spawn(0, "f"))
             .push(Stmt::join("f"))
-            .push(Stmt::if_else(
-                Block::of([Stmt::read("A")]),
-                Block::new(),
-            ));
+            .push(Stmt::if_else(Block::of([Stmt::read("A")]), Block::new()));
         assert_eq!(body.stmts().len(), 4);
         match &body.stmts()[3] {
-            Stmt::If { then_branch, else_branch } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+            } => {
                 assert_eq!(then_branch.stmts().len(), 1);
                 assert!(else_branch.stmts().is_empty());
             }

@@ -92,13 +92,14 @@ pub fn analyze_body(
                         });
                     }
                 }
-                FlatOp::SpawnCheck { task, effects, site } => {
-                    let covered = effects.iter().all(|e| {
-                        domain
-                            .index_of(e)
-                            .map(|i| cur.contains(i))
-                            .unwrap_or(false)
-                    });
+                FlatOp::SpawnCheck {
+                    task,
+                    effects,
+                    site,
+                } => {
+                    let covered = effects
+                        .iter()
+                        .all(|e| domain.index_of(e).map(|i| cur.contains(i)).unwrap_or(false));
                     spawn_sites.push(SpawnSite {
                         context: context.to_string(),
                         site: site.clone(),
@@ -121,7 +122,11 @@ pub fn analyze_body(
     errors.sort();
     spawn_sites.sort_by(|a, b| a.site.cmp(&b.site));
 
-    IterativeResult { errors, spawn_sites, iterations }
+    IterativeResult {
+        errors,
+        spawn_sites,
+        iterations,
+    }
 }
 
 /// The effect domain: access effects plus the individual effects of spawned
@@ -236,7 +241,10 @@ mod tests {
         // loop, conceptually), so a write of A after the loop is not covered
         // on the path that went through the loop body.
         let body = Block::of([
-            Stmt::while_loop(Block::of([Stmt::Spawn { task: child, var: None }])),
+            Stmt::while_loop(Block::of([Stmt::Spawn {
+                task: child,
+                var: None,
+            }])),
             Stmt::write("A"),
         ]);
         let r = analyze_body(&p, "parent", &es("writes A"), &body);
@@ -248,9 +256,9 @@ mod tests {
     fn iteration_count_is_bounded_by_loop_depth_plus_two() {
         let p = Program::new();
         // Loop nest of depth 3 with only reads: d+2 = 5 passes at most.
-        let body = Block::of([Stmt::while_loop(Block::of([Stmt::while_loop(Block::of([
-            Stmt::while_loop(Block::of([Stmt::read("A")])),
-        ]))]))]);
+        let body = Block::of([Stmt::while_loop(Block::of([Stmt::while_loop(Block::of(
+            [Stmt::while_loop(Block::of([Stmt::read("A")]))],
+        ))]))]);
         let r = analyze_body(&p, "t", &es("reads A"), &body);
         assert!(r.errors.is_empty());
         assert!(r.iterations <= 5, "iterations = {}", r.iterations);

@@ -155,7 +155,10 @@ impl<'p> Analyzer<'p> {
                 }
             },
             Stmt::ExecuteLater { .. } | Stmt::GetValue { .. } => covering,
-            Stmt::If { then_branch, else_branch } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+            } => {
                 let then_out = self.analyze_block(
                     then_branch,
                     covering.clone(),
@@ -211,7 +214,12 @@ mod tests {
             Stmt::join("f"),
             Stmt::read("Top"),
         ]);
-        let r = analyze_body(&p, "increaseContrast", &es("writes Top, writes Bottom"), &body);
+        let r = analyze_body(
+            &p,
+            "increaseContrast",
+            &es("writes Top, writes Bottom"),
+            &body,
+        );
         assert!(r.errors.is_empty(), "{:?}", r.errors);
         assert_eq!(r.spawn_sites[0].coverage, SpawnCoverage::Covered);
     }
@@ -232,7 +240,10 @@ mod tests {
         let body = Block::of([Stmt::join("ghost")]);
         let r = analyze_body(&p, "t", &es("writes A"), &body);
         assert_eq!(r.errors.len(), 1);
-        assert!(matches!(r.errors[0].kind, CheckErrorKind::UnknownJoinHandle(_)));
+        assert!(matches!(
+            r.errors[0].kind,
+            CheckErrorKind::UnknownJoinHandle(_)
+        ));
     }
 
     #[test]

@@ -29,7 +29,12 @@ pub struct BarnesHutConfig {
 
 impl Default for BarnesHutConfig {
     fn default() -> Self {
-        BarnesHutConfig { n_bodies: 2_000, theta: 0.5, seed: 2024, chunks: 64 }
+        BarnesHutConfig {
+            n_bodies: 2_000,
+            theta: 0.5,
+            seed: 2024,
+            chunks: 64,
+        }
     }
 }
 
@@ -97,7 +102,11 @@ pub fn build_tree(bodies: &[Body]) -> QuadTree {
     fn insert(tree: QuadTree, x: f64, y: f64, mass: f64, cx: f64, cy: f64, size: f64) -> QuadTree {
         match tree {
             QuadTree::Empty => QuadTree::Leaf { x, y, mass },
-            QuadTree::Leaf { x: ox, y: oy, mass: omass } => {
+            QuadTree::Leaf {
+                x: ox,
+                y: oy,
+                mass: omass,
+            } => {
                 let node = QuadTree::Internal {
                     cx: 0.0,
                     cy: 0.0,
@@ -112,12 +121,22 @@ pub fn build_tree(bodies: &[Body]) -> QuadTree {
                 };
                 // Degenerate case: coincident points collapse to one leaf.
                 if (ox - x).abs() < 1e-12 && (oy - y).abs() < 1e-12 {
-                    return QuadTree::Leaf { x, y, mass: mass + omass };
+                    return QuadTree::Leaf {
+                        x,
+                        y,
+                        mass: mass + omass,
+                    };
                 }
                 let node = insert(node, ox, oy, omass, cx, cy, size);
                 insert(node, x, y, mass, cx, cy, size)
             }
-            QuadTree::Internal { cx: _, cy: _, mass: m0, size, mut children } => {
+            QuadTree::Internal {
+                cx: _,
+                cy: _,
+                mass: m0,
+                size,
+                mut children,
+            } => {
                 let half = size / 2.0;
                 let quadrant = |px: f64, py: f64| -> (usize, f64, f64) {
                     let east = px >= cx;
@@ -128,15 +147,29 @@ pub fn build_tree(bodies: &[Body]) -> QuadTree {
                         (true, false) => 2,
                         (true, true) => 3,
                     };
-                    let ncx = if east { cx + half / 2.0 } else { cx - half / 2.0 };
-                    let ncy = if south { cy + half / 2.0 } else { cy - half / 2.0 };
+                    let ncx = if east {
+                        cx + half / 2.0
+                    } else {
+                        cx - half / 2.0
+                    };
+                    let ncy = if south {
+                        cy + half / 2.0
+                    } else {
+                        cy - half / 2.0
+                    };
                     (idx, ncx, ncy)
                 };
                 let (qi, qx, qy) = quadrant(x, y);
                 let child = std::mem::replace(&mut children[qi], QuadTree::Empty);
                 children[qi] = insert(child, x, y, mass, qx, qy, half);
                 // Recompute aggregate lazily at the end (see finalize).
-                QuadTree::Internal { cx, cy, mass: m0, size, children }
+                QuadTree::Internal {
+                    cx,
+                    cy,
+                    mass: m0,
+                    size,
+                    children,
+                }
             }
         }
     }
@@ -144,7 +177,13 @@ pub fn build_tree(bodies: &[Body]) -> QuadTree {
         match tree {
             QuadTree::Empty => (0.0, 0.0, 0.0),
             QuadTree::Leaf { x, y, mass } => (*x * *mass, *y * *mass, *mass),
-            QuadTree::Internal { cx, cy, mass, children, .. } => {
+            QuadTree::Internal {
+                cx,
+                cy,
+                mass,
+                children,
+                ..
+            } => {
                 let (mut sx, mut sy, mut sm) = (0.0, 0.0, 0.0);
                 for child in children.iter_mut() {
                     let (x, y, m) = finalize(child);
@@ -166,7 +205,12 @@ pub fn build_tree(bodies: &[Body]) -> QuadTree {
         cy: 0.5,
         mass: 0.0,
         size: 1.0,
-        children: Box::new([QuadTree::Empty, QuadTree::Empty, QuadTree::Empty, QuadTree::Empty]),
+        children: Box::new([
+            QuadTree::Empty,
+            QuadTree::Empty,
+            QuadTree::Empty,
+            QuadTree::Empty,
+        ]),
     };
     for b in bodies {
         root = insert(root, b.x, b.y, b.mass, 0.5, 0.5, 1.0);
@@ -187,7 +231,13 @@ fn force_on(tree: &QuadTree, x: f64, y: f64, theta: f64) -> (f64, f64) {
             let f = mass / (d2 * d);
             (f * dx, f * dy)
         }
-        QuadTree::Internal { cx, cy, mass, size, children } => {
+        QuadTree::Internal {
+            cx,
+            cy,
+            mass,
+            size,
+            children,
+        } => {
             let (dx, dy) = (cx - x, cy - y);
             let d2 = dx * dx + dy * dy + EPS;
             let d = d2.sqrt();
@@ -208,7 +258,11 @@ fn force_on(tree: &QuadTree, x: f64, y: f64, theta: f64) -> (f64, f64) {
 }
 
 /// Sequential force computation (oracle / speedup baseline).
-pub fn run_sequential(config: &BarnesHutConfig, bodies: &[Body], tree: &QuadTree) -> Vec<(f64, f64)> {
+pub fn run_sequential(
+    config: &BarnesHutConfig,
+    bodies: &[Body],
+    tree: &QuadTree,
+) -> Vec<(f64, f64)> {
     bodies
         .iter()
         .map(|b| force_on(tree, b.x, b.y, config.theta))
@@ -292,7 +346,8 @@ pub fn run_forkjoin_baseline(
 pub fn forces_match(a: &[(f64, f64)], b: &[(f64, f64)]) -> bool {
     a.len() == b.len()
         && a.iter().zip(b.iter()).all(|(x, y)| {
-            (x.0 - y.0).abs() < 1e-9 * (1.0 + x.0.abs()) && (x.1 - y.1).abs() < 1e-9 * (1.0 + x.1.abs())
+            (x.0 - y.0).abs() < 1e-9 * (1.0 + x.0.abs())
+                && (x.1 - y.1).abs() < 1e-9 * (1.0 + x.1.abs())
         })
 }
 
@@ -302,7 +357,12 @@ mod tests {
     use twe_runtime::SchedulerKind;
 
     fn small() -> BarnesHutConfig {
-        BarnesHutConfig { n_bodies: 300, theta: 0.6, seed: 3, chunks: 8 }
+        BarnesHutConfig {
+            n_bodies: 300,
+            theta: 0.6,
+            seed: 3,
+            chunks: 8,
+        }
     }
 
     #[test]
@@ -365,7 +425,10 @@ mod tests {
             })
             .collect();
         let err = |theta: f64| -> f64 {
-            let cfg = BarnesHutConfig { theta, ..config.clone() };
+            let cfg = BarnesHutConfig {
+                theta,
+                ..config.clone()
+            };
             let approx = run_sequential(&cfg, &bodies, &tree);
             approx
                 .iter()

@@ -27,7 +27,11 @@ pub struct ColoringConfig {
 
 impl Default for ColoringConfig {
     fn default() -> Self {
-        ColoringConfig { n_nodes: 2_000, avg_degree: 8, seed: 23 }
+        ColoringConfig {
+            n_nodes: 2_000,
+            avg_degree: 8,
+            seed: 23,
+        }
     }
 }
 
@@ -63,7 +67,12 @@ pub fn generate(config: &ColoringConfig) -> ColorGraph {
     ColorGraph {
         nodes: adj
             .into_iter()
-            .map(|neighbors| DynCell::new(ColorNode { neighbors, color: None }))
+            .map(|neighbors| {
+                DynCell::new(ColorNode {
+                    neighbors,
+                    color: None,
+                })
+            })
             .collect(),
     }
 }
@@ -96,7 +105,10 @@ fn summarize(graph: &ColorGraph) -> ColoringOutput {
             max = max.max(c + 1);
         }
     }
-    ColoringOutput { colors_used: max, colored }
+    ColoringOutput {
+        colors_used: max,
+        colored,
+    }
 }
 
 /// Sequential greedy colouring (oracle for the invariants; the specific
@@ -143,8 +155,9 @@ pub fn run_twe(rt: &Runtime, graph: &ColorGraph) -> ColoringOutput {
 /// Per-node-mutex baseline (no safety guarantees): lock the node and its
 /// neighbours in index order, then colour.
 pub fn run_lock_baseline(threads: usize, graph: &ColorGraph) -> ColoringOutput {
-    let locks: Vec<parking_lot::Mutex<()>> =
-        (0..graph.nodes.len()).map(|_| parking_lot::Mutex::new(())).collect();
+    let locks: Vec<parking_lot::Mutex<()>> = (0..graph.nodes.len())
+        .map(|_| parking_lot::Mutex::new(()))
+        .collect();
     let chunks = crate::util::chunk_ranges(graph.nodes.len(), threads);
     std::thread::scope(|scope| {
         for range in chunks {
@@ -158,8 +171,10 @@ pub fn run_lock_baseline(threads: usize, graph: &ColorGraph) -> ColoringOutput {
                     order.sort_unstable();
                     order.dedup();
                     let _guards: Vec<_> = order.iter().map(|&n| locks[n].lock()).collect();
-                    let used: Vec<u32> =
-                        neighbors.iter().filter_map(|&n| nodes[n].read().color).collect();
+                    let used: Vec<u32> = neighbors
+                        .iter()
+                        .filter_map(|&n| nodes[n].read().color)
+                        .collect();
                     nodes[i].write().color = Some(smallest_free_color(&used));
                 }
             });
@@ -172,7 +187,9 @@ pub fn run_lock_baseline(threads: usize, graph: &ColorGraph) -> ColoringOutput {
 pub fn validate(graph: &ColorGraph) -> bool {
     for (i, node) in graph.nodes.iter().enumerate() {
         let me = node.read();
-        let Some(my_color) = me.color else { return false };
+        let Some(my_color) = me.color else {
+            return false;
+        };
         for &n in &me.neighbors {
             if n == i {
                 continue;
@@ -191,7 +208,11 @@ mod tests {
     use twe_runtime::SchedulerKind;
 
     fn small() -> ColoringConfig {
-        ColoringConfig { n_nodes: 200, avg_degree: 6, seed: 13 }
+        ColoringConfig {
+            n_nodes: 200,
+            avg_degree: 6,
+            seed: 13,
+        }
     }
 
     #[test]
@@ -224,7 +245,12 @@ mod tests {
     #[test]
     fn colors_used_is_at_most_max_degree_plus_one() {
         let graph = generate(&small());
-        let max_degree = graph.nodes.iter().map(|n| n.read().neighbors.len()).max().unwrap();
+        let max_degree = graph
+            .nodes
+            .iter()
+            .map(|n| n.read().neighbors.len())
+            .max()
+            .unwrap();
         let rt = Runtime::new(4, SchedulerKind::Tree);
         let out = run_twe(&rt, &graph);
         assert!(validate(&graph));

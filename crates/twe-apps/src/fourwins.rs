@@ -35,7 +35,9 @@ impl Default for Board {
 impl Board {
     /// An empty board.
     pub fn new() -> Self {
-        Board { cells: [[0; COLS]; ROWS] }
+        Board {
+            cells: [[0; COLS]; ROWS],
+        }
     }
 
     /// Builds a board from a sequence of alternating moves (columns), player
@@ -52,7 +54,9 @@ impl Board {
 
     /// Columns that still have room.
     pub fn legal_moves(&self) -> Vec<usize> {
-        (0..COLS).filter(|&c| self.cells[ROWS - 1][c] == 0).collect()
+        (0..COLS)
+            .filter(|&c| self.cells[ROWS - 1][c] == 0)
+            .collect()
     }
 
     /// Drops a piece for `player` into `col`; returns the row it landed in.
@@ -135,7 +139,11 @@ pub struct FourWinsConfig {
 
 impl Default for FourWinsConfig {
     fn default() -> Self {
-        FourWinsConfig { depth: 7, parallel_depth: 2, opening: vec![3, 3, 2, 4] }
+        FourWinsConfig {
+            depth: 7,
+            parallel_depth: 2,
+            opening: vec![3, 3, 2, 4],
+        }
     }
 }
 
@@ -173,13 +181,19 @@ pub fn negamax(board: &mut Board, player: u8, depth: u32) -> i32 {
 /// Sequential root search.
 pub fn run_sequential(config: &FourWinsConfig) -> SearchResult {
     let mut board = Board::from_moves(&config.opening);
-    let mut best = SearchResult { best_move: usize::MAX, score: i32::MIN };
+    let mut best = SearchResult {
+        best_move: usize::MAX,
+        score: i32::MIN,
+    };
     for m in board.legal_moves() {
         board.drop_piece(m, 1);
         let score = -negamax(&mut board, 2, config.depth - 1);
         board.undo(m);
         if score > best.score {
-            best = SearchResult { best_move: m, score };
+            best = SearchResult {
+                best_move: m,
+                score,
+            };
         }
     }
     best
@@ -245,13 +259,15 @@ pub fn run_twe(rt: &Runtime, config: &FourWinsConfig) -> SearchResult {
         "ai.chooseMove",
         EffectSet::parse("reads Board, writes AiScratch:*"),
         move |ctx| {
-            let mut best = SearchResult { best_move: usize::MAX, score: i32::MIN };
+            let mut best = SearchResult {
+                best_move: usize::MAX,
+                score: i32::MIN,
+            };
             let mut futures = Vec::new();
             for m in board.legal_moves() {
                 let mut child = board.clone();
                 child.drop_piece(m, 1);
-                let effects =
-                    EffectSet::parse(&format!("reads Board, writes AiScratch:[{m}]:*"));
+                let effects = EffectSet::parse(&format!("reads Board, writes AiScratch:[{m}]:*"));
                 futures.push((
                     m,
                     ctx.spawn("ai.exploreRoot", effects, move |child_ctx| {
@@ -269,7 +285,10 @@ pub fn run_twe(rt: &Runtime, config: &FourWinsConfig) -> SearchResult {
             for (m, f) in futures {
                 let score = f.join(ctx);
                 if score > best.score {
-                    best = SearchResult { best_move: m, score };
+                    best = SearchResult {
+                        best_move: m,
+                        score,
+                    };
                 }
             }
             best
@@ -302,12 +321,21 @@ pub fn run_forkjoin_baseline(threads: usize, config: &FourWinsConfig) -> SearchR
                 })
             })
             .collect();
-        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
     });
-    let mut best = SearchResult { best_move: usize::MAX, score: i32::MIN };
+    let mut best = SearchResult {
+        best_move: usize::MAX,
+        score: i32::MIN,
+    };
     for (m, score) in results {
         if score > best.score || (score == best.score && m < best.best_move) {
-            best = SearchResult { best_move: m, score };
+            best = SearchResult {
+                best_move: m,
+                score,
+            };
         }
     }
     best
@@ -319,7 +347,11 @@ mod tests {
     use twe_runtime::SchedulerKind;
 
     fn small() -> FourWinsConfig {
-        FourWinsConfig { depth: 5, parallel_depth: 2, opening: vec![3, 3, 2] }
+        FourWinsConfig {
+            depth: 5,
+            parallel_depth: 2,
+            opening: vec![3, 3, 2],
+        }
     }
 
     #[test]

@@ -37,12 +37,20 @@ impl Image {
             for x in 0..width {
                 let base = 128.0
                     + 64.0 * ((x as f32 / 17.0).sin() + (y as f32 / 23.0).cos())
-                    + if (x / 32 + y / 32) % 2 == 0 { 20.0 } else { -20.0 };
+                    + if (x / 32 + y / 32) % 2 == 0 {
+                        20.0
+                    } else {
+                        -20.0
+                    };
                 let noise = (rng.next_f64() as f32 - 0.5) * 12.0;
                 pixels.push((base + noise).clamp(0.0, 255.0));
             }
         }
-        Image { width, height, pixels }
+        Image {
+            width,
+            height,
+            pixels,
+        }
     }
 
     fn at(&self, x: isize, y: isize) -> f32 {
@@ -85,7 +93,13 @@ pub struct ImageEditConfig {
 
 impl Default for ImageEditConfig {
     fn default() -> Self {
-        ImageEditConfig { width: 512, height: 512, blocks: 32, filter: Filter::EdgeDetect, seed: 11 }
+        ImageEditConfig {
+            width: 512,
+            height: 512,
+            blocks: 32,
+            filter: Filter::EdgeDetect,
+            seed: 11,
+        }
     }
 }
 
@@ -174,7 +188,11 @@ pub fn run_sequential(config: &ImageEditConfig, src: &Image) -> Image {
         let end = block.end * src.width;
         apply_rows(config.filter, src, block.clone(), &mut out[start..end]);
     }
-    let mut result = Image { width: src.width, height: src.height, pixels: out };
+    let mut result = Image {
+        width: src.width,
+        height: src.height,
+        pixels: out,
+    };
     if config.filter == Filter::EdgeDetect {
         link_block_boundaries(&mut result, &blocks);
     }
@@ -218,7 +236,11 @@ pub fn run_twe(rt: &Runtime, config: &ImageEditConfig, src: &Image) -> Image {
     for (b, rows) in blocks.iter().enumerate() {
         pixels[rows.start * width..rows.end * width].copy_from_slice(out[b].get());
     }
-    let mut result = Image { width: src.width, height: src.height, pixels };
+    let mut result = Image {
+        width: src.width,
+        height: src.height,
+        pixels,
+    };
     if config.filter == Filter::EdgeDetect {
         // The final, sequential cross-block step runs as a single task that
         // needs write access to the whole image.
@@ -253,13 +275,22 @@ pub fn run_forkjoin_baseline(threads: usize, config: &ImageEditConfig, src: &Ima
                 for rows in my_blocks {
                     let local_start = (rows.start - first_row) * src.width;
                     let local_end = (rows.end - first_row) * src.width;
-                    apply_rows(config.filter, src, rows.clone(), &mut chunk[local_start..local_end]);
+                    apply_rows(
+                        config.filter,
+                        src,
+                        rows.clone(),
+                        &mut chunk[local_start..local_end],
+                    );
                 }
             });
             offset_block = group.end;
         }
     });
-    let mut result = Image { width: src.width, height: src.height, pixels };
+    let mut result = Image {
+        width: src.width,
+        height: src.height,
+        pixels,
+    };
     if config.filter == Filter::EdgeDetect {
         link_block_boundaries(&mut result, &blocks);
     }
@@ -282,7 +313,13 @@ mod tests {
     use twe_runtime::SchedulerKind;
 
     fn small(filter: Filter) -> (ImageEditConfig, Image) {
-        let config = ImageEditConfig { width: 96, height: 80, blocks: 7, filter, seed: 4 };
+        let config = ImageEditConfig {
+            width: 96,
+            height: 80,
+            blocks: 7,
+            filter,
+            seed: 4,
+        };
         let img = Image::synthetic(config.width, config.height, config.seed);
         (config, img)
     }
@@ -328,7 +365,7 @@ mod tests {
         let out = run_sequential(&config, &img);
         assert!(out.pixels.iter().all(|&p| p == 0.0 || p == 255.0));
         // The synthetic image has block structure, so some edges must exist.
-        assert!(out.pixels.iter().any(|&p| p == 255.0));
+        assert!(out.pixels.contains(&255.0));
     }
 
     #[test]

@@ -74,7 +74,11 @@ pub fn generate(config: &KMeansConfig) -> KMeansInput {
     let centers: Vec<f32> = (0..config.n_clusters * config.n_features)
         .map(|_| rng.next_f64() as f32)
         .collect();
-    KMeansInput { points, centers, config: config.clone() }
+    KMeansInput {
+        points,
+        centers,
+        config: config.clone(),
+    }
 }
 
 fn nearest_cluster(input: &KMeansInput, point: usize) -> usize {
@@ -128,7 +132,12 @@ pub fn run_twe(rt: &Runtime, input: &KMeansInput) -> KMeansOutput {
     let input = Arc::new(input.clone());
     let accums: Arc<Vec<RegionCell<ClusterAccum>>> = Arc::new(
         (0..k)
-            .map(|_| RegionCell::new(ClusterAccum { count: 0, sum: vec![0.0; nf] }))
+            .map(|_| {
+                RegionCell::new(ClusterAccum {
+                    count: 0,
+                    sum: vec![0.0; nf],
+                })
+            })
             .collect(),
     );
 
@@ -188,7 +197,12 @@ pub fn run_sync_baseline(threads: usize, input: &KMeansInput) -> KMeansOutput {
     let k = input.config.n_clusters;
     let nf = input.config.n_features;
     let locks: Vec<parking_lot::Mutex<ClusterAccum>> = (0..k)
-        .map(|_| parking_lot::Mutex::new(ClusterAccum { count: 0, sum: vec![0.0; nf] }))
+        .map(|_| {
+            parking_lot::Mutex::new(ClusterAccum {
+                count: 0,
+                sum: vec![0.0; nf],
+            })
+        })
         .collect();
     let ranges = chunk_ranges(input.config.n_points, threads);
     thread::scope(|scope| {
@@ -246,11 +260,11 @@ pub fn run_forkjoin_baseline(threads: usize, input: &KMeansInput) -> KMeansOutpu
     let mut counts = vec![0u64; k];
     let mut sums = vec![0f64; k * nf];
     for partial in partials {
-        for c in 0..k {
-            counts[c] += partial.counts[c];
+        for (count, partial_count) in counts.iter_mut().zip(&partial.counts) {
+            *count += partial_count;
         }
-        for i in 0..k * nf {
-            sums[i] += partial.sums[i];
+        for (sum, partial_sum) in sums.iter_mut().zip(&partial.sums) {
+            *sum += partial_sum;
         }
     }
     KMeansOutput { counts, sums }

@@ -29,7 +29,12 @@ pub struct MonteCarloConfig {
 
 impl Default for MonteCarloConfig {
     fn default() -> Self {
-        MonteCarloConfig { n_paths: 2_000, n_steps: 100, seed: 99, paths_per_task: 16 }
+        MonteCarloConfig {
+            n_paths: 2_000,
+            n_steps: 100,
+            seed: 99,
+            paths_per_task: 16,
+        }
     }
 }
 
@@ -46,7 +51,11 @@ pub struct MonteCarloOutput {
 
 impl MonteCarloOutput {
     fn empty() -> Self {
-        MonteCarloOutput { paths: 0, sum: 0.0, sum_sq: 0.0 }
+        MonteCarloOutput {
+            paths: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+        }
     }
 
     fn add(&mut self, value: f64) {
@@ -168,7 +177,12 @@ mod tests {
     use twe_runtime::SchedulerKind;
 
     fn small() -> MonteCarloConfig {
-        MonteCarloConfig { n_paths: 400, n_steps: 30, seed: 5, paths_per_task: 16 }
+        MonteCarloConfig {
+            n_paths: 400,
+            n_steps: 30,
+            seed: 5,
+            paths_per_task: 16,
+        }
     }
 
     #[test]
@@ -190,7 +204,10 @@ mod tests {
 
     #[test]
     fn mean_is_plausible_for_gbm() {
-        let out = run_sequential(&MonteCarloConfig { n_paths: 2000, ..small() });
+        let out = run_sequential(&MonteCarloConfig {
+            n_paths: 2000,
+            ..small()
+        });
         // Drift 3%, one-year-ish horizon scaled by steps; just check bounds.
         assert!(out.mean().abs() < 1.0);
         assert_eq!(out.paths, 2000);

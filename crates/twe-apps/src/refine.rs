@@ -37,7 +37,12 @@ pub struct RefineConfig {
 
 impl Default for RefineConfig {
     fn default() -> Self {
-        RefineConfig { n_triangles: 2_000, bad_fraction: 0.2, max_cavity: 6, seed: 17 }
+        RefineConfig {
+            n_triangles: 2_000,
+            bad_fraction: 0.2,
+            max_cavity: 6,
+            seed: 17,
+        }
     }
 }
 
@@ -80,10 +85,18 @@ pub fn generate(config: &RefineConfig) -> Mesh {
             if bad {
                 bad_list.push(i);
             }
-            DynCell::new(Triangle { neighbors, bad, touched: 0, refined: 0 })
+            DynCell::new(Triangle {
+                neighbors,
+                bad,
+                touched: 0,
+                refined: 0,
+            })
         })
         .collect();
-    Mesh { triangles, bad_list }
+    Mesh {
+        triangles,
+        bad_list,
+    }
 }
 
 /// Grows the cavity around `center` following neighbour links (the
@@ -132,7 +145,11 @@ pub struct RefineOutput {
 }
 
 fn summarize(mesh: &Mesh) -> RefineOutput {
-    let mut out = RefineOutput { refinements: 0, touches: 0, remaining_bad: 0 };
+    let mut out = RefineOutput {
+        refinements: 0,
+        touches: 0,
+        remaining_bad: 0,
+    };
     for t in &mesh.triangles {
         let tri = t.read();
         out.refinements += tri.refined;
@@ -220,7 +237,12 @@ mod tests {
     use twe_runtime::SchedulerKind;
 
     fn small() -> RefineConfig {
-        RefineConfig { n_triangles: 300, bad_fraction: 0.3, max_cavity: 5, seed: 8 }
+        RefineConfig {
+            n_triangles: 300,
+            bad_fraction: 0.3,
+            max_cavity: 5,
+            seed: 8,
+        }
     }
 
     #[test]
@@ -255,7 +277,12 @@ mod tests {
     fn conflicts_are_detected_under_contention() {
         // A tiny mesh with many bad triangles forces overlapping cavities, so
         // at least some tasks should abort and retry.
-        let config = RefineConfig { n_triangles: 40, bad_fraction: 0.9, max_cavity: 8, seed: 3 };
+        let config = RefineConfig {
+            n_triangles: 40,
+            bad_fraction: 0.9,
+            max_cavity: 8,
+            seed: 3,
+        };
         let mesh = generate(&config);
         let rt = Runtime::new(4, SchedulerKind::Tree);
         let out = run_twe(&rt, &config, &mesh);

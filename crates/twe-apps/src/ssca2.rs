@@ -29,7 +29,12 @@ pub struct Ssca2Config {
 
 impl Default for Ssca2Config {
     fn default() -> Self {
-        Ssca2Config { n_nodes: 1_000, n_edges: 20_000, edges_per_task: 4, seed: 31 }
+        Ssca2Config {
+            n_nodes: 1_000,
+            n_edges: 20_000,
+            edges_per_task: 4,
+            seed: 31,
+        }
     }
 }
 
@@ -47,7 +52,10 @@ pub fn generate(config: &Ssca2Config) -> Vec<Edge> {
                 let x = r.next_f64();
                 ((x * x) * config.n_nodes as f64) as u32 % config.n_nodes as u32
             };
-            (biased(&mut rng), rng.next_below(config.n_nodes as u64) as u32)
+            (
+                biased(&mut rng),
+                rng.next_below(config.n_nodes as u64) as u32,
+            )
         })
         .collect()
 }
@@ -76,8 +84,11 @@ pub fn run_sequential(config: &Ssca2Config, edges: &[Edge]) -> Adjacency {
 /// TWE implementation: one task per small batch of edges, with write effects
 /// on exactly the node regions the batch touches.
 pub fn run_twe(rt: &Runtime, config: &Ssca2Config, edges: &[Edge]) -> Adjacency {
-    let adj: Arc<Vec<RegionCell<Vec<u32>>>> =
-        Arc::new((0..config.n_nodes).map(|_| RegionCell::new(Vec::new())).collect());
+    let adj: Arc<Vec<RegionCell<Vec<u32>>>> = Arc::new(
+        (0..config.n_nodes)
+            .map(|_| RegionCell::new(Vec::new()))
+            .collect(),
+    );
     let n_tasks = config.n_edges.div_ceil(config.edges_per_task.max(1));
     let ranges = chunk_ranges(edges.len(), n_tasks);
     let edges = Arc::new(edges.to_vec());
@@ -90,9 +101,7 @@ pub fn run_twe(rt: &Runtime, config: &Ssca2Config, edges: &[Edge]) -> Adjacency 
             let mut effect_set = EffectSet::pure();
             for &(u, v) in &edges[range.clone()] {
                 for node in [u, v] {
-                    effect_set.push(Effect::write(
-                        Rpl::parse("Nodes").child_index(node as i64),
-                    ));
+                    effect_set.push(Effect::write(Rpl::parse("Nodes").child_index(node as i64)));
                 }
             }
             rt.execute_later("insertEdges", effect_set, move |_| {
@@ -115,8 +124,9 @@ pub fn run_twe(rt: &Runtime, config: &Ssca2Config, edges: &[Edge]) -> Adjacency 
 
 /// The "sync" baseline: plain threads, one mutex per adjacency list.
 pub fn run_sync_baseline(threads: usize, config: &Ssca2Config, edges: &[Edge]) -> Adjacency {
-    let adj: Vec<parking_lot::Mutex<Vec<u32>>> =
-        (0..config.n_nodes).map(|_| parking_lot::Mutex::new(Vec::new())).collect();
+    let adj: Vec<parking_lot::Mutex<Vec<u32>>> = (0..config.n_nodes)
+        .map(|_| parking_lot::Mutex::new(Vec::new()))
+        .collect();
     let ranges = chunk_ranges(edges.len(), threads);
     thread::scope(|scope| {
         for range in ranges {
@@ -138,7 +148,12 @@ mod tests {
     use twe_runtime::SchedulerKind;
 
     fn small() -> Ssca2Config {
-        Ssca2Config { n_nodes: 60, n_edges: 600, edges_per_task: 3, seed: 9 }
+        Ssca2Config {
+            n_nodes: 60,
+            n_edges: 600,
+            edges_per_task: 3,
+            seed: 9,
+        }
     }
 
     #[test]
@@ -172,11 +187,18 @@ mod tests {
 
     #[test]
     fn workload_is_biased_towards_hub_nodes() {
-        let config = Ssca2Config { n_nodes: 100, n_edges: 10_000, ..small() };
+        let config = Ssca2Config {
+            n_nodes: 100,
+            n_edges: 10_000,
+            ..small()
+        };
         let edges = generate(&config);
         let adj = run_sequential(&config, &edges);
         let low: usize = adj[..10].iter().map(Vec::len).sum();
         let high: usize = adj[90..].iter().map(Vec::len).sum();
-        assert!(low > high, "low-numbered nodes should be hotter ({low} vs {high})");
+        assert!(
+            low > high,
+            "low-numbered nodes should be hotter ({low} vs {high})"
+        );
     }
 }

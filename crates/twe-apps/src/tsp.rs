@@ -29,7 +29,11 @@ pub struct TspConfig {
 
 impl Default for TspConfig {
     fn default() -> Self {
-        TspConfig { n_cities: 12, cutoff: 3, seed: 77 }
+        TspConfig {
+            n_cities: 12,
+            cutoff: 3,
+            seed: 77,
+        }
     }
 }
 
@@ -159,9 +163,11 @@ fn search_twe(
         // The partial tour is task-private data; the only shared state is the
         // atomic bound, so the task's declared effect is a read of the
         // (immutable) distance matrix.
-        futures.push(ctx.spawn("tspSubtree", EffectSet::parse("reads Graph"), move |cctx| {
-            search_twe(cctx, &dist, child_path, extended, cutoff, &best);
-        }));
+        futures.push(
+            ctx.spawn("tspSubtree", EffectSet::parse("reads Graph"), move |cctx| {
+                search_twe(cctx, &dist, child_path, extended, cutoff, &best);
+            }),
+        );
     }
     for f in futures {
         f.join(ctx);
@@ -201,8 +207,7 @@ pub fn run_forkjoin_baseline(threads: usize, dist: &DistanceMatrix) -> u64 {
                     for &c in prefix {
                         visited[c] = true;
                     }
-                    let length =
-                        dist.dist(prefix[0], prefix[1]) + dist.dist(prefix[1], prefix[2]);
+                    let length = dist.dist(prefix[0], prefix[1]) + dist.dist(prefix[1], prefix[2]);
                     let mut path = prefix.clone();
                     search_sequential(dist, &mut path, &mut visited, length, &best);
                 }
@@ -218,12 +223,21 @@ mod tests {
     use twe_runtime::SchedulerKind;
 
     fn small() -> TspConfig {
-        TspConfig { n_cities: 9, cutoff: 3, seed: 21 }
+        TspConfig {
+            n_cities: 9,
+            cutoff: 3,
+            seed: 21,
+        }
     }
 
     /// Brute-force optimum for tiny instances.
     fn brute_force(dist: &DistanceMatrix) -> u64 {
-        fn permute(dist: &DistanceMatrix, rest: &mut Vec<usize>, path: &mut Vec<usize>, best: &mut u64) {
+        fn permute(
+            dist: &DistanceMatrix,
+            rest: &mut Vec<usize>,
+            path: &mut Vec<usize>,
+            best: &mut u64,
+        ) {
             if rest.is_empty() {
                 let mut len = 0;
                 for w in path.windows(2) {
@@ -249,7 +263,11 @@ mod tests {
 
     #[test]
     fn sequential_finds_the_optimum() {
-        let config = TspConfig { n_cities: 8, cutoff: 3, seed: 5 };
+        let config = TspConfig {
+            n_cities: 8,
+            cutoff: 3,
+            seed: 5,
+        };
         let dist = generate(&config);
         assert_eq!(run_sequential(&dist), brute_force(&dist));
     }
@@ -275,7 +293,10 @@ mod tests {
     #[test]
     fn triangle_instance_has_obvious_answer() {
         // Three cities: the only tour visits all of them.
-        let dist = DistanceMatrix { n: 3, d: vec![0, 3, 4, 3, 0, 5, 4, 5, 0] };
+        let dist = DistanceMatrix {
+            n: 3,
+            d: vec![0, 3, 4, 3, 0, 5, 4, 5, 0],
+        };
         assert_eq!(run_sequential(&dist), 12);
     }
 }

@@ -29,7 +29,9 @@ unsafe impl<T: Send> Sync for RegionCell<T> {}
 impl<T> RegionCell<T> {
     /// Wraps a value.
     pub fn new(value: T) -> Self {
-        RegionCell { value: UnsafeCell::new(value) }
+        RegionCell {
+            value: UnsafeCell::new(value),
+        }
     }
 
     /// Shared access. Safe only under the TWE effect discipline (see type
@@ -63,7 +65,9 @@ pub struct SplitMix64 {
 impl SplitMix64 {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Self {
-        SplitMix64 { state: seed.wrapping_add(0x9E3779B97F4A7C15) }
+        SplitMix64 {
+            state: seed.wrapping_add(0x9E3779B97F4A7C15),
+        }
     }
 
     /// Next raw 64-bit value.

@@ -19,14 +19,18 @@ fn bench_kmeans(c: &mut Criterion) {
     let input = kmeans::generate(&cfg);
     let mut group = c.benchmark_group("kmeans_2k_points");
     group.sample_size(10);
-    group.bench_function("seq", |b| b.iter(|| black_box(kmeans::run_sequential(&input))));
+    group.bench_function("seq", |b| {
+        b.iter(|| black_box(kmeans::run_sequential(&input)))
+    });
     for kind in [SchedulerKind::Naive, SchedulerKind::Tree] {
         group.bench_function(format!("twe-{}", kind.label()), |b| {
             let rt = Runtime::new(2, kind);
             b.iter(|| black_box(kmeans::run_twe(&rt, &input)))
         });
     }
-    group.bench_function("sync", |b| b.iter(|| black_box(kmeans::run_sync_baseline(4, &input))));
+    group.bench_function("sync", |b| {
+        b.iter(|| black_box(kmeans::run_sync_baseline(4, &input)))
+    });
     group.finish();
 }
 
@@ -41,7 +45,9 @@ fn bench_imageedit(c: &mut Criterion) {
     let img = imageedit::Image::synthetic(cfg.width, cfg.height, cfg.seed);
     let mut group = c.benchmark_group("imageedit_edge_512");
     group.sample_size(10);
-    group.bench_function("seq", |b| b.iter(|| black_box(imageedit::run_sequential(&cfg, &img))));
+    group.bench_function("seq", |b| {
+        b.iter(|| black_box(imageedit::run_sequential(&cfg, &img)))
+    });
     group.bench_function("twe-tree", |b| {
         let rt = Runtime::new(2, SchedulerKind::Tree);
         b.iter(|| black_box(imageedit::run_twe(&rt, &cfg, &img)))
@@ -74,7 +80,7 @@ fn bench_refine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .measurement_time(std::time::Duration::from_secs(2))

@@ -45,7 +45,9 @@ fn main() {
     eprintln!(
         "# regenerating figure(s) {which} ({} workloads), host parallelism = {}",
         if quick { "quick" } else { "full-size" },
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     );
     let rows = run_figures(&which, quick);
     print_rows(&rows);

@@ -43,7 +43,9 @@ pub struct Row {
 /// Thread counts swept by the harness: powers of two up to the host's
 /// available parallelism (the paper swept 1..80 on a 40-core machine).
 pub fn thread_counts() -> Vec<usize> {
-    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let mut counts = vec![1usize];
     while *counts.last().unwrap() * 2 <= max {
         counts.push(counts.last().unwrap() * 2);
@@ -76,7 +78,11 @@ fn row(
         threads,
         param: param.to_string(),
         seconds,
-        speedup: if seconds > 0.0 { seq_seconds / seconds } else { 0.0 },
+        speedup: if seconds > 0.0 {
+            seq_seconds / seconds
+        } else {
+            0.0
+        },
         aux: 0,
     }
 }
@@ -102,7 +108,15 @@ pub fn fig_6_1(quick: bool) -> Vec<Row> {
     for &t in &threads {
         let rt = Runtime::new(t, SchedulerKind::Naive);
         let (s, _) = time(|| barneshut::run_twe(&rt, &bh_cfg, &bodies, &tree));
-        rows.push(row("6.1", "barnes-hut", "twe-single-queue", t, "", s, seq_s));
+        rows.push(row(
+            "6.1",
+            "barnes-hut",
+            "twe-single-queue",
+            t,
+            "",
+            s,
+            seq_s,
+        ));
         let (s, _) = time(|| barneshut::run_forkjoin_baseline(t, &bh_cfg, &bodies, &tree));
         rows.push(row("6.1", "barnes-hut", "forkjoin(dpj)", t, "", s, seq_s));
     }
@@ -118,7 +132,15 @@ pub fn fig_6_1(quick: bool) -> Vec<Row> {
     for &t in &threads {
         let rt = Runtime::new(t, SchedulerKind::Naive);
         let (s, _) = time(|| montecarlo::run_twe(&rt, &mc_cfg));
-        rows.push(row("6.1", "monte-carlo", "twe-single-queue", t, "", s, seq_s));
+        rows.push(row(
+            "6.1",
+            "monte-carlo",
+            "twe-single-queue",
+            t,
+            "",
+            s,
+            seq_s,
+        ));
         let (s, _) = time(|| montecarlo::run_forkjoin_baseline(t, &mc_cfg));
         rows.push(row("6.1", "monte-carlo", "forkjoin(dpj)", t, "", s, seq_s));
     }
@@ -161,7 +183,15 @@ pub fn fig_6_2(quick: bool) -> Vec<Row> {
     for &t in &threads {
         let rt = Runtime::new(t, SchedulerKind::Naive);
         let (s, _) = time(|| fourwins::run_twe(&rt, &fw_cfg));
-        rows.push(row("6.2", "fourwins-ai", "twe-single-queue", t, "", s, seq_s));
+        rows.push(row(
+            "6.2",
+            "fourwins-ai",
+            "twe-single-queue",
+            t,
+            "",
+            s,
+            seq_s,
+        ));
     }
 
     // ImageEdit filters.

@@ -63,7 +63,10 @@ pub struct CompoundEffect {
 impl CompoundEffect {
     /// The compound effect of a task/method entry: its declared effect set.
     pub fn declared(effects: EffectSet) -> Self {
-        CompoundEffect { base: Base::Declared(effects), ops: Vec::new() }
+        CompoundEffect {
+            base: Base::Declared(effects),
+            ops: Vec::new(),
+        }
     }
 
     /// The top element ⊤ (`writes Root:*`): covers every effect.
@@ -80,14 +83,20 @@ impl CompoundEffect {
     pub fn add(&self, effects: EffectSet) -> Self {
         let mut ops = self.ops.clone();
         ops.push(CompoundOp::Add(effects));
-        CompoundEffect { base: self.base.clone(), ops }
+        CompoundEffect {
+            base: self.base.clone(),
+            ops,
+        }
     }
 
     /// Applies `−E` (effects transferred away by a `spawn`).
     pub fn sub(&self, effects: EffectSet) -> Self {
         let mut ops = self.ops.clone();
         ops.push(CompoundOp::Sub(effects));
-        CompoundEffect { base: self.base.clone(), ops }
+        CompoundEffect {
+            base: self.base.clone(),
+            ops,
+        }
     }
 
     /// Applies an arbitrary [`CompoundOp`].
@@ -204,7 +213,9 @@ pub struct EffectDomain {
 impl EffectDomain {
     /// An empty domain.
     pub fn new() -> Self {
-        EffectDomain { effects: Vec::new() }
+        EffectDomain {
+            effects: Vec::new(),
+        }
     }
 
     /// Builds a domain from the given effects, deduplicating.
@@ -247,18 +258,26 @@ impl EffectDomain {
 
     /// The ⊤ value over this domain (all effects covered; `writes Root:*`).
     pub fn top(&self) -> BitCompound {
-        BitCompound { bits: vec![true; self.effects.len()] }
+        BitCompound {
+            bits: vec![true; self.effects.len()],
+        }
     }
 
     /// The ⊥ value over this domain (no effects covered; `pure`).
     pub fn bottom(&self) -> BitCompound {
-        BitCompound { bits: vec![false; self.effects.len()] }
+        BitCompound {
+            bits: vec![false; self.effects.len()],
+        }
     }
 
     /// The value for a declared effect set: every domain effect covered by it.
     pub fn from_declared(&self, declared: &EffectSet) -> BitCompound {
         BitCompound {
-            bits: self.effects.iter().map(|e| declared.covers_effect(e)).collect(),
+            bits: self
+                .effects
+                .iter()
+                .map(|e| declared.covers_effect(e))
+                .collect(),
         }
     }
 
@@ -465,11 +484,7 @@ mod tests {
         let bits = domain.apply_ops(&entry, &ops);
 
         for (i, q) in queries.iter().enumerate() {
-            assert_eq!(
-                bits.contains(i),
-                sym.covers(&eff(q)),
-                "mismatch on {q}"
-            );
+            assert_eq!(bits.contains(i), sym.covers(&eff(q)), "mismatch on {q}");
         }
     }
 
@@ -506,15 +521,28 @@ mod tests {
     #[test]
     fn transfer_functions_are_rapid() {
         let mut domain = EffectDomain::new();
-        for q in ["writes A", "reads A", "writes B", "writes A:B", "reads C", "writes C"] {
+        for q in [
+            "writes A",
+            "reads A",
+            "writes B",
+            "writes A:B",
+            "reads C",
+            "writes C",
+        ] {
             domain.add(eff(q));
         }
         let op_choices = [
             vec![],
             vec![CompoundOp::Sub(es("writes A"))],
             vec![CompoundOp::Add(es("writes B"))],
-            vec![CompoundOp::Sub(es("writes A:*")), CompoundOp::Add(es("writes A:B"))],
-            vec![CompoundOp::Add(es("writes C")), CompoundOp::Sub(es("reads A"))],
+            vec![
+                CompoundOp::Sub(es("writes A:*")),
+                CompoundOp::Add(es("writes A:B")),
+            ],
+            vec![
+                CompoundOp::Add(es("writes C")),
+                CompoundOp::Sub(es("reads A")),
+            ],
         ];
         let inputs = [
             domain.bottom(),
@@ -536,7 +564,14 @@ mod tests {
     #[test]
     fn transfer_functions_are_distributive() {
         let mut domain = EffectDomain::new();
-        for q in ["writes A", "reads A", "writes B", "writes A:B", "reads C", "writes C"] {
+        for q in [
+            "writes A",
+            "reads A",
+            "writes B",
+            "writes A:B",
+            "reads C",
+            "writes C",
+        ] {
             domain.add(eff(q));
         }
         let ops = vec![

@@ -37,12 +37,18 @@ pub struct Effect {
 impl Effect {
     /// A read effect on `rpl`.
     pub fn read(rpl: Rpl) -> Self {
-        Effect { kind: EffectKind::Read, rpl }
+        Effect {
+            kind: EffectKind::Read,
+            rpl,
+        }
     }
 
     /// A write effect on `rpl`.
     pub fn write(rpl: Rpl) -> Self {
-        Effect { kind: EffectKind::Write, rpl }
+        Effect {
+            kind: EffectKind::Write,
+            rpl,
+        }
     }
 
     /// Parses `"reads A:B"` / `"writes A:*"` (used by tests and the IR).
@@ -50,10 +56,9 @@ impl Effect {
         let text = text.trim();
         if let Some(rest) = text.strip_prefix("reads ") {
             Some(Effect::read(Rpl::parse(rest)))
-        } else if let Some(rest) = text.strip_prefix("writes ") {
-            Some(Effect::write(Rpl::parse(rest)))
         } else {
-            None
+            text.strip_prefix("writes ")
+                .map(|rest| Effect::write(Rpl::parse(rest)))
         }
     }
 
@@ -114,7 +119,9 @@ pub struct EffectSet {
 impl EffectSet {
     /// The `pure` effect: no reads or writes.
     pub fn pure() -> Self {
-        EffectSet { effects: Vec::new() }
+        EffectSet {
+            effects: Vec::new(),
+        }
     }
 
     /// The top effect `writes Root:*`, which covers every possible effect.
@@ -124,7 +131,9 @@ impl EffectSet {
 
     /// Builds a set from individual effects.
     pub fn from_effects(effects: impl IntoIterator<Item = Effect>) -> Self {
-        EffectSet { effects: effects.into_iter().collect() }
+        EffectSet {
+            effects: effects.into_iter().collect(),
+        }
     }
 
     /// Parses a comma-separated effect list, e.g. `"writes Top, reads Root"`.
@@ -347,8 +356,15 @@ mod tests {
         // If A ⊆ B and B # C then A # C (the defining property of inclusion),
         // spot-checked over a handful of triples.
         let effects: Vec<Effect> = [
-            "reads A", "writes A", "reads A:B", "writes A:B", "writes A:*", "reads A:*",
-            "writes B", "reads Root", "writes Root:*",
+            "reads A",
+            "writes A",
+            "reads A:B",
+            "writes A:B",
+            "writes A:*",
+            "reads A:*",
+            "writes B",
+            "reads Root",
+            "writes Root:*",
         ]
         .iter()
         .map(|t| Effect::parse(t).unwrap())
@@ -377,7 +393,8 @@ mod tests {
         fn arb_rpl() -> impl Strategy<Value = Rpl> {
             proptest::collection::vec(
                 prop_oneof![
-                    (0..3u8).prop_map(|i| crate::rpl::RplElement::name(["A", "B", "C"][i as usize])),
+                    (0..3u8)
+                        .prop_map(|i| crate::rpl::RplElement::name(["A", "B", "C"][i as usize])),
                     (0..3i64).prop_map(crate::rpl::RplElement::Index),
                     Just(crate::rpl::RplElement::Star),
                     Just(crate::rpl::RplElement::AnyIndex),

@@ -125,10 +125,10 @@ mod tests {
     #[test]
     fn concurrent_interning_is_consistent() {
         let handles: Vec<_> = (0..8)
-            .map(|t| {
+            .map(|_| {
                 std::thread::spawn(move || {
                     (0..64)
-                        .map(|i| intern(&format!("conc_{}", i % 16)).0 + t * 0)
+                        .map(|i| intern(&format!("conc_{}", i % 16)).0)
                         .collect::<Vec<u32>>()
                 })
             })

@@ -91,12 +91,16 @@ pub struct Rpl {
 impl Rpl {
     /// The root region `Root`.
     pub fn root() -> Self {
-        Rpl { elements: Vec::new() }
+        Rpl {
+            elements: Vec::new(),
+        }
     }
 
     /// Builds an RPL from a list of elements (excluding the implicit `Root`).
     pub fn new(elements: impl Into<Vec<RplElement>>) -> Self {
-        Rpl { elements: elements.into() }
+        Rpl {
+            elements: elements.into(),
+        }
     }
 
     /// Builds an RPL from simple region names: `from_names(["A", "B"])` is `Root:A:B`.

@@ -209,8 +209,18 @@ impl Drop for ThreadPool {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.wakeup.notify_all();
+        // The pool can be dropped *from one of its own worker threads*: jobs
+        // hold clones of the owner's `Arc` (e.g. the runtime's task closures),
+        // so the last clone may die inside a job. A thread cannot join
+        // itself — detach our own handle (the worker exits via the shutdown
+        // flag) and join the rest.
+        let current = std::thread::current().id();
         for handle in self.threads.lock().drain(..) {
-            let _ = handle.join();
+            if handle.thread().id() == current {
+                drop(handle);
+            } else {
+                let _ = handle.join();
+            }
         }
     }
 }
@@ -230,9 +240,7 @@ fn worker_loop(shared: Arc<Shared>, worker: Worker<Job>) {
         if shared.shutdown.load(Ordering::Acquire) {
             break;
         }
-        shared
-            .wakeup
-            .wait_for(&mut guard, Duration::from_millis(1));
+        shared.wakeup.wait_for(&mut guard, Duration::from_millis(1));
     }
     LOCAL.with(|l| *l.borrow_mut() = None);
 }
@@ -309,6 +317,71 @@ mod tests {
         }));
         pool.help_until(|| finished.load(Ordering::Acquire));
         assert!(finished.load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn single_worker_blocked_join_chain_does_not_deadlock() {
+        // A chain of joins from *worker* threads at pool size 1: job 0 blocks
+        // on job 1, which blocks on job 2. Every blocked worker must keep
+        // helping (running the next job in the chain from its own thread) or
+        // the pool's only worker would sleep forever holding the chain.
+        let pool = Arc::new(ThreadPool::new(1));
+        const DEPTH: usize = 4;
+        let done: Arc<Vec<AtomicBool>> =
+            Arc::new((0..DEPTH).map(|_| AtomicBool::new(false)).collect());
+
+        fn submit_level(pool: &Arc<ThreadPool>, done: &Arc<Vec<AtomicBool>>, level: usize) {
+            let pool2 = Arc::clone(pool);
+            let done2 = Arc::clone(done);
+            pool.execute(Box::new(move || {
+                if level + 1 < done2.len() {
+                    submit_level(&pool2, &done2, level + 1);
+                    // Block this worker on the deeper job: only helping
+                    // (running that job right here) can make progress.
+                    pool2.help_until(|| done2[level + 1].load(Ordering::Acquire));
+                }
+                done2[level].store(true, Ordering::Release);
+            }));
+        }
+
+        submit_level(&pool, &done, 0);
+        pool.help_until(|| done[0].load(Ordering::Acquire));
+        for (level, flag) in done.iter().enumerate() {
+            assert!(
+                flag.load(Ordering::Acquire),
+                "level {level} never completed"
+            );
+        }
+        assert_eq!(pool.pending_jobs(), 0);
+    }
+
+    #[test]
+    fn drop_from_worker_thread_detaches_self_without_panicking() {
+        // A job can own the last `Arc<ThreadPool>` (the runtime's task
+        // closures do exactly this), so `ThreadPool::drop` may run on a pool
+        // worker; it must not try to join its own thread.
+        let pool = Arc::new(ThreadPool::new(2));
+        let gate = Arc::new(AtomicBool::new(false));
+        let done = Arc::new(AtomicBool::new(false));
+        {
+            let pool_clone = Arc::clone(&pool);
+            let gate = Arc::clone(&gate);
+            let done = Arc::clone(&done);
+            pool.execute(Box::new(move || {
+                // Wait until the main thread has released its Arc, so this
+                // drop is deterministically the last one.
+                while !gate.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+                drop(pool_clone);
+                done.store(true, Ordering::Release);
+            }));
+        }
+        drop(pool);
+        gate.store(true, Ordering::Release);
+        while !done.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
     }
 
     #[test]

@@ -113,7 +113,11 @@ impl<'rt> TaskCtx<'rt> {
         *record.job.lock() = Some(job);
         self.rt.submit_enabled(record.clone());
         SpawnedTaskFuture {
-            future: TaskFuture { rt: self.rt.clone(), record, state },
+            future: TaskFuture {
+                rt: self.rt.clone(),
+                record,
+                state,
+            },
             transferred: effects,
             parent_id: self.record.id,
             joined: AtomicBool::new(false),

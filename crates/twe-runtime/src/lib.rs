@@ -201,7 +201,11 @@ impl RtInner {
         let job = self.make_job(record.clone(), state.clone(), body, None);
         *record.job.lock() = Some(job);
         self.scheduler().submit(record.clone());
-        TaskFuture { rt: self.clone(), record, state }
+        TaskFuture {
+            rt: self.clone(),
+            record,
+            state,
+        }
     }
 
     pub(crate) fn execute_later_retry_impl<T, F>(
@@ -218,7 +222,11 @@ impl RtInner {
         let job = self.make_retry_job(record.clone(), state.clone(), body, None);
         *record.job.lock() = Some(job);
         self.scheduler().submit(record.clone());
-        TaskFuture { rt: self.clone(), record, state }
+        TaskFuture {
+            rt: self.clone(),
+            record,
+            state,
+        }
     }
 }
 
@@ -254,7 +262,7 @@ fn backoff(task_id: u64, attempts: u32) {
         std::thread::yield_now();
         return;
     }
-    let stagger = (task_id % 7 + 1) as u64;
+    let stagger = task_id % 7 + 1;
     let micros = (attempts.min(12) as u64) * 25 * stagger;
     std::thread::sleep(Duration::from_micros(micros));
 }
@@ -268,7 +276,10 @@ pub struct RuntimeBuilder {
 
 impl Default for RuntimeBuilder {
     fn default() -> Self {
-        RuntimeBuilder { threads: None, kind: SchedulerKind::Tree }
+        RuntimeBuilder {
+            threads: None,
+            kind: SchedulerKind::Tree,
+        }
     }
 }
 
@@ -519,6 +530,25 @@ mod tests {
             // Return without joining: the runtime performs the implicit join.
         });
         assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn single_thread_runtime_spawn_join_does_not_deadlock() {
+        // With one worker thread, a parent that joins its child can only make
+        // progress if the blocked worker helps (runs the child itself); this
+        // drives ThreadPool::help_until through the runtime's join path.
+        for kind in [SchedulerKind::Naive, SchedulerKind::Tree] {
+            let rt = Runtime::new(1, kind);
+            let v = rt.run(
+                "parent",
+                EffectSet::parse("writes Top, writes Bottom"),
+                |ctx| {
+                    let child = ctx.spawn("child", EffectSet::parse("writes Top"), |_| 40u32);
+                    child.join(ctx) + 2
+                },
+            );
+            assert_eq!(v, 42, "{kind:?}");
+        }
     }
 
     #[test]

@@ -49,7 +49,11 @@ impl NaiveScheduler {
             }
             let other_enabled = other_status == TaskStatus::Enabled;
             let ahead = i < pos;
-            let relevant = if prioritized { other_enabled } else { other_enabled || ahead };
+            let relevant = if prioritized {
+                other_enabled
+            } else {
+                other_enabled || ahead
+            };
             if relevant && tasks_conflict(other, task) {
                 return false;
             }
@@ -57,41 +61,40 @@ impl NaiveScheduler {
         true
     }
 
-    /// Scans the whole queue and enables every task that has become safe to
-    /// run. Called after anything that may have resolved a conflict.
-    fn enable_ready(&self) {
-        loop {
-            // Collect the tasks to enable under the lock, enable them outside
-            // it (the enable callback submits to the thread pool).
-            let to_enable: Vec<Arc<TaskRecord>> = {
-                let queue = self.queue.lock();
-                let mut ready = Vec::new();
-                for (pos, task) in queue.iter().enumerate() {
-                    let status = task.status();
-                    if status != TaskStatus::Waiting && status != TaskStatus::Prioritized {
-                        continue;
-                    }
-                    if Self::can_enable(&queue, pos, task) {
-                        ready.push(task.clone());
-                    }
+    /// Runs `can_enable` over the waiting tasks selected by `candidate` and
+    /// enables the ones that pass. Called after anything that may have
+    /// resolved a conflict, with `candidate` restricting the scan to the
+    /// tasks that event could actually have unblocked — the full decision
+    /// procedure (`can_enable`) is unchanged, only the set of tasks it is
+    /// re-run on shrinks. Enabling a task never *unblocks* further waiting
+    /// tasks (it only adds constraints), so a single round suffices.
+    fn enable_ready_among(&self, candidate: impl Fn(&Arc<TaskRecord>) -> bool) {
+        // Collect the tasks to enable under the lock, enable them outside
+        // it (the enable callback submits to the thread pool).
+        let to_enable: Vec<Arc<TaskRecord>> = {
+            let queue = self.queue.lock();
+            let mut ready = Vec::new();
+            for (pos, task) in queue.iter().enumerate() {
+                let status = task.status();
+                if status != TaskStatus::Waiting && status != TaskStatus::Prioritized {
+                    continue;
                 }
-                // Mark them enabled while still holding the lock so a
-                // concurrent scan does not double-enable them.
-                for task in &ready {
-                    task.sched.lock().status = TaskStatus::Enabled;
+                if !candidate(task) {
+                    continue;
                 }
-                ready
-            };
-            if to_enable.is_empty() {
-                return;
+                if Self::can_enable(&queue, pos, task) {
+                    ready.push(task.clone());
+                }
             }
-            for task in to_enable {
-                (self.enable)(task);
+            // Mark them enabled while still holding the lock so a
+            // concurrent scan does not double-enable them.
+            for task in &ready {
+                task.sched.lock().status = TaskStatus::Enabled;
             }
-            // Enabling a task never *unblocks* additional waiting tasks (it
-            // only adds constraints), so a single round suffices; loop again
-            // only as a cheap safety net if the queue changed meanwhile.
-            return;
+            ready
+        };
+        for task in to_enable {
+            (self.enable)(task);
         }
     }
 }
@@ -102,17 +105,23 @@ impl Scheduler for NaiveScheduler {
     }
 
     fn submit(&self, task: Arc<TaskRecord>) {
+        let id = task.id;
         {
             let mut queue = self.queue.lock();
             queue.push(task);
         }
-        self.enable_ready();
+        // A new task only adds constraints, so the sole candidate for
+        // enabling is the task itself.
+        self.enable_ready_among(|t| t.id == id);
     }
 
     fn on_await(&self, _blocked: Option<&Arc<TaskRecord>>, target: &Arc<TaskRecord>) {
         // Prioritize the awaited task and everything it is transitively
-        // blocked on, then rescan: the caller has already recorded itself as
-        // the blocker, so effect transfer applies in the conflict test.
+        // blocked on, then recheck exactly that chain: the caller has already
+        // recorded itself as the blocker, so both status changes (waiting →
+        // prioritized) and newly applicable effect transfer are confined to
+        // the chain's tasks.
+        let mut chain = Vec::new();
         let mut current = Some(target.clone());
         let mut hops = 0;
         while let Some(task) = current {
@@ -122,13 +131,14 @@ impl Scheduler for NaiveScheduler {
                     sched.status = TaskStatus::Prioritized;
                 }
             }
+            chain.push(task.id);
             current = task.blocker.lock().clone();
             hops += 1;
             if hops > 1_000_000 {
                 break;
             }
         }
-        self.enable_ready();
+        self.enable_ready_among(|t| chain.contains(&t.id));
     }
 
     fn task_done(&self, task: &Arc<TaskRecord>) {
@@ -136,11 +146,16 @@ impl Scheduler for NaiveScheduler {
             let mut queue = self.queue.lock();
             queue.retain(|t| t.id != task.id);
         }
-        self.enable_ready();
+        // Only waiters whose effects interfere with the finished task's can
+        // have been blocked by it (its spawned children's effects are covered
+        // by its declared set, so this filter is conservative for them too).
+        self.enable_ready_among(|t| !task.effects.non_interfering(&t.effects));
     }
 
-    fn spawned_child_done(&self, _parent: &Arc<TaskRecord>) {
-        self.enable_ready();
+    fn spawned_child_done(&self, parent: &Arc<TaskRecord>) {
+        // Same covering argument as in `task_done`: a child's effects are
+        // covered by the parent's declared effects.
+        self.enable_ready_among(|t| !parent.effects.non_interfering(&t.effects));
     }
 }
 

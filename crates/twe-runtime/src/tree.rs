@@ -57,7 +57,11 @@ impl EffectRecord {
     /// The effect as a plain [`Effect`] value.
     pub fn as_effect(&self) -> Effect {
         Effect {
-            kind: if self.write { EffectKind::Write } else { EffectKind::Read },
+            kind: if self.write {
+                EffectKind::Write
+            } else {
+                EffectKind::Read
+            },
             rpl: self.rpl.clone(),
         }
     }
@@ -113,6 +117,18 @@ fn add_effect(node: &NodeRef, guard: &mut NodeGuard, e: &Arc<EffectRecord>) {
 
 fn remove_effect(guard: &mut NodeGuard, e: &Arc<EffectRecord>) {
     guard.effects.retain(|x| !Arc::ptr_eq(x, e));
+}
+
+/// Registers `waiter` on `on`'s waiter list. The list is conceptually a set
+/// (Figure 5.12): an effect may be rechecked — and fail — many times while
+/// the same conflict persists, and re-registering it each time would let the
+/// list grow by a factor per recheck generation, which turns the fine-grained
+/// contended case (e.g. the K-Means accumulate pattern) quadratic-or-worse.
+fn push_waiter(on: &EffectRecord, waiter: &Arc<EffectRecord>) {
+    let mut waiters = on.waiters.lock();
+    if !waiters.iter().any(|w| Arc::ptr_eq(w, waiter)) {
+        waiters.push(waiter.clone());
+    }
 }
 
 /// The tree-based scheduler.
@@ -172,10 +188,11 @@ impl TreeScheduler {
     }
 
     fn try_disable(&self, e: &Arc<EffectRecord>) -> bool {
-        let Some(task) = e.task.upgrade() else { return false };
+        let Some(task) = e.task.upgrade() else {
+            return false;
+        };
         let mut s = task.sched.lock();
-        let can_disable =
-            s.disabled_effects > 0 && !s.rechecking && s.status < TaskStatus::Enabled;
+        let can_disable = s.disabled_effects > 0 && !s.rechecking && s.status < TaskStatus::Enabled;
         if can_disable && e.enabled.swap(false, Ordering::AcqRel) {
             s.disabled_effects += 1;
             true
@@ -228,16 +245,19 @@ impl TreeScheduler {
 
     /// Checks `e` against the enabled effects at the locked node (Figure 5.6).
     fn check_at(&self, guard: &mut NodeGuard, e: &Arc<EffectRecord>, prio: bool) -> bool {
-        let effects = guard.effects.clone();
-        for existing in effects {
+        // Index-based iteration: `guard.effects` is only mutated through this
+        // same guard, and cloning the whole list here is a hot-path
+        // allocation (this node may hold every outstanding `reads Root`).
+        for i in 0..guard.effects.len() {
+            let existing = guard.effects[i].clone();
             if Arc::ptr_eq(&existing, e) {
                 continue;
             }
             if existing.is_enabled() && self.conflicts(&existing, e) {
                 if prio && self.try_disable(&existing) {
-                    e.waiters.lock().push(existing.clone());
+                    push_waiter(e, &existing);
                 } else {
-                    existing.waiters.lock().push(e.clone());
+                    push_waiter(&existing, e);
                     return true;
                 }
             }
@@ -274,13 +294,13 @@ impl TreeScheduler {
                         // Move the (disabled) conflicting effect up to ne so
                         // that rechecking it later starts from a node where it
                         // will encounter `e`.
-                        e.waiters.lock().push(existing.clone());
+                        push_waiter(e, &existing);
                         cg.effects.remove(i);
                         ne_guard.effects.push(existing.clone());
                         *existing.node.lock() = Some(ne.clone());
                         continue;
                     } else {
-                        existing.waiters.lock().push(e.clone());
+                        push_waiter(&existing, e);
                         conflict_found = true;
                         break;
                     }
@@ -312,15 +332,13 @@ impl TreeScheduler {
     ) {
         let mut below: Vec<(NodeRef, Vec<Arc<EffectRecord>>)> = Vec::new();
         for e in effects {
-            let at_this_node =
-                e.rpl.len() == depth || e.rpl.elements()[depth].is_wildcard();
+            let at_this_node = e.rpl.len() == depth || e.rpl.elements()[depth].is_wildcard();
             if at_this_node {
                 add_effect(&node, &mut guard, &e);
                 let conflicts_here = self.check_at(&mut guard, &e, false);
                 if !conflicts_here {
                     let children: Vec<NodeRef> = guard.children.values().cloned().collect();
-                    let conflicts_below =
-                        self.check_below(children, &e, &node, &mut guard, false);
+                    let conflicts_below = self.check_below(children, &e, &node, &mut guard, false);
                     if !conflicts_below {
                         self.enable_effect(&e);
                     }
@@ -367,7 +385,10 @@ impl TreeScheduler {
         loop {
             let node = { e.node.lock().clone() };
             let Some(node) = node else {
-                std::hint::spin_loop();
+                // The effect is between nodes (insert/recheck is moving it);
+                // yield rather than spin so the moving thread can finish on
+                // machines with few cores.
+                std::thread::yield_now();
                 continue;
             };
             let guard = node.lock_arc();
@@ -456,7 +477,9 @@ impl TreeScheduler {
     fn recheck_waiters_of(&self, e: &Arc<EffectRecord>) {
         let waiters: Vec<Arc<EffectRecord>> = std::mem::take(&mut *e.waiters.lock());
         for waiter in waiters {
-            let Some(waiter_task) = waiter.task.upgrade() else { continue };
+            let Some(waiter_task) = waiter.task.upgrade() else {
+                continue;
+            };
             if waiter_task.is_done() {
                 continue;
             }
@@ -815,7 +838,11 @@ mod tests {
         let mut rounds = 0;
         while !remaining.is_empty() {
             rounds += 1;
-            assert!(rounds < 10_000, "scheduler stalled with {} tasks", remaining.len());
+            assert!(
+                rounds < 10_000,
+                "scheduler stalled with {} tasks",
+                remaining.len()
+            );
             let mut next = Vec::new();
             for t in remaining {
                 if t.status() == TaskStatus::Enabled {
@@ -827,7 +854,11 @@ mod tests {
             }
             remaining = next;
         }
-        assert_eq!(violations.load(Ordering::Relaxed), 0, "task isolation violated");
+        assert_eq!(
+            violations.load(Ordering::Relaxed),
+            0,
+            "task isolation violated"
+        );
         assert_eq!(enabled_count.load(Ordering::Relaxed), 200);
         assert_eq!(sched.recorded_effects(), 0);
     }

@@ -22,14 +22,21 @@ fn main() {
     let start = std::time::Instant::now();
     let out = refine::run_twe(&rt, &cfg, &mesh);
     let took = start.elapsed();
-    assert!(refine::validate(&cfg, &mesh, &out), "refinement invariants violated");
+    assert!(
+        refine::validate(&cfg, &mesh, &out),
+        "refinement invariants violated"
+    );
     println!(
         "refine: {} refinements, {} cavity touches in {took:?}",
         out.refinements, out.touches
     );
 
     // Graph colouring.
-    let ccfg = coloring::ColoringConfig { n_nodes: 20_000, avg_degree: 8, seed: 42 };
+    let ccfg = coloring::ColoringConfig {
+        n_nodes: 20_000,
+        avg_degree: 8,
+        seed: 42,
+    };
     let graph = coloring::generate(&ccfg);
     let start = std::time::Instant::now();
     let cout = coloring::run_twe(&rt, &graph);

@@ -46,7 +46,8 @@ fn main() {
             "view.refresh",
             EffectSet::parse("reads Board, writes View"),
             move |_| {
-                v.get_mut().push(format!("turn {turn}: human played column {col}"));
+                v.get_mut()
+                    .push(format!("turn {turn}: human played column {col}"));
                 b.get().legal_moves().len()
             },
         );
@@ -61,9 +62,13 @@ fn main() {
         let open_columns = view_future.wait();
 
         let b = board.clone();
-        rt.run("board.applyMove", EffectSet::parse("writes Board"), move |_| {
-            b.get_mut().drop_piece(reply.best_move, 2);
-        });
+        rt.run(
+            "board.applyMove",
+            EffectSet::parse("writes Board"),
+            move |_| {
+                b.get_mut().drop_piece(reply.best_move, 2);
+            },
+        );
         game_moves.push(reply.best_move);
         println!(
             "turn {turn}: human -> {col}, computer -> {} (score {}, {} columns open)",

@@ -12,7 +12,9 @@ fn main() {
     let rt = Runtime::builder().scheduler(SchedulerKind::Tree).build();
 
     // Three "open images", each with its own region space.
-    let images: Vec<Image> = (0..3).map(|i| Image::synthetic(384, 384, 100 + i)).collect();
+    let images: Vec<Image> = (0..3)
+        .map(|i| Image::synthetic(384, 384, 100 + i))
+        .collect();
 
     // A simulated stream of user events: (image index, filter to apply).
     let events = [
@@ -45,9 +47,7 @@ fn main() {
 
     for (image_idx, filter, result, took) in pending {
         let mean: f32 = result.pixels.iter().sum::<f32>() / result.pixels.len() as f32;
-        println!(
-            "image {image_idx}: {filter:?} done in {took:?} (mean intensity {mean:.1})"
-        );
+        println!("image {image_idx}: {filter:?} done in {took:?} (mean intensity {mean:.1})");
     }
     println!("runtime stats: {:?}", rt.stats());
 }

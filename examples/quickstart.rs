@@ -25,7 +25,10 @@ fn main() {
     // ------------------------------------------------------------------
     // 2. The runtime: tasks with effects.
     // ------------------------------------------------------------------
-    let rt = Runtime::builder().threads(4).scheduler(SchedulerKind::Tree).build();
+    let rt = Runtime::builder()
+        .threads(4)
+        .scheduler(SchedulerKind::Tree)
+        .build();
 
     // Unstructured concurrency: two independent tasks with disjoint effects
     // run in parallel; a third task that conflicts with the first waits.

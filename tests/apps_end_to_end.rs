@@ -23,26 +23,47 @@ fn kmeans_end_to_end() {
     let expected = kmeans::run_sequential(&input);
     for kind in both_schedulers() {
         let rt = Runtime::new(2, kind);
-        assert!(kmeans::outputs_match(&kmeans::run_twe(&rt, &input), &expected));
+        assert!(kmeans::outputs_match(
+            &kmeans::run_twe(&rt, &input),
+            &expected
+        ));
     }
-    assert!(kmeans::outputs_match(&kmeans::run_sync_baseline(4, &input), &expected));
-    assert!(kmeans::outputs_match(&kmeans::run_forkjoin_baseline(4, &input), &expected));
+    assert!(kmeans::outputs_match(
+        &kmeans::run_sync_baseline(4, &input),
+        &expected
+    ));
+    assert!(kmeans::outputs_match(
+        &kmeans::run_forkjoin_baseline(4, &input),
+        &expected
+    ));
 }
 
 #[test]
 fn ssca2_end_to_end() {
-    let config = ssca2::Ssca2Config { n_nodes: 80, n_edges: 500, edges_per_task: 4, seed: 2 };
+    let config = ssca2::Ssca2Config {
+        n_nodes: 80,
+        n_edges: 500,
+        edges_per_task: 4,
+        seed: 2,
+    };
     let edges = ssca2::generate(&config);
     let expected = ssca2::canonical(ssca2::run_sequential(&config, &edges));
     for kind in both_schedulers() {
         let rt = Runtime::new(2, kind);
-        assert_eq!(ssca2::canonical(ssca2::run_twe(&rt, &config, &edges)), expected);
+        assert_eq!(
+            ssca2::canonical(ssca2::run_twe(&rt, &config, &edges)),
+            expected
+        );
     }
 }
 
 #[test]
 fn tsp_end_to_end() {
-    let config = tsp::TspConfig { n_cities: 9, cutoff: 3, seed: 3 };
+    let config = tsp::TspConfig {
+        n_cities: 9,
+        cutoff: 3,
+        seed: 3,
+    };
     let dist = tsp::generate(&config);
     let expected = tsp::run_sequential(&dist);
     for kind in both_schedulers() {
@@ -54,11 +75,21 @@ fn tsp_end_to_end() {
 
 #[test]
 fn barneshut_and_montecarlo_end_to_end() {
-    let bh = barneshut::BarnesHutConfig { n_bodies: 250, theta: 0.6, seed: 4, chunks: 8 };
+    let bh = barneshut::BarnesHutConfig {
+        n_bodies: 250,
+        theta: 0.6,
+        seed: 4,
+        chunks: 8,
+    };
     let bodies = barneshut::generate(&bh);
     let tree = barneshut::build_tree(&bodies);
     let expected = barneshut::run_sequential(&bh, &bodies, &tree);
-    let mc = montecarlo::MonteCarloConfig { n_paths: 300, n_steps: 25, seed: 5, paths_per_task: 8 };
+    let mc = montecarlo::MonteCarloConfig {
+        n_paths: 300,
+        n_steps: 25,
+        seed: 5,
+        paths_per_task: 8,
+    };
     let mc_expected = montecarlo::run_sequential(&mc);
     for kind in both_schedulers() {
         let rt = Runtime::new(2, kind);
@@ -66,13 +97,20 @@ fn barneshut_and_montecarlo_end_to_end() {
             &barneshut::run_twe(&rt, &bh, &bodies, &tree),
             &expected
         ));
-        assert!(montecarlo::outputs_match(&montecarlo::run_twe(&rt, &mc), &mc_expected));
+        assert!(montecarlo::outputs_match(
+            &montecarlo::run_twe(&rt, &mc),
+            &mc_expected
+        ));
     }
 }
 
 #[test]
 fn fourwins_and_imageedit_end_to_end() {
-    let fw = fourwins::FourWinsConfig { depth: 5, parallel_depth: 2, opening: vec![3, 3] };
+    let fw = fourwins::FourWinsConfig {
+        depth: 5,
+        parallel_depth: 2,
+        opening: vec![3, 3],
+    };
     let fw_expected = fourwins::run_sequential(&fw);
     let ie = imageedit::ImageEditConfig {
         width: 64,
@@ -86,14 +124,26 @@ fn fourwins_and_imageedit_end_to_end() {
     for kind in both_schedulers() {
         let rt = Runtime::new(2, kind);
         assert_eq!(fourwins::run_twe(&rt, &fw).score, fw_expected.score);
-        assert!(imageedit::images_match(&imageedit::run_twe(&rt, &ie, &img), &ie_expected));
+        assert!(imageedit::images_match(
+            &imageedit::run_twe(&rt, &ie, &img),
+            &ie_expected
+        ));
     }
 }
 
 #[test]
 fn dynamic_effect_apps_end_to_end() {
-    let rc = refine::RefineConfig { n_triangles: 250, bad_fraction: 0.3, max_cavity: 5, seed: 7 };
-    let cc = coloring::ColoringConfig { n_nodes: 200, avg_degree: 6, seed: 8 };
+    let rc = refine::RefineConfig {
+        n_triangles: 250,
+        bad_fraction: 0.3,
+        max_cavity: 5,
+        seed: 7,
+    };
+    let cc = coloring::ColoringConfig {
+        n_nodes: 200,
+        avg_degree: 6,
+        seed: 8,
+    };
     for kind in both_schedulers() {
         let rt = Runtime::new(2, kind);
         let mesh = refine::generate(&rc);

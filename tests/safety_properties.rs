@@ -18,8 +18,7 @@ fn task_isolation_holds_under_stress() {
         let rt = Runtime::new(2, kind);
         // `active[r]` counts the tasks currently inside a body that writes
         // region r; isolation means it never exceeds 1.
-        let active: Arc<Vec<AtomicUsize>> =
-            Arc::new((0..8).map(|_| AtomicUsize::new(0)).collect());
+        let active: Arc<Vec<AtomicUsize>> = Arc::new((0..8).map(|_| AtomicUsize::new(0)).collect());
         let violations = Arc::new(AtomicUsize::new(0));
         let futures: Vec<_> = (0..160)
             .map(|i| {
@@ -57,13 +56,11 @@ fn readers_share_writers_exclude() {
         let mut futures = Vec::new();
         for round in 0..8 {
             let v = value.clone();
-            futures.push(rt.execute_later(
-                "writer",
-                EffectSet::parse("writes Value"),
-                move |_| {
+            futures.push(
+                rt.execute_later("writer", EffectSet::parse("writes Value"), move |_| {
                     *v.get_mut() += 1;
-                },
-            ));
+                }),
+            );
             for _ in 0..4 {
                 let v = value.clone();
                 futures.push(rt.execute_later(
@@ -95,16 +92,14 @@ fn task_bodies_are_atomic() {
     let mut futures = Vec::new();
     for _ in 0..40 {
         let p = pair.clone();
-        futures.push(rt.execute_later(
-            "update-both",
-            EffectSet::parse("writes Pair"),
-            move |_| {
+        futures.push(
+            rt.execute_later("update-both", EffectSet::parse("writes Pair"), move |_| {
                 let v = p.get_mut();
                 v.0 += 1;
                 std::thread::yield_now();
                 v.1 += 1;
-            },
-        ));
+            }),
+        );
         let p = pair.clone();
         futures.push(rt.execute_later(
             "check-invariant",
@@ -130,7 +125,11 @@ fn effect_transfer_prevents_blocking_deadlocks() {
         let rt = Runtime::new(2, kind);
         let result = rt.run("a", EffectSet::parse("writes S"), |ctx| {
             let b = ctx.execute_later("b", EffectSet::parse("writes S, writes T"), |ctx2| {
-                let c = ctx2.execute_later("c", EffectSet::parse("writes S, writes T, writes U"), |_| 1u32);
+                let c = ctx2.execute_later(
+                    "c",
+                    EffectSet::parse("writes S, writes T, writes U"),
+                    |_| 1u32,
+                );
                 c.get_value(ctx2) + 1
             });
             b.get_value(ctx) + 1

@@ -1,0 +1,210 @@
+//! A minimal, API-compatible stand-in for the parts of [`crossbeam`] used by
+//! this workspace (`crossbeam::deque`). The build environment has no access
+//! to crates.io, so the work-stealing deque is implemented with a locked
+//! `VecDeque`: correct and adequate for the pool's job sizes, though without
+//! the real crate's lock-free fast paths.
+//!
+//! [`crossbeam`]: https://docs.rs/crossbeam
+
+#![warn(missing_docs)]
+
+pub mod deque {
+    //! Work-stealing deques: [`Worker`], [`Stealer`], and the shared
+    //! [`Injector`] queue.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// A value was stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried.
+        Retry,
+    }
+
+    struct Queue<T> {
+        items: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Queue<T> {
+        fn new() -> Self {
+            Queue {
+                items: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.items.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// The owner's end of a work-stealing deque.
+    pub struct Worker<T> {
+        queue: Arc<Queue<T>>,
+        lifo: bool,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a LIFO deque: the owner pops the most recently pushed item.
+        pub fn new_lifo() -> Self {
+            Worker {
+                queue: Arc::new(Queue::new()),
+                lifo: true,
+            }
+        }
+
+        /// Creates a FIFO deque: the owner pops the oldest item.
+        pub fn new_fifo() -> Self {
+            Worker {
+                queue: Arc::new(Queue::new()),
+                lifo: false,
+            }
+        }
+
+        /// Pushes an item onto the deque.
+        pub fn push(&self, value: T) {
+            self.queue.lock().push_back(value);
+        }
+
+        /// Pops an item from the owner's end of the deque.
+        pub fn pop(&self) -> Option<T> {
+            let mut q = self.queue.lock();
+            if self.lifo {
+                q.pop_back()
+            } else {
+                q.pop_front()
+            }
+        }
+
+        /// Returns true when the deque holds no items.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().is_empty()
+        }
+
+        /// Number of items currently in the deque.
+        pub fn len(&self) -> usize {
+            self.queue.lock().len()
+        }
+
+        /// Creates a stealer handle for this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// A handle that steals from the opposite end of a [`Worker`]'s deque.
+    pub struct Stealer<T> {
+        queue: Arc<Queue<T>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Attempts to steal the oldest item from the deque.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Returns true when the deque holds no items.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().is_empty()
+        }
+    }
+
+    /// A shared FIFO queue that any thread can push to or steal from.
+    pub struct Injector<T> {
+        queue: Queue<T>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector queue.
+        pub fn new() -> Self {
+            Injector {
+                queue: Queue::new(),
+            }
+        }
+
+        /// Pushes an item onto the queue.
+        pub fn push(&self, value: T) {
+            self.queue.lock().push_back(value);
+        }
+
+        /// Attempts to steal the oldest item from the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Returns true when the queue holds no items.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().is_empty()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn lifo_worker_pops_newest_stealer_takes_oldest() {
+            let w = Worker::new_lifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(w.pop(), Some(3));
+            match s.steal() {
+                Steal::Success(v) => assert_eq!(v, 1),
+                other => panic!("expected Success(1), got {other:?}"),
+            }
+            assert_eq!(w.pop(), Some(2));
+            assert!(matches!(s.steal(), Steal::Empty));
+        }
+
+        #[test]
+        fn injector_is_fifo_and_thread_safe() {
+            let inj = std::sync::Arc::new(Injector::new());
+            for i in 0..100 {
+                inj.push(i);
+            }
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let inj = std::sync::Arc::clone(&inj);
+                    std::thread::spawn(move || {
+                        let mut got = 0;
+                        while let Steal::Success(_) = inj.steal() {
+                            got += 1;
+                        }
+                        got
+                    })
+                })
+                .collect();
+            let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(total, 100);
+            assert!(inj.is_empty());
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! A minimal, API-compatible stand-in for the [`parking_lot`] crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the small subset of `parking_lot` the workspace actually uses is
+//! implemented here over `std::sync`. Semantics match `parking_lot` where it
+//! matters for this codebase:
+//!
+//! * `lock()`/`read()`/`write()` return guards directly (no `Result`);
+//!   poisoning is swallowed, as `parking_lot` has no poisoning;
+//! * `Condvar::wait_for` takes `&mut MutexGuard` and returns a
+//!   [`WaitTimeoutResult`];
+//! * `Arc<Mutex<T>>::lock_arc()` returns an owned [`ArcMutexGuard`].
+//!
+//! [`parking_lot`]: https://docs.rs/parking_lot
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::mem::ManuallyDrop;
+use std::ops::{Deref, DerefMut};
+use std::sync::{self, Arc, PoisonError};
+use std::time::Duration;
+
+/// Marker type standing in for `parking_lot::RawMutex`; only used as the `R`
+/// type parameter of [`ArcMutexGuard`].
+pub struct RawMutex {
+    _private: (),
+}
+
+/// A mutual-exclusion primitive. Unlike `std::sync::Mutex`, `lock` returns
+/// the guard directly and panics in a poisoned lock are ignored.
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the underlying data.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+
+    /// Attempts to acquire the mutex without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: Some(p.into_inner()),
+            }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Returns a mutable reference to the underlying data (no locking
+    /// needed, the borrow is exclusive).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: 'static> Mutex<T> {
+    /// Acquires the mutex through an `Arc`, returning an owned guard that
+    /// keeps the `Arc` alive (the `arc_lock` feature of `parking_lot`).
+    pub fn lock_arc(self: &Arc<Self>) -> ArcMutexGuard<RawMutex, T> {
+        let mutex = Arc::clone(self);
+        let guard = mutex.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        // SAFETY: the guard borrows from `mutex`, which the returned
+        // `ArcMutexGuard` keeps alive for at least as long as the guard; the
+        // guard is dropped before the `Arc` in `ArcMutexGuard::drop`.
+        let guard: sync::MutexGuard<'static, T> = unsafe {
+            std::mem::transmute::<sync::MutexGuard<'_, T>, sync::MutexGuard<'static, T>>(guard)
+        };
+        ArcMutexGuard {
+            guard: ManuallyDrop::new(guard),
+            _mutex: mutex,
+            _raw: PhantomData,
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            None => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    // `Option` so `Condvar::wait*` can temporarily move the inner guard out.
+    inner: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("mutex guard invariant")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("mutex guard invariant")
+    }
+}
+
+/// An owned mutex guard holding the `Arc<Mutex<T>>` it locks (the
+/// `arc_lock` feature of `parking_lot`). The `R` parameter exists only for
+/// signature compatibility with `lock_api::ArcMutexGuard<R, T>`.
+pub struct ArcMutexGuard<R, T: 'static> {
+    guard: ManuallyDrop<sync::MutexGuard<'static, T>>,
+    _mutex: Arc<Mutex<T>>,
+    _raw: PhantomData<R>,
+}
+
+impl<R, T: 'static> Deref for ArcMutexGuard<R, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<R, T: 'static> DerefMut for ArcMutexGuard<R, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<R, T: 'static> Drop for ArcMutexGuard<R, T> {
+    fn drop(&mut self) {
+        // SAFETY: dropped exactly once, before `_mutex` (field order is
+        // irrelevant: we drop it explicitly here while the Arc is alive).
+        unsafe { ManuallyDrop::drop(&mut self.guard) };
+    }
+}
+
+/// Result of [`Condvar::wait_for`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Did the wait end because the timeout elapsed?
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// A condition variable usable with [`MutexGuard`].
+#[derive(Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    /// Wakes one thread blocked on this condition variable.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all threads blocked on this condition variable.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Blocks until notified.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.inner.take().expect("mutex guard invariant");
+        let g = self.inner.wait(g).unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(g);
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.inner.take().expect("mutex guard invariant");
+        let (g, timed_out) = match self.inner.wait_timeout(g, timeout) {
+            Ok((g, r)) => (g, r.timed_out()),
+            Err(poisoned) => {
+                let (g, r) = poisoned.into_inner();
+                (g, r.timed_out())
+            }
+        };
+        guard.inner = Some(g);
+        WaitTimeoutResult { timed_out }
+    }
+}
+
+/// A reader-writer lock; `read`/`write` return guards directly.
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, blocking until available.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+
+    /// Acquires exclusive write access, blocking until available.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+/// RAII read guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: sync::RwLockReadGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// RAII write guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_lock_and_condvar_wait_for() {
+        let m = Mutex::new(0u32);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 1);
+
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, Duration::from_millis(1));
+        assert!(r.timed_out());
+        assert_eq!(*g, 1);
+    }
+
+    #[test]
+    fn lock_arc_guard_keeps_mutex_alive() {
+        let m = Arc::new(Mutex::new(String::from("hi")));
+        let mut g = m.lock_arc();
+        g.push('!');
+        drop(m);
+        assert_eq!(&*g, "hi!");
+    }
+
+    #[test]
+    fn rwlock_readers_and_writer() {
+        let l = RwLock::new(vec![1, 2]);
+        {
+            let r1 = l.read();
+            let r2 = l.read();
+            assert_eq!(r1.len() + r2.len(), 4);
+        }
+        l.write().push(3);
+        assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut g = m.lock();
+            while !*g {
+                cv.wait(&mut g);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        let (m, cv) = &*pair;
+        *m.lock() = true;
+        cv.notify_all();
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,335 @@
+//! A minimal, offline stand-in for the [`proptest`] crate.
+//!
+//! Supports the subset this workspace's property tests use: the `proptest!`,
+//! `prop_oneof!`, `prop_assert!`, and `prop_assert_eq!` macros, `Strategy`
+//! with `prop_map`, `Just`, `any::<bool>()`, integer-range strategies, tuple
+//! strategies, and `proptest::collection::vec`. Sampling is deterministic
+//! (seeded from the property's module path and name) so test runs are
+//! reproducible; there is no shrinking — a failing case reports its case
+//! index instead.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! The deterministic RNG driving strategy sampling.
+
+    /// Number of cases sampled per property.
+    pub const CASES: u32 = 256;
+
+    /// A small deterministic RNG (SplitMix64).
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates an RNG seeded from an arbitrary string (e.g. the test
+        /// name), so every run of the same property sees the same cases.
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the name.
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: seed }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+
+        /// Uniformly random boolean.
+        pub fn gen_bool(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy: Sized {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Samples one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Returns a strategy producing `f` applied to this strategy's
+        /// values.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F> {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of its value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {
+            $(impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let width = (self.end as i128) - (self.start as i128);
+                    assert!(width > 0, "empty range strategy");
+                    let offset = rng.below(width as u64) as i128;
+                    ((self.start as i128) + offset) as $t
+                }
+            })*
+        };
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+        }
+    }
+
+    /// Type-erased sampler used by the arms of [`prop_oneof!`][crate::prop_oneof].
+    pub type ArmFn<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+    /// Uniform choice between boxed strategy arms (see
+    /// [`prop_oneof!`][crate::prop_oneof]).
+    pub struct OneOf<T> {
+        arms: Vec<ArmFn<T>>,
+    }
+
+    impl<T> OneOf<T> {
+        /// Creates a union of the given arms; panics if empty.
+        pub fn new(arms: Vec<ArmFn<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { arms }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.arms.len() as u64) as usize;
+            (self.arms[idx])(rng)
+        }
+    }
+
+    /// Types with a canonical strategy, for [`any`].
+    pub trait Arbitrary {
+        /// Samples an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.gen_bool()
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {
+            $(impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            })*
+        };
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (`any::<bool>()`, …).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a length drawn from `size` and elements from
+    /// `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let width = self.size.end - self.size.start;
+            assert!(width > 0, "empty vec-length range");
+            let len = self.size.start + rng.below(width as u64) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Creates a [`VecStrategy`].
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+pub mod prelude {
+    //! The glob-importable surface, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`CASES`][crate::test_runner::CASES]
+/// deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for case in 0..$crate::test_runner::CASES {
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);
+                    )+
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || $body),
+                    );
+                    if let Err(payload) = outcome {
+                        eprintln!(
+                            "property `{}` failed on case {}/{} (deterministic seed; no shrinking)",
+                            stringify!($name),
+                            case,
+                            $crate::test_runner::CASES,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(
+                {
+                    let strategy = $arm;
+                    ::std::boxed::Box::new(move |rng: &mut $crate::test_runner::TestRng| {
+                        $crate::strategy::Strategy::sample(&strategy, rng)
+                    }) as $crate::strategy::ArmFn<_>
+                }
+            ),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        assert!($cond $(, $($fmt)+)?)
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(, $($fmt:tt)+)?) => {
+        assert_eq!($left, $right $(, $($fmt)+)?)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = crate::collection::vec(0..100u8, 0..5);
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        for _ in 0..100 {
+            assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+        }
+    }
+
+    proptest! {
+        /// The macro pipeline end-to-end: ranges, oneof, map, vec, tuples.
+        #[test]
+        fn shim_machinery_works(
+            x in (0..10u8).prop_map(|v| v * 2),
+            xs in crate::collection::vec(prop_oneof![Just(1u32), 2..5u32], 0..4),
+            pair in (any::<bool>(), 0..3i64),
+        ) {
+            prop_assert!(x % 2 == 0);
+            prop_assert!(xs.iter().all(|&v| (1u32..5).contains(&v)));
+            let (b, n) = pair;
+            let shifted = if b { n + 1 } else { n - 1 };
+            prop_assert!(shifted != n, "tuple strategy produced usable parts");
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! A minimal, offline stand-in for [`serde`]: just enough to support
+//! `#[derive(Serialize)]` plus `serde_json::to_string{,_pretty}` on plain
+//! data structs (the only serde surface this workspace uses). Instead of the
+//! real serde's visitor architecture, [`Serialize`] produces a small
+//! [`Json`] tree that `serde_json` renders.
+//!
+//! [`serde`]: https://docs.rs/serde
+
+#![warn(missing_docs)]
+
+pub use serde_derive::Serialize;
+
+/// An owned JSON value produced by [`Serialize::to_json`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer (rendered without a decimal point).
+    Int(i128),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Renders the value as compact JSON (no whitespace).
+    pub fn render_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Float(f) => render_float(*f, out),
+            Json::Str(s) => render_string(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(key, out);
+                    out.push(':');
+                    value.render_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Renders the value as pretty JSON with two-space indentation.
+    pub fn render_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    item.render_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Object(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    render_string(key, out);
+                    out.push_str(": ");
+                    value.render_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => other.render_compact(out),
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn render_float(f: f64, out: &mut String) {
+    if f.is_finite() {
+        let s = f.to_string();
+        out.push_str(&s);
+        // JSON requires a numeric literal; `f64::to_string` never produces
+        // an exponent for ordinary values but drops `.0` for whole numbers,
+        // which is still valid JSON, so nothing more to do.
+    } else {
+        // Real serde_json errors on non-finite floats; rendering null keeps
+        // this infallible and is what serde_json's `canonical` modes do.
+        out.push_str("null");
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Types that can be converted to a [`Json`] value.
+///
+/// This is the stand-in for serde's `Serialize`; the derive macro
+/// (`#[derive(Serialize)]`) implements it field-by-field for structs.
+pub trait Serialize {
+    /// Converts `self` to a JSON tree.
+    fn to_json(&self) -> Json;
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {
+        $(impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i128)
+            }
+        })*
+    };
+}
+
+impl_serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, i128, isize);
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Json {
+        Json::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_primitives_compactly() {
+        let v = Json::Array(vec![
+            Json::Int(4),
+            Json::Float(0.25),
+            Json::Str("a\"b".into()),
+            Json::Bool(true),
+            Json::Null,
+        ]);
+        let mut out = String::new();
+        v.render_compact(&mut out);
+        assert_eq!(out, r#"[4,0.25,"a\"b",true,null]"#);
+    }
+
+    #[test]
+    fn object_keys_keep_declaration_order() {
+        let v = Json::Object(vec![("b".into(), Json::Int(1)), ("a".into(), Json::Int(2))]);
+        let mut out = String::new();
+        v.render_compact(&mut out);
+        assert_eq!(out, r#"{"b":1,"a":2}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_indents_nested_structures() {
+        let v = Json::Object(vec![("xs".into(), Json::Array(vec![Json::Int(1)]))]);
+        let mut out = String::new();
+        v.render_pretty(&mut out, 0);
+        assert_eq!(out, "{\n  \"xs\": [\n    1\n  ]\n}");
+    }
+}

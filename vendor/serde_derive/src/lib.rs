@@ -1,0 +1,90 @@
+//! `#[derive(Serialize)]` for the offline serde shim.
+//!
+//! Implemented directly over `proc_macro` (no `syn`/`quote`, which are not
+//! available offline). Supports the shapes this workspace derives on: plain
+//! structs with named fields and no generic parameters.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the shim's `to_json` trait method) for a
+/// struct with named fields.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (name, fields) = parse_named_struct(&tokens)
+        .expect("#[derive(Serialize)] shim supports only non-generic structs with named fields");
+
+    let mut pushes = String::new();
+    for field in &fields {
+        pushes.push_str(&format!(
+            "fields.push((\"{field}\".to_string(), ::serde::Serialize::to_json(&self.{field})));\n"
+        ));
+    }
+    let output = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_json(&self) -> ::serde::Json {{\n\
+         let mut fields: Vec<(String, ::serde::Json)> = Vec::new();\n\
+         {pushes}\
+         ::serde::Json::Object(fields)\n\
+         }}\n\
+         }}\n"
+    );
+    output.parse().expect("generated Serialize impl must parse")
+}
+
+/// Extracts the struct name and its field names from the derive input.
+fn parse_named_struct(tokens: &[TokenTree]) -> Option<(String, Vec<String>)> {
+    let mut i = 0;
+    // Skip attributes and visibility until the `struct` keyword.
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            if id.to_string() == "struct" {
+                break;
+            }
+        }
+        i += 1;
+    }
+    let TokenTree::Ident(name) = tokens.get(i + 1)? else {
+        return None;
+    };
+    let name = name.to_string();
+    // The next brace group holds the fields (generics are not supported).
+    let body = tokens[i + 2..].iter().find_map(|t| match t {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+        _ => None,
+    })?;
+    Some((name, field_names(body)))
+}
+
+/// Walks a struct body token stream and collects the field names: for each
+/// comma-separated chunk, the last identifier before the first top-level `:`
+/// (this skips `pub`, `pub(crate)`, and `#[...]` attributes, whose contents
+/// are nested groups and therefore invisible at this level).
+fn field_names(body: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut current: Option<String> = None;
+    let mut seen_colon = false;
+    for token in body {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                seen_colon = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && !seen_colon => {
+                seen_colon = true;
+                if let Some(name) = current.take() {
+                    names.push(name);
+                }
+            }
+            TokenTree::Ident(id) if !seen_colon => {
+                let id = id.to_string();
+                if id != "pub" {
+                    current = Some(id);
+                }
+            }
+            _ => {}
+        }
+    }
+    names
+}

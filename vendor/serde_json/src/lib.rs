@@ -1,0 +1,54 @@
+//! A minimal, offline stand-in for [`serde_json`]: `to_string` and
+//! `to_string_pretty` over the serde shim's `Serialize` trait.
+//!
+//! [`serde_json`]: https://docs.rs/serde_json
+
+#![warn(missing_docs)]
+
+use serde::Serialize;
+
+/// Serialization error. The shim's renderer is infallible, so this is never
+/// actually produced; it exists so call sites keep serde_json's `Result`
+/// signatures.
+#[derive(Debug)]
+pub struct Error {
+    _private: (),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_json().render_compact(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as a pretty-printed JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_json().render_pretty(&mut out, 0);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_string_renders_vectors_of_numbers() {
+        assert_eq!(to_string(&vec![1u32, 2, 3]).unwrap(), "[1,2,3]");
+    }
+
+    #[test]
+    fn to_string_pretty_indents() {
+        let s = to_string_pretty(&vec!["a".to_string()]).unwrap();
+        assert_eq!(s, "[\n  \"a\"\n]");
+    }
+}
