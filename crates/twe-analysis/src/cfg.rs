@@ -118,7 +118,7 @@ impl Cfg {
         for b in &self.blocks {
             for op in &b.ops {
                 if let FlatOp::Access { effect, .. } = op {
-                    out.push(effect.clone());
+                    out.push(*effect);
                 }
             }
         }
@@ -231,7 +231,7 @@ impl<'p> Lowering<'p> {
                 self.push(
                     current,
                     FlatOp::Access {
-                        effect: Effect::read(rpl.clone()),
+                        effect: Effect::read(*rpl),
                         site: site.to_string(),
                         kind: AccessKind::Read,
                     },
@@ -242,7 +242,7 @@ impl<'p> Lowering<'p> {
                 self.push(
                     current,
                     FlatOp::Access {
-                        effect: Effect::write(rpl.clone()),
+                        effect: Effect::write(*rpl),
                         site: site.to_string(),
                         kind: AccessKind::Write,
                     },
@@ -254,7 +254,7 @@ impl<'p> Lowering<'p> {
                     self.push(
                         current,
                         FlatOp::Access {
-                            effect: effect.clone(),
+                            effect: *effect,
                             site: site.to_string(),
                             kind: AccessKind::Call,
                         },

@@ -6,6 +6,11 @@
 //! at that point (chapter 4), classifies each `spawn` site as statically
 //! covered or needing the limited run-time check of §3.1.5, and enforces the
 //! `@Deterministic` restrictions of §3.3.5.
+//!
+//! All effect comparisons the checker performs (domain membership, coverage,
+//! interference) run over interned RPL ids — `Effect` is a small `Copy`
+//! value with O(1) equality/hash — so checking large programs does not pay a
+//! per-query element-vector walk.
 
 use crate::ir::{Block, Program, Stmt};
 use crate::{iterative, structural};

@@ -88,7 +88,7 @@ pub fn analyze_body(
                         errors.push(CheckError {
                             context: context.to_string(),
                             site: site.clone(),
-                            kind: CheckErrorKind::UncoveredEffect(effect.clone()),
+                            kind: CheckErrorKind::UncoveredEffect(*effect),
                         });
                     }
                 }
@@ -118,8 +118,11 @@ pub fn analyze_body(
         }
     }
     // Report in site order so the iterative and structural algorithms produce
-    // identical orderings regardless of CFG block numbering.
-    errors.sort();
+    // identical orderings regardless of CFG block numbering. Sort by the
+    // rendered message, not the derived Ord: `Rpl`'s Ord is arena-interning
+    // order, which can differ run-to-run when other threads intern
+    // concurrently, and diagnostics must be deterministic.
+    errors.sort_by_cached_key(|e| e.to_string());
     spawn_sites.sort_by(|a, b| a.site.cmp(&b.site));
 
     IterativeResult {
@@ -137,11 +140,11 @@ fn build_domain(cfg: &Cfg) -> EffectDomain {
         for op in &block.ops {
             match op {
                 FlatOp::Access { effect, .. } => {
-                    domain.add(effect.clone());
+                    domain.add(*effect);
                 }
                 FlatOp::SpawnCheck { effects, .. } => {
                     for e in effects.iter() {
-                        domain.add(e.clone());
+                        domain.add(*e);
                     }
                 }
                 FlatOp::Transfer(_) => {}

@@ -45,7 +45,9 @@ pub fn analyze_body(
     };
     let entry = CompoundEffect::declared(declared.clone());
     analyzer.analyze_block(body, entry, "", true);
-    analyzer.errors.sort();
+    // Rendered-message key: same deterministic ordering as the iterative
+    // algorithm (see iterative.rs), independent of RPL interning order.
+    analyzer.errors.sort_by_cached_key(|e| e.to_string());
     analyzer.spawn_sites.sort_by(|a, b| a.site.cmp(&b.site));
     StructuralResult {
         errors: analyzer.errors,
@@ -101,16 +103,16 @@ impl<'p> Analyzer<'p> {
     ) -> CompoundEffect {
         match stmt {
             Stmt::Read(rpl) => {
-                self.check(&covering, Effect::read(rpl.clone()), site, record);
+                self.check(&covering, Effect::read(*rpl), site, record);
                 covering
             }
             Stmt::Write(rpl) => {
-                self.check(&covering, Effect::write(rpl.clone()), site, record);
+                self.check(&covering, Effect::write(*rpl), site, record);
                 covering
             }
             Stmt::Call(m) => {
                 for e in self.program.methods[*m].effect.iter() {
-                    self.check(&covering, e.clone(), site, record);
+                    self.check(&covering, *e, site, record);
                 }
                 covering
             }

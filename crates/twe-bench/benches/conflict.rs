@@ -1,0 +1,58 @@
+//! Criterion microbenchmark of the RPL conflict test (disjointness) on
+//! deep-RPL workloads: the interned id-based representation versus the
+//! element-wise oracle it replaced. This is the single hottest operation of
+//! both schedulers — every insertion, recheck and rescan performs it — so
+//! its cost bounds the fine-grained scheduling overhead of Figure 6.3.
+//!
+//! The workload shapes come from [`twe_bench::conflict_paths`], the same
+//! generator the `figures --fig conflict` throughput record uses, so the
+//! criterion numbers and the CI-tracked `BENCH_conflict.json` always measure
+//! the same thing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use twe_bench::conflict_paths;
+use twe_effects::rpl::oracle;
+use twe_effects::Rpl;
+
+fn bench_conflict(c: &mut Criterion) {
+    for depth in [4usize, 8] {
+        for wildcard in [false, true] {
+            let elems = conflict_paths(depth, 64, wildcard);
+            let rpls: Vec<Rpl> = elems.iter().map(|p| Rpl::new(p.clone())).collect();
+            let tag = if wildcard { "wild" } else { "concrete" };
+            c.bench_function(format!("conflict_id_depth{depth}_{tag}"), |b| {
+                b.iter(|| {
+                    let mut acc = 0u32;
+                    for x in &rpls {
+                        for y in &rpls {
+                            acc += u32::from(black_box(x).disjoint(black_box(y)));
+                        }
+                    }
+                    acc
+                })
+            });
+            c.bench_function(format!("conflict_elementwise_depth{depth}_{tag}"), |b| {
+                b.iter(|| {
+                    let mut acc = 0u32;
+                    for x in &elems {
+                        for y in &elems {
+                            acc += u32::from(!oracle::overlaps(black_box(x), black_box(y)));
+                        }
+                    }
+                    acc
+                })
+            });
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .sample_size(10);
+    targets = bench_conflict
+}
+criterion_main!(benches);

@@ -1,20 +1,28 @@
 //! Regenerates the tables behind every figure of the TWE evaluation.
 //!
 //! ```text
-//! figures [--fig 6.1|6.2|6.3|6.4|7.1|all] [--quick] [--json out.json]
+//! figures [--fig 6.1|6.2|6.3|6.4|7.1|conflict|all] [--quick] [--json out.json]
+//!         [--conflict-json BENCH_conflict.json]
 //! ```
 //!
 //! `--quick` shrinks the workloads so the whole sweep finishes in a couple of
 //! minutes on a laptop; without it the workloads approximate the paper's
 //! sizes (50 000-point K-Means, 2048×2048 images, 400 000-edge SSCA2, …).
+//!
+//! `--fig conflict` runs only the RPL conflict-test microbenchmark
+//! (id-based vs element-wise throughput); `--conflict-json` additionally
+//! writes its rows as a JSON throughput record (`BENCH_conflict.json` in the
+//! scheduled CI smoke job, uploaded as an artifact so the perf trajectory is
+//! tracked).
 
-use twe_bench::{print_rows, run_figures};
+use twe_bench::{print_conflict_rows, print_rows, run_conflict_bench, run_figures};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which = "all".to_string();
     let mut quick = false;
     let mut json_path: Option<String> = None;
+    let mut conflict_json_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -30,9 +38,14 @@ fn main() {
                 json_path = args.get(i + 1).cloned();
                 i += 2;
             }
+            "--conflict-json" => {
+                conflict_json_path = args.get(i + 1).cloned();
+                i += 2;
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--fig 6.1|6.2|6.3|6.4|7.1|all] [--quick] [--json out.json]"
+                    "usage: figures [--fig 6.1|6.2|6.3|6.4|7.1|conflict|all] [--quick] \
+                     [--json out.json] [--conflict-json BENCH_conflict.json]"
                 );
                 return;
             }
@@ -42,18 +55,44 @@ fn main() {
             }
         }
     }
-    eprintln!(
-        "# regenerating figure(s) {which} ({} workloads), host parallelism = {}",
-        if quick { "quick" } else { "full-size" },
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    );
-    let rows = run_figures(&which, quick);
-    print_rows(&rows);
-    if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&rows).expect("serialize rows");
-        std::fs::write(&path, json).expect("write JSON output");
-        eprintln!("# wrote {path}");
+    // The conflict microbench is opt-in (`--fig conflict` / `--conflict-json`)
+    // rather than part of `all`, so figure sweeps and the microbench are
+    // never silently paid for twice in one invocation.
+    let run_conflict = which == "conflict" || conflict_json_path.is_some();
+    if which == "conflict" {
+        if json_path.is_some() {
+            eprintln!(
+                "# note: --json applies to figure rows and is ignored with --fig conflict; \
+                 use --conflict-json for the microbench record"
+            );
+        }
+    } else {
+        eprintln!(
+            "# regenerating figure(s) {which} ({} workloads), host parallelism = {}",
+            if quick { "quick" } else { "full-size" },
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        );
+        let rows = run_figures(&which, quick);
+        print_rows(&rows);
+        if let Some(path) = json_path {
+            let json = serde_json::to_string_pretty(&rows).expect("serialize rows");
+            std::fs::write(&path, json).expect("write JSON output");
+            eprintln!("# wrote {path}");
+        }
+    }
+    if run_conflict {
+        eprintln!(
+            "# conflict-test microbench ({} mode)",
+            if quick { "quick" } else { "full" }
+        );
+        let rows = run_conflict_bench(quick);
+        print_conflict_rows(&rows);
+        if let Some(path) = conflict_json_path {
+            let json = serde_json::to_string_pretty(&rows).expect("serialize conflict rows");
+            std::fs::write(&path, json).expect("write conflict JSON output");
+            eprintln!("# wrote {path}");
+        }
     }
 }

@@ -17,6 +17,8 @@
 use serde::Serialize;
 use std::time::Instant;
 use twe_apps::{barneshut, coloring, fourwins, imageedit, kmeans, montecarlo, refine, ssca2, tsp};
+use twe_effects::rpl::oracle;
+use twe_effects::{Rpl, RplElement};
 use twe_runtime::{Runtime, SchedulerKind};
 
 /// One measured data point of a figure.
@@ -405,6 +407,162 @@ pub fn fig_7_1(quick: bool) -> Vec<Row> {
         rows.push(row("7.1", "coloring", "per-node-lock", t, "", s, seq_s));
     }
     rows
+}
+
+/// One row of the RPL conflict-test microbenchmark (`BENCH_conflict.json`):
+/// throughput of the interned id-based disjointness test against the
+/// element-wise baseline on same-shaped workloads.
+#[derive(Clone, Debug, Serialize)]
+pub struct ConflictRow {
+    /// RPL depth of the workload (elements below `Root`).
+    pub depth: usize,
+    /// Whether the workload mixes in trailing-star wildcard RPLs (exercising
+    /// the O(1) ancestor test and the memoized relation cache) or is fully
+    /// specified (the pure id-compare fast path).
+    pub wildcard: bool,
+    /// Conflict tests per second with the interned id representation.
+    pub id_ops_per_sec: f64,
+    /// Conflict tests per second with the element-wise oracle.
+    pub elementwise_ops_per_sec: f64,
+    /// `id_ops_per_sec / elementwise_ops_per_sec`.
+    pub speedup: f64,
+}
+
+/// Builds the `n`-path conflict workload at the given depth. Concrete paths
+/// share a long common prefix and end in a distinct index (the worst case
+/// for the element-wise scan, and the shape fine-grained workloads produce).
+/// With `wildcard`, every fourth path is a wildcard RPL cycling through the
+/// three shapes the id-based implementation handles differently: a
+/// trailing star at a varying truncation depth (the O(1) ancestor-test fast
+/// path), a trailing `[?]`, and a mid-path star (both resolved through the
+/// memoized relation cache).
+///
+/// Shared by the `figures --fig conflict` throughput record and the
+/// `conflict` criterion bench so the two always measure the same shapes.
+pub fn conflict_paths(depth: usize, n: usize, wildcard: bool) -> Vec<Vec<RplElement>> {
+    (0..n)
+        .map(|i| {
+            let mut path: Vec<RplElement> = Vec::with_capacity(depth);
+            path.push(RplElement::name("Conflict"));
+            if wildcard && i % 4 == 0 && depth > 1 {
+                match (i / 4) % 3 {
+                    1 if depth > 2 => {
+                        // Trailing any-index: memo-cache path.
+                        for level in 1..depth - 1 {
+                            path.push(RplElement::name(&format!("L{level}")));
+                        }
+                        path.push(RplElement::AnyIndex);
+                    }
+                    2 if depth > 2 => {
+                        // Mid-path star with a distinct tail: memo-cache
+                        // path. Exactly `depth` elements like every other
+                        // shape, so the row's depth label stays truthful.
+                        for level in 1..depth - 2 {
+                            path.push(RplElement::name(&format!("L{level}")));
+                        }
+                        path.push(RplElement::Star);
+                        path.push(RplElement::Index((i / 4) as i64));
+                    }
+                    _ => {
+                        // Trailing star, prefix truncated at a varying depth.
+                        let cut = 1 + (i / 12) % (depth - 1);
+                        for level in 1..cut {
+                            path.push(RplElement::name(&format!("L{level}")));
+                        }
+                        path.push(RplElement::Star);
+                    }
+                }
+            } else {
+                for level in 1..depth.saturating_sub(1) {
+                    path.push(RplElement::name(&format!("L{level}")));
+                }
+                if depth > 1 {
+                    path.push(RplElement::Index(i as i64));
+                }
+            }
+            path
+        })
+        .collect()
+}
+
+/// Runs 64×64 all-pairs sweeps of `test` until at least `min_seconds` of
+/// wall clock have elapsed (with `batch` sweeps between clock reads), then
+/// returns ops/second. The minimum window keeps the measurement robust to
+/// scheduler noise on shared CI runners.
+fn all_pairs_throughput(
+    min_seconds: f64,
+    batch: usize,
+    mut test: impl FnMut(usize, usize) -> bool,
+) -> f64 {
+    let mut sweeps = 0u64;
+    let mut sink = 0u64;
+    let start = Instant::now();
+    loop {
+        for _ in 0..batch {
+            for i in 0..64 {
+                for j in 0..64 {
+                    sink += u64::from(test(i, j));
+                }
+            }
+        }
+        sweeps += batch as u64;
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= min_seconds {
+            std::hint::black_box(sink);
+            return (sweeps * 64 * 64) as f64 / elapsed.max(1e-12);
+        }
+    }
+}
+
+/// Measures conflict-test (RPL disjointness) throughput on deep-RPL
+/// workloads: the interned id-based implementation versus the element-wise
+/// oracle it replaced. One row per (depth, wildcard) combination.
+pub fn run_conflict_bench(quick: bool) -> Vec<ConflictRow> {
+    let min_seconds = if quick { 0.12 } else { 0.6 };
+    let mut rows = Vec::new();
+    for depth in [2usize, 4, 6, 8] {
+        for wildcard in [false, true] {
+            let paths = conflict_paths(depth, 64, wildcard);
+            let rpls: Vec<Rpl> = paths.iter().map(|p| Rpl::new(p.clone())).collect();
+            // Correctness cross-check (also warms the interner/caches so
+            // steady-state throughput is measured afterwards).
+            for (i, a) in paths.iter().enumerate() {
+                for (j, b) in paths.iter().enumerate() {
+                    assert_eq!(
+                        rpls[i].disjoint(&rpls[j]),
+                        !oracle::overlaps(a, b),
+                        "id-based and element-wise disagree on {a:?} vs {b:?}"
+                    );
+                }
+            }
+            let id_tp = all_pairs_throughput(min_seconds, 20, |i, j| rpls[i].disjoint(&rpls[j]));
+            let el_tp = all_pairs_throughput(min_seconds, 20, |i, j| {
+                !oracle::overlaps(&paths[i], &paths[j])
+            });
+            rows.push(ConflictRow {
+                depth,
+                wildcard,
+                id_ops_per_sec: id_tp,
+                elementwise_ops_per_sec: el_tp,
+                speedup: id_tp / el_tp.max(1e-12),
+            });
+        }
+    }
+    rows
+}
+
+/// Pretty-prints the conflict microbenchmark rows.
+pub fn print_conflict_rows(rows: &[ConflictRow]) {
+    println!(
+        "{:<6} {:<9} {:>16} {:>16} {:>9}",
+        "depth", "wildcard", "id ops/s", "elemwise ops/s", "speedup"
+    );
+    for r in rows {
+        println!(
+            "{:<6} {:<9} {:>16.0} {:>16.0} {:>8.2}x",
+            r.depth, r.wildcard, r.id_ops_per_sec, r.elementwise_ops_per_sec, r.speedup
+        );
+    }
 }
 
 /// Runs the figures selected by `which` ("6.1", …, "7.1", or "all").

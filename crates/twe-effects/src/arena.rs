@@ -1,0 +1,275 @@
+//! Process-global interned arena of wildcard-free RPL prefixes.
+//!
+//! Every wildcard-free RPL prefix is interned into a small [`RplId`]: a node
+//! of a prefix tree whose entry carries its parent id, its depth, its last
+//! element, and two leaked (`&'static`) views of the whole path — the element
+//! path below `Root` and the id path `Root..=self`. Ids are canonical (two
+//! prefixes are element-wise equal iff their ids are equal), so:
+//!
+//! * RPL equality and hashing are O(1) integer operations;
+//! * the hot concrete-vs-concrete disjointness test is a single id
+//!   comparison that touches no lock at all;
+//! * ancestor/prefix tests are O(1) lookups into the id path
+//!   ([`is_ancestor_or_self`]);
+//! * resolving a path ([`path`], [`id_path`]) returns a shared static slice
+//!   and never allocates.
+//!
+//! # Invariants
+//!
+//! * [`RplId::ROOT`] (id 0) is the implicit `Root` region and is its own
+//!   parent.
+//! * Ids are allocated in interning order, so a parent id is always
+//!   numerically smaller than every descendant id; id order is therefore a
+//!   topological order of the region tree (but **not** a lexicographic order
+//!   of paths — it depends on interning order).
+//! * Entries are immutable once published. Path slices are leaked, so the
+//!   arena only ever grows; its size is bounded by the number of distinct
+//!   wildcard-free prefixes the process touches (the same order of growth as
+//!   the tree scheduler's node map).
+//! * Only wildcard-free elements may be interned; [`intern_child`] panics on
+//!   `*` / `[?]` (wildcard suffixes are interned separately by
+//!   [`crate::rpl::Rpl`]).
+
+use crate::rpl::RplElement;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Interned id of a wildcard-free RPL prefix.
+///
+/// Two `RplId`s are equal iff the element paths they were interned from are
+/// equal. The derived order is the interning order (stable within a process,
+/// not lexicographic).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RplId(u32);
+
+impl RplId {
+    /// The implicit root region `Root` (the empty prefix).
+    pub const ROOT: RplId = RplId(0);
+
+    /// The raw arena index of this id (diagnostics only).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Debug for RplId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RplId({})", self.0)
+    }
+}
+
+/// One immutable arena entry. `elem` is meaningless for the root.
+#[derive(Clone, Copy)]
+struct Entry {
+    parent: RplId,
+    depth: u32,
+    elem: RplElement,
+    /// The element path below `Root` (`path.len() == depth`).
+    path: &'static [RplElement],
+    /// Ancestor ids `Root..=self` (`id_path[d]` is the ancestor at depth `d`;
+    /// `id_path.len() == depth + 1`).
+    id_path: &'static [RplId],
+}
+
+struct Arena {
+    entries: Vec<Entry>,
+    children: HashMap<(RplId, RplElement), RplId>,
+}
+
+static ARENA: OnceLock<RwLock<Arena>> = OnceLock::new();
+
+fn arena() -> &'static RwLock<Arena> {
+    ARENA.get_or_init(|| {
+        let root = Entry {
+            parent: RplId::ROOT,
+            depth: 0,
+            elem: RplElement::Star, // placeholder; never read for the root
+            path: &[],
+            id_path: Box::leak(vec![RplId::ROOT].into_boxed_slice()),
+        };
+        RwLock::new(Arena {
+            entries: vec![root],
+            children: HashMap::new(),
+        })
+    })
+}
+
+fn entry(id: RplId) -> Entry {
+    arena().read().entries[id.0 as usize]
+}
+
+/// Interns the child region `parent : elem`, returning its id. Idempotent.
+///
+/// Interning takes the write lock only the first time a given child is seen;
+/// repeat lookups take the read lock.
+///
+/// # Panics
+///
+/// Panics if `elem` is a wildcard (`*` / `[?]`): only wildcard-free prefixes
+/// live in the arena.
+pub fn intern_child(parent: RplId, elem: RplElement) -> RplId {
+    assert!(
+        !elem.is_wildcard(),
+        "only wildcard-free elements may be interned in the RPL arena"
+    );
+    {
+        let guard = arena().read();
+        if let Some(&id) = guard.children.get(&(parent, elem)) {
+            return id;
+        }
+    }
+    let mut guard = arena().write();
+    if let Some(&id) = guard.children.get(&(parent, elem)) {
+        return id;
+    }
+    let parent_entry = guard.entries[parent.0 as usize];
+    let id = RplId(u32::try_from(guard.entries.len()).expect("RPL arena overflow (u32 ids)"));
+    let mut path = parent_entry.path.to_vec();
+    path.push(elem);
+    let mut id_path = parent_entry.id_path.to_vec();
+    id_path.push(id);
+    guard.entries.push(Entry {
+        parent,
+        depth: parent_entry.depth + 1,
+        elem,
+        path: Box::leak(path.into_boxed_slice()),
+        id_path: Box::leak(id_path.into_boxed_slice()),
+    });
+    guard.children.insert((parent, elem), id);
+    id
+}
+
+/// Interns a whole wildcard-free path below `Root`.
+pub fn intern_path(elements: &[RplElement]) -> RplId {
+    elements
+        .iter()
+        .fold(RplId::ROOT, |id, &e| intern_child(id, e))
+}
+
+/// The parent of `id` (the root is its own parent).
+pub fn parent(id: RplId) -> RplId {
+    entry(id).parent
+}
+
+/// The depth of `id`: the number of elements below the implicit `Root`.
+pub fn depth(id: RplId) -> usize {
+    entry(id).depth as usize
+}
+
+/// The last element of `id`'s path, or `None` for the root.
+pub fn last_elem(id: RplId) -> Option<RplElement> {
+    let e = entry(id);
+    (e.depth > 0).then_some(e.elem)
+}
+
+/// The element path of `id` below `Root` (shared static slice; no
+/// allocation).
+pub fn path(id: RplId) -> &'static [RplElement] {
+    entry(id).path
+}
+
+/// The ancestor ids of `id` from the root down: `id_path(id)[d]` is the
+/// ancestor at depth `d`, and the last entry is `id` itself.
+pub fn id_path(id: RplId) -> &'static [RplId] {
+    entry(id).id_path
+}
+
+/// Is `anc` an ancestor of `desc` (or equal to it)? O(1): one lookup into
+/// the descendant's id path.
+pub fn is_ancestor_or_self(anc: RplId, desc: RplId) -> bool {
+    let guard = arena().read();
+    let a = guard.entries[anc.0 as usize].depth as usize;
+    let d = &guard.entries[desc.0 as usize];
+    a <= d.depth as usize && d.id_path[a] == anc
+}
+
+/// Number of interned prefixes, including the root (diagnostic).
+pub fn len() -> usize {
+    arena().read().entries.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> RplElement {
+        RplElement::name(s)
+    }
+
+    #[test]
+    fn interning_is_canonical() {
+        let a = intern_path(&[name("Arena"), name("X"), RplElement::Index(3)]);
+        let b = intern_path(&[name("Arena"), name("X"), RplElement::Index(3)]);
+        assert_eq!(a, b);
+        let c = intern_path(&[name("Arena"), name("X"), RplElement::Index(4)]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn parent_depth_and_paths_are_consistent() {
+        let p = intern_path(&[name("Arena"), name("P")]);
+        let c = intern_child(p, RplElement::Index(7));
+        assert_eq!(parent(c), p);
+        assert_eq!(depth(c), 3);
+        assert_eq!(last_elem(c), Some(RplElement::Index(7)));
+        assert_eq!(path(c), &[name("Arena"), name("P"), RplElement::Index(7)]);
+        assert_eq!(id_path(c).len(), 4);
+        assert_eq!(id_path(c)[0], RplId::ROOT);
+        assert_eq!(id_path(c)[2], p);
+        assert_eq!(id_path(c)[3], c);
+    }
+
+    #[test]
+    fn root_is_its_own_parent() {
+        assert_eq!(parent(RplId::ROOT), RplId::ROOT);
+        assert_eq!(depth(RplId::ROOT), 0);
+        assert!(path(RplId::ROOT).is_empty());
+        assert_eq!(last_elem(RplId::ROOT), None);
+    }
+
+    #[test]
+    fn parent_ids_precede_child_ids() {
+        let c = intern_path(&[name("Arena"), name("Ord"), name("Deep"), name("Deeper")]);
+        for w in id_path(c).windows(2) {
+            assert!(w[0] < w[1], "parent id must precede child id");
+        }
+    }
+
+    #[test]
+    fn ancestor_test_is_correct() {
+        let a = intern_path(&[name("Arena"), name("Anc")]);
+        let d = intern_child(intern_child(a, name("M")), RplElement::Index(0));
+        let other = intern_path(&[name("Arena"), name("Other")]);
+        assert!(is_ancestor_or_self(RplId::ROOT, d));
+        assert!(is_ancestor_or_self(a, d));
+        assert!(is_ancestor_or_self(d, d));
+        assert!(!is_ancestor_or_self(d, a));
+        assert!(!is_ancestor_or_self(other, d));
+    }
+
+    #[test]
+    #[should_panic(expected = "wildcard-free")]
+    fn interning_a_wildcard_panics() {
+        intern_child(RplId::ROOT, RplElement::Star);
+    }
+
+    #[test]
+    fn concurrent_interning_yields_one_id_per_path() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    (0..64)
+                        .map(|i| {
+                            intern_path(&[name("Arena"), name("Conc"), RplElement::Index(i % 16)])
+                        })
+                        .collect::<Vec<RplId>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<RplId>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+    }
+}

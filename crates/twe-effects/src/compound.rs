@@ -205,17 +205,19 @@ impl fmt::Display for CompoundEffect {
 
 /// The finite effect domain `D` used by the iterative dataflow analysis:
 /// the effects of the individual operations appearing in one flow graph.
+///
+/// Since [`Effect`] equality/hash are O(1) over interned RPL ids, the domain
+/// keeps a hash index and `add`/`index_of` are O(1) rather than linear scans.
 #[derive(Clone, Debug, Default)]
 pub struct EffectDomain {
     effects: Vec<Effect>,
+    index: std::collections::HashMap<Effect, usize>,
 }
 
 impl EffectDomain {
     /// An empty domain.
     pub fn new() -> Self {
-        EffectDomain {
-            effects: Vec::new(),
-        }
+        EffectDomain::default()
     }
 
     /// Builds a domain from the given effects, deduplicating.
@@ -229,16 +231,17 @@ impl EffectDomain {
 
     /// Adds an effect to the domain (dedup by equality), returning its index.
     pub fn add(&mut self, e: Effect) -> usize {
-        if let Some(i) = self.effects.iter().position(|x| *x == e) {
+        if let Some(&i) = self.index.get(&e) {
             return i;
         }
         self.effects.push(e);
+        self.index.insert(e, self.effects.len() - 1);
         self.effects.len() - 1
     }
 
     /// The index of `e`, if present.
     pub fn index_of(&self, e: &Effect) -> Option<usize> {
-        self.effects.iter().position(|x| x == e)
+        self.index.get(e).copied()
     }
 
     /// Number of effects in the domain.

@@ -26,7 +26,10 @@ pub enum EffectKind {
 }
 
 /// A single read or write effect on a region named by an RPL.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// With the interned [`Rpl`] representation an `Effect` is a small `Copy`
+/// value; copying it never allocates, and its equality/hash are O(1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Effect {
     /// Read or write.
     pub kind: EffectKind,
@@ -183,7 +186,7 @@ impl EffectSet {
     /// Returns the union of two effect sets.
     pub fn union(&self, other: &EffectSet) -> EffectSet {
         let mut effects = self.effects.clone();
-        effects.extend(other.effects.iter().cloned());
+        effects.extend(other.effects.iter().copied());
         EffectSet { effects }
     }
 
@@ -432,7 +435,7 @@ mod tests {
             /// reads R ⊆ writes R always.
             #[test]
             fn read_included_in_write_same_region(rpl in arb_rpl()) {
-                prop_assert!(Effect::read(rpl.clone()).included_in(&Effect::write(rpl)));
+                prop_assert!(Effect::read(rpl).included_in(&Effect::write(rpl)));
             }
 
             /// A write effect always interferes with itself.

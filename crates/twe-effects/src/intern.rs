@@ -6,8 +6,7 @@
 //! interning happens when regions are *declared* (rare), comparisons (hot)
 //! never touch the lock.
 
-use parking_lot::RwLock;
-use std::collections::HashMap;
+use crate::leak::LeakInterner;
 use std::fmt;
 use std::sync::OnceLock;
 
@@ -17,43 +16,27 @@ use std::sync::OnceLock;
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Symbol(pub(crate) u32);
 
-struct Interner {
-    map: HashMap<String, u32>,
-    strings: Vec<String>,
-}
+static INTERNER: OnceLock<LeakInterner<str>> = OnceLock::new();
 
-static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
-
-fn interner() -> &'static RwLock<Interner> {
-    INTERNER.get_or_init(|| {
-        RwLock::new(Interner {
-            map: HashMap::new(),
-            strings: Vec::new(),
-        })
-    })
+fn interner() -> &'static LeakInterner<str> {
+    INTERNER.get_or_init(LeakInterner::new)
 }
 
 /// Interns `name`, returning its [`Symbol`]. Idempotent.
+///
+/// One copy of each distinct name is leaked (bounded by the number of
+/// distinct region names in the process); resolution then never clones.
 pub fn intern(name: &str) -> Symbol {
-    {
-        let guard = interner().read();
-        if let Some(&id) = guard.map.get(name) {
-            return Symbol(id);
-        }
-    }
-    let mut guard = interner().write();
-    if let Some(&id) = guard.map.get(name) {
-        return Symbol(id);
-    }
-    let id = guard.strings.len() as u32;
-    guard.strings.push(name.to_owned());
-    guard.map.insert(name.to_owned(), id);
-    Symbol(id)
+    Symbol(interner().intern(name, |s| Box::leak(s.to_owned().into_boxed_str())))
 }
 
 /// Returns the string a [`Symbol`] was interned from.
-pub fn resolve(sym: Symbol) -> String {
-    interner().read().strings[sym.0 as usize].clone()
+///
+/// The returned `&'static str` is the interner's single leaked copy, so
+/// formatting an RPL element (`Display`/`Debug` of diagnostics, figure
+/// output, test failure messages) allocates nothing per element.
+pub fn resolve(sym: Symbol) -> &'static str {
+    interner().resolve(sym.0)
 }
 
 impl Symbol {
@@ -62,8 +45,8 @@ impl Symbol {
         intern(name)
     }
 
-    /// The string this symbol stands for.
-    pub fn as_str(&self) -> String {
+    /// The string this symbol stands for (shared static; never allocates).
+    pub fn as_str(&self) -> &'static str {
         resolve(*self)
     }
 }
@@ -113,6 +96,18 @@ mod tests {
         for (i, sym) in symbols.iter().enumerate() {
             assert_eq!(resolve(*sym), format!("intern_test_region_{i}"));
         }
+    }
+
+    #[test]
+    fn resolve_returns_the_shared_copy() {
+        // Regression: `resolve` used to clone a fresh `String` on every call
+        // (hit from every Display/Debug of an RplElement). It must now hand
+        // back the interner's single leaked copy.
+        let s = intern("SharedOnce");
+        let a: &'static str = resolve(s);
+        let b: &'static str = resolve(s);
+        assert!(std::ptr::eq(a, b), "resolve must not copy the string");
+        assert!(std::ptr::eq(a, s.as_str()));
     }
 
     #[test]

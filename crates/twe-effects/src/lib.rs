@@ -25,6 +25,20 @@
 //! chapter 4 of the paper (`E`, `E + E`, `E − E`, `E ∩ E`), which represent
 //! the covering effect at each program point during the static analysis.
 //!
+//! # The interned RPL arena
+//!
+//! RPLs are not stored as element vectors: every wildcard-free prefix is
+//! interned into a process-global prefix-tree [`arena`] as a small
+//! [`arena::RplId`] carrying its parent pointer and depth, and the (rare,
+//! short) wildcard suffix is interned separately. An [`Rpl`] is therefore an
+//! 8-byte `Copy` value whose equality and hash are O(1), whose hot
+//! concrete-vs-concrete disjointness test is a single id comparison with no
+//! locking, and whose wildcard relations are memoized per id pair. The
+//! element-wise procedure of §2.3.1 is retained verbatim in [`rpl::oracle`]
+//! as the fallback for wildcard cases and as the differential-testing
+//! baseline. See the [`arena`] module docs for the id-ordering, parent/depth
+//! and cache-semantics invariants.
+//!
 //! ```
 //! use twe_effects::{Rpl, Effect, EffectSet};
 //!
@@ -42,11 +56,14 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod compound;
 pub mod effect;
 pub mod intern;
+mod leak;
 pub mod rpl;
 
+pub use arena::RplId;
 pub use compound::{BitCompound, CompoundEffect, CompoundOp, EffectDomain};
 pub use effect::{Effect, EffectKind, EffectSet};
 pub use intern::{intern, resolve, Symbol};

@@ -11,9 +11,27 @@
 //! §2.3.1 of the paper; where wildcards make an exact answer expensive the
 //! implementation is conservative in the safe direction (it may report
 //! "overlapping" for RPLs that are in fact disjoint, never the reverse).
+//!
+//! # Representation
+//!
+//! An [`Rpl`] is two small interned ids (8 bytes, `Copy`): the
+//! [`arena::RplId`] of its maximal wildcard-free prefix and the id of its
+//! (usually empty) wildcard suffix — the elements from the first wildcard
+//! onwards, interned in a separate process-global table. The split is
+//! canonical, so `==`/`hash` are O(1) integer operations, and the hot
+//! conflict-test case — two fully-specified RPLs — is a single id comparison
+//! with no locking ([`Rpl::disjoint`]). Wildcard cases fall back to the
+//! element-wise procedure of §2.3.1 (kept verbatim in [`oracle`], which also
+//! serves as the differential-testing baseline) with the result memoized in a
+//! bounded id-pair cache.
 
+use crate::arena::{self, RplId};
 use crate::intern::{intern, Symbol};
+use crate::leak::LeakInterner;
+use parking_lot::RwLock;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// One element of a Region Path List.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -79,27 +97,122 @@ impl fmt::Display for RplElement {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Wildcard-suffix interning.
+// ---------------------------------------------------------------------------
+
+/// Interned id of a wildcard suffix (the elements of an RPL from its first
+/// wildcard onwards). Id 0 is the empty suffix, so an RPL is fully specified
+/// iff its suffix id is 0.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+struct SuffixId(u32);
+
+const EMPTY_SUFFIX: SuffixId = SuffixId(0);
+
+static SUFFIXES: OnceLock<LeakInterner<[RplElement]>> = OnceLock::new();
+
+fn suffixes() -> &'static LeakInterner<[RplElement]> {
+    SUFFIXES.get_or_init(|| LeakInterner::with_seed(&[]))
+}
+
+fn intern_suffix(elements: &[RplElement]) -> SuffixId {
+    if elements.is_empty() {
+        return EMPTY_SUFFIX;
+    }
+    SuffixId(suffixes().intern(elements, |els| Box::leak(els.to_vec().into_boxed_slice())))
+}
+
+fn suffix_slice(id: SuffixId) -> &'static [RplElement] {
+    suffixes().resolve(id.0)
+}
+
+/// The interned id of the suffix `[*]` — the trailing-star shape (`P:*`)
+/// that dominates wildcard use in scheduler workloads. Cached so shape tests
+/// are id compares.
+fn star_suffix() -> SuffixId {
+    static STAR: OnceLock<SuffixId> = OnceLock::new();
+    *STAR.get_or_init(|| intern_suffix(&[RplElement::Star]))
+}
+
+// ---------------------------------------------------------------------------
+// Memoized wildcard relations and full-path materialisation.
+// ---------------------------------------------------------------------------
+
+/// Hard cap on each relation cache: beyond it, results are still computed
+/// correctly but no longer inserted (the caches are a performance aid, never
+/// a correctness requirement).
+const RELATION_CACHE_CAP: usize = 1 << 20;
+
+type RelationCache = OnceLock<RwLock<HashMap<(Rpl, Rpl), bool>>>;
+type FullPathTable = OnceLock<RwLock<HashMap<(RplId, u32), &'static [RplElement]>>>;
+
+static OVERLAPS_CACHE: RelationCache = OnceLock::new();
+static INCLUDES_CACHE: RelationCache = OnceLock::new();
+static FULL_PATHS: FullPathTable = OnceLock::new();
+
+fn cached_relation(
+    cache: &'static RelationCache,
+    key: (Rpl, Rpl),
+    compute: impl FnOnce() -> bool,
+) -> bool {
+    let cache = cache.get_or_init(|| RwLock::new(HashMap::new()));
+    if let Some(&v) = cache.read().get(&key) {
+        return v;
+    }
+    let v = compute();
+    let mut guard = cache.write();
+    if guard.len() < RELATION_CACHE_CAP {
+        guard.insert(key, v);
+    }
+    v
+}
+
 /// A Region Path List: `Root : e1 : e2 : ... : en`.
 ///
 /// The leading `Root` is implicit and not stored. The empty list therefore
 /// denotes the region `Root` itself.
-#[derive(Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+///
+/// `Rpl` is a `Copy` pair of interned ids (maximal wildcard-free prefix +
+/// wildcard suffix); see the module docs for the invariants. Equality and
+/// hashing compare the ids and are O(1); the derived `Ord` is a stable
+/// process-local order over the ids (interning order), **not** a
+/// lexicographic order over element paths.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Rpl {
-    elements: Vec<RplElement>,
+    prefix: RplId,
+    suffix: SuffixId,
+}
+
+impl Default for Rpl {
+    fn default() -> Self {
+        Rpl::root()
+    }
 }
 
 impl Rpl {
     /// The root region `Root`.
     pub fn root() -> Self {
         Rpl {
-            elements: Vec::new(),
+            prefix: RplId::ROOT,
+            suffix: EMPTY_SUFFIX,
         }
     }
 
     /// Builds an RPL from a list of elements (excluding the implicit `Root`).
     pub fn new(elements: impl Into<Vec<RplElement>>) -> Self {
+        Self::from_elements(&elements.into())
+    }
+
+    /// Builds an RPL from an element slice, splitting it canonically into
+    /// its maximal wildcard-free prefix and its wildcard suffix.
+    pub fn from_elements(elements: &[RplElement]) -> Self {
+        let split = elements
+            .iter()
+            .position(RplElement::is_wildcard)
+            .unwrap_or(elements.len());
         Rpl {
-            elements: elements.into(),
+            prefix: arena::intern_path(&elements[..split]),
+            suffix: intern_suffix(&elements[split..]),
         }
     }
 
@@ -110,10 +223,10 @@ impl Rpl {
         S: AsRef<str>,
     {
         Rpl {
-            elements: names
-                .into_iter()
-                .map(|n| RplElement::name(n.as_ref()))
-                .collect(),
+            prefix: names.into_iter().fold(RplId::ROOT, |id, n| {
+                arena::intern_child(id, RplElement::name(n.as_ref()))
+            }),
+            suffix: EMPTY_SUFFIX,
         }
     }
 
@@ -143,29 +256,52 @@ impl Rpl {
             };
             elements.push(elem);
         }
-        Rpl { elements }
+        Self::from_elements(&elements)
     }
 
     /// The elements of this RPL (excluding the implicit `Root`).
-    pub fn elements(&self) -> &[RplElement] {
-        &self.elements
+    ///
+    /// The returned slice is interned and shared; resolving it allocates at
+    /// most once per distinct wildcard-bearing RPL for the process lifetime.
+    pub fn elements(&self) -> &'static [RplElement] {
+        if self.suffix == EMPTY_SUFFIX {
+            return arena::path(self.prefix);
+        }
+        let full = FULL_PATHS.get_or_init(|| RwLock::new(HashMap::new()));
+        let key = (self.prefix, self.suffix.0);
+        if let Some(&slice) = full.read().get(&key) {
+            return slice;
+        }
+        let mut v = arena::path(self.prefix).to_vec();
+        v.extend_from_slice(suffix_slice(self.suffix));
+        let leaked: &'static [RplElement] = Box::leak(v.into_boxed_slice());
+        full.write().entry(key).or_insert(leaked)
     }
 
     /// Number of elements (excluding `Root`).
     pub fn len(&self) -> usize {
-        self.elements.len()
+        arena::depth(self.prefix) + suffix_slice(self.suffix).len()
     }
 
     /// Is this the root region?
     pub fn is_empty(&self) -> bool {
-        self.elements.is_empty()
+        self.prefix == RplId::ROOT && self.suffix == EMPTY_SUFFIX
     }
 
     /// Returns a new RPL with `elem` appended (a child region).
     pub fn child(&self, elem: RplElement) -> Rpl {
-        let mut elements = self.elements.clone();
-        elements.push(elem);
-        Rpl { elements }
+        if self.suffix == EMPTY_SUFFIX && !elem.is_wildcard() {
+            return Rpl {
+                prefix: arena::intern_child(self.prefix, elem),
+                suffix: EMPTY_SUFFIX,
+            };
+        }
+        let mut v = suffix_slice(self.suffix).to_vec();
+        v.push(elem);
+        Rpl {
+            prefix: self.prefix,
+            suffix: intern_suffix(&v),
+        }
     }
 
     /// Returns a new RPL with a named child appended.
@@ -185,7 +321,7 @@ impl Rpl {
 
     /// True if the RPL contains no wildcard elements.
     pub fn is_fully_specified(&self) -> bool {
-        !self.elements.iter().any(RplElement::is_wildcard)
+        self.suffix == EMPTY_SUFFIX
     }
 
     /// True if the RPL contains at least one wildcard element.
@@ -194,13 +330,32 @@ impl Rpl {
     }
 
     /// The maximal wildcard-free prefix of this RPL.
-    pub fn max_wildcard_free_prefix(&self) -> &[RplElement] {
-        let end = self
-            .elements
-            .iter()
-            .position(RplElement::is_wildcard)
-            .unwrap_or(self.elements.len());
-        &self.elements[..end]
+    pub fn max_wildcard_free_prefix(&self) -> &'static [RplElement] {
+        arena::path(self.prefix)
+    }
+
+    /// The arena id of the maximal wildcard-free prefix.
+    pub fn prefix_id(&self) -> RplId {
+        self.prefix
+    }
+
+    /// Depth of the maximal wildcard-free prefix (its element count).
+    pub fn prefix_depth(&self) -> usize {
+        arena::depth(self.prefix)
+    }
+
+    /// The ancestor ids of the maximal wildcard-free prefix, root first:
+    /// `prefix_id_path()[d]` is the prefix truncated to depth `d`, and the
+    /// last entry is [`Rpl::prefix_id`]. Shared static slice; O(1).
+    pub fn prefix_id_path(&self) -> &'static [RplId] {
+        arena::id_path(self.prefix)
+    }
+
+    /// The wildcard suffix: the elements from the first wildcard onwards
+    /// (empty for fully-specified RPLs). `wildcard_suffix()[0]`, when
+    /// present, is always a wildcard.
+    pub fn wildcard_suffix(&self) -> &'static [RplElement] {
+        suffix_slice(self.suffix)
     }
 
     /// Set-wise inclusion: does `self` (the more general RPL) include every
@@ -208,8 +363,28 @@ impl Rpl {
     ///
     /// Examples: `A:*` includes `A`, `A:B`, and `A:*:C`; `A:[?]` includes
     /// `A:[3]` but not `A:B`.
+    ///
+    /// Fully-specified `self` reduces to an O(1) id equality; wildcard cases
+    /// are answered by [`oracle::includes`] and memoized per id pair.
     pub fn includes(&self, other: &Rpl) -> bool {
-        includes_rec(&self.elements, &other.elements)
+        if self.is_fully_specified() {
+            // A fully-specified RPL denotes exactly one region, and no
+            // wildcard-bearing RPL denotes a single region, so inclusion
+            // degenerates to equality.
+            return self == other;
+        }
+        if self.suffix == star_suffix() {
+            // `P:*` denotes P and everything below it, and covers exactly
+            // the RPLs whose elements start with P literally — i.e. whose
+            // wildcard-free prefix descends from (or is) P. O(1).
+            return arena::is_ancestor_or_self(self.prefix, other.prefix);
+        }
+        if self == other {
+            return true;
+        }
+        cached_relation(&INCLUDES_CACHE, (*self, *other), || {
+            oracle::includes(self.elements(), other.elements())
+        })
     }
 
     /// Set-wise inclusion in the other direction: `self ⊆ other`.
@@ -219,31 +394,73 @@ impl Rpl {
 
     /// Are the two RPLs disjoint (no fully-specified RPL denoted by both)?
     ///
-    /// This follows the practical procedure of §2.3.1: compare
-    /// element-by-element from the left until a `*` is encountered in either
-    /// RPL, and then (if necessary) from the right. The result is
-    /// conservative: `false` ("maybe overlapping") may be returned for RPLs
-    /// that are in fact disjoint, but `true` is only returned when they truly
-    /// cannot overlap.
+    /// This follows the practical procedure of §2.3.1 (see
+    /// [`oracle::overlaps`]). The result is conservative: `false` ("maybe
+    /// overlapping") may be returned for RPLs that are in fact disjoint, but
+    /// `true` is only returned when they truly cannot overlap.
+    ///
+    /// The hot case — both RPLs fully specified, which is what fine-grained
+    /// task workloads produce — is a single id comparison with no locking;
+    /// wildcard cases are memoized per (unordered) id pair.
     pub fn disjoint(&self, other: &Rpl) -> bool {
-        !overlaps(&self.elements, &other.elements)
+        !self.overlaps(other)
     }
 
     /// Convenience: `!self.disjoint(other)`.
     pub fn overlaps(&self, other: &Rpl) -> bool {
-        overlaps(&self.elements, &other.elements)
+        if self.suffix == EMPTY_SUFFIX && other.suffix == EMPTY_SUFFIX {
+            // Two fully-specified RPLs overlap iff they are the same region.
+            return self.prefix == other.prefix;
+        }
+        // Trailing-star fast paths: `P:*` overlaps a fully-specified RPL iff
+        // that RPL lies at or below P, and overlaps `Q:*` iff the prefixes
+        // are ancestor-related. Both are O(1) id-path lookups and cover the
+        // dominant wildcard shape of scheduler workloads.
+        let star = star_suffix();
+        if self.suffix == star && other.suffix == EMPTY_SUFFIX {
+            return arena::is_ancestor_or_self(self.prefix, other.prefix);
+        }
+        if other.suffix == star && self.suffix == EMPTY_SUFFIX {
+            return arena::is_ancestor_or_self(other.prefix, self.prefix);
+        }
+        if self.suffix == star && other.suffix == star {
+            return arena::is_ancestor_or_self(self.prefix, other.prefix)
+                || arena::is_ancestor_or_self(other.prefix, self.prefix);
+        }
+        // Overlap is symmetric: canonicalise the key so each unordered pair
+        // is cached once.
+        let key = if self <= other {
+            (*self, *other)
+        } else {
+            (*other, *self)
+        };
+        cached_relation(&OVERLAPS_CACHE, key, || {
+            oracle::overlaps(self.elements(), other.elements())
+        })
     }
 
     /// Does `prefix` (a wildcard-free element sequence) prefix this RPL?
     pub fn starts_with(&self, prefix: &[RplElement]) -> bool {
-        self.elements.len() >= prefix.len() && &self.elements[..prefix.len()] == prefix
+        let elements = self.elements();
+        elements.len() >= prefix.len() && &elements[..prefix.len()] == prefix
+    }
+
+    /// Id-based prefix test: is the region named by `prefix` an ancestor of
+    /// (or equal to) this RPL's maximal wildcard-free prefix? O(1).
+    ///
+    /// For wildcard-free `prefix` paths not longer than the wildcard-free
+    /// part of `self` this agrees with [`Rpl::starts_with`]; a `prefix`
+    /// reaching into the wildcard suffix can never literally match (the
+    /// suffix starts with a wildcard), so `false` is returned there too.
+    pub fn starts_with_id(&self, prefix: RplId) -> bool {
+        arena::is_ancestor_or_self(prefix, self.prefix)
     }
 }
 
 impl fmt::Display for Rpl {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Root")?;
-        for e in &self.elements {
+        for e in self.elements() {
             write!(f, ":{e}")?;
         }
         Ok(())
@@ -256,75 +473,87 @@ impl fmt::Debug for Rpl {
     }
 }
 
-/// Does the set denoted by `general` contain every RPL denoted by `specific`?
-fn includes_rec(general: &[RplElement], specific: &[RplElement]) -> bool {
-    use RplElement::*;
-    match (general.first(), specific.first()) {
-        (None, None) => true,
-        // `specific` is longer: the only way `general` (now the single empty
-        // suffix) can cover it is if the rest of `specific` is all-star and…
-        // even then a star denotes non-empty sequences too, so it cannot be
-        // covered by the empty suffix. Not included.
-        (None, Some(_)) => false,
-        (Some(Star), _) => {
-            // The star covers zero elements of the remaining `specific`…
-            includes_rec(&general[1..], specific)
-                // …or it covers the first remaining element (whatever it is).
-                || (!specific.is_empty() && includes_rec(general, &specific[1..]))
-        }
-        (Some(_), None) => false,
-        (Some(_), Some(Star)) => {
-            // `specific`'s star denotes arbitrarily long sequences; a
-            // non-star head in `general` cannot cover all of them.
-            false
-        }
-        (Some(AnyIndex), Some(Index(_))) | (Some(AnyIndex), Some(AnyIndex)) => {
-            includes_rec(&general[1..], &specific[1..])
-        }
-        (Some(AnyIndex), Some(Name(_))) => false,
-        (Some(a), Some(b)) => a == b && includes_rec(&general[1..], &specific[1..]),
-    }
-}
+/// The element-wise reference implementation of the RPL relations.
+///
+/// This is the direct transcription of §2.3.1 that the interned
+/// representation replaced on the hot path. It is kept (a) as the fallback
+/// the id-based operations use for wildcard cases, and (b) as the oracle the
+/// differential proptests and the `conflict` microbenchmark compare the
+/// id-based fast paths against.
+pub mod oracle {
+    use super::RplElement;
 
-/// Could `a` and `b` denote a common fully-specified RPL?
-fn overlaps(a: &[RplElement], b: &[RplElement]) -> bool {
-    use RplElement::*;
-    // Left scan up to the first star in either RPL.
-    let mut i = 0;
-    loop {
-        match (a.get(i), b.get(i)) {
-            (None, None) => return true, // identical fully-specified RPLs
-            (None, Some(_)) | (Some(_), None) => {
-                // One RPL ended. The shorter one denotes exactly the consumed
-                // prefix; the longer one denotes strictly longer RPLs unless
-                // all its remaining elements are stars (which can denote the
-                // empty sequence).
-                let rest = if a.get(i).is_none() { &b[i..] } else { &a[i..] };
-                return rest.iter().all(|e| matches!(e, Star));
+    /// Does the set denoted by `general` contain every RPL denoted by
+    /// `specific`?
+    pub fn includes(general: &[RplElement], specific: &[RplElement]) -> bool {
+        use RplElement::*;
+        match (general.first(), specific.first()) {
+            (None, None) => true,
+            // `specific` is longer: the only way `general` (now the single
+            // empty suffix) can cover it is if the rest of `specific` is
+            // all-star and… even then a star denotes non-empty sequences too,
+            // so it cannot be covered by the empty suffix. Not included.
+            (None, Some(_)) => false,
+            (Some(Star), _) => {
+                // The star covers zero elements of the remaining `specific`…
+                includes(&general[1..], specific)
+                    // …or it covers the first remaining element (whatever it is).
+                    || (!specific.is_empty() && includes(general, &specific[1..]))
             }
-            (Some(Star), _) | (_, Some(Star)) => break,
-            (Some(x), Some(y)) => {
-                if !x.may_equal(y) {
-                    return false;
+            (Some(_), None) => false,
+            (Some(_), Some(Star)) => {
+                // `specific`'s star denotes arbitrarily long sequences; a
+                // non-star head in `general` cannot cover all of them.
+                false
+            }
+            (Some(AnyIndex), Some(Index(_))) | (Some(AnyIndex), Some(AnyIndex)) => {
+                includes(&general[1..], &specific[1..])
+            }
+            (Some(AnyIndex), Some(Name(_))) => false,
+            (Some(a), Some(b)) => a == b && includes(&general[1..], &specific[1..]),
+        }
+    }
+
+    /// Could `a` and `b` denote a common fully-specified RPL?
+    pub fn overlaps(a: &[RplElement], b: &[RplElement]) -> bool {
+        use RplElement::*;
+        // Left scan up to the first star in either RPL.
+        let mut i = 0;
+        loop {
+            match (a.get(i), b.get(i)) {
+                (None, None) => return true, // identical fully-specified RPLs
+                (None, Some(_)) | (Some(_), None) => {
+                    // One RPL ended. The shorter one denotes exactly the
+                    // consumed prefix; the longer one denotes strictly longer
+                    // RPLs unless all its remaining elements are stars (which
+                    // can denote the empty sequence).
+                    let rest = if a.get(i).is_none() { &b[i..] } else { &a[i..] };
+                    return rest.iter().all(|e| matches!(e, Star));
                 }
-                i += 1;
+                (Some(Star), _) | (_, Some(Star)) => break,
+                (Some(x), Some(y)) => {
+                    if !x.may_equal(y) {
+                        return false;
+                    }
+                    i += 1;
+                }
             }
         }
-    }
-    // Right scan, stopping at the left-scan boundary or at a star.
-    let (mut ai, mut bi) = (a.len(), b.len());
-    while ai > i && bi > i {
-        let (x, y) = (&a[ai - 1], &b[bi - 1]);
-        if matches!(x, Star) || matches!(y, Star) {
-            return true; // cannot conclude disjointness; be conservative
+        // Right scan, stopping at the left-scan boundary or at a star.
+        let (mut ai, mut bi) = (a.len(), b.len());
+        while ai > i && bi > i {
+            let (x, y) = (&a[ai - 1], &b[bi - 1]);
+            if matches!(x, Star) || matches!(y, Star) {
+                return true; // cannot conclude disjointness; be conservative
+            }
+            if !x.may_equal(y) {
+                return false;
+            }
+            ai -= 1;
+            bi -= 1;
         }
-        if !x.may_equal(y) {
-            return false;
-        }
-        ai -= 1;
-        bi -= 1;
+        true
     }
-    true
 }
 
 #[cfg(test)]
@@ -357,6 +586,41 @@ mod tests {
         let built = Rpl::root().child_name("A").child_index(7).under_star();
         assert_eq!(built, rpl("A:[7]:*"));
         assert_eq!(Rpl::from_names(["A", "B"]), rpl("A:B"));
+    }
+
+    #[test]
+    fn default_is_root() {
+        assert_eq!(Rpl::default(), Rpl::root());
+        assert!(Rpl::default().is_empty());
+    }
+
+    #[test]
+    fn interned_representation_is_canonical() {
+        let a = rpl("A:B:*:C");
+        let b = Rpl::root()
+            .child_name("A")
+            .child_name("B")
+            .under_star()
+            .child_name("C");
+        assert_eq!(a, b);
+        assert_eq!(a.prefix_id(), b.prefix_id());
+        assert_eq!(a.wildcard_suffix(), b.wildcard_suffix());
+        assert_eq!(a.prefix_id(), rpl("A:B").prefix_id());
+        assert_eq!(a.prefix_depth(), 2);
+        assert!(a.wildcard_suffix()[0].is_wildcard());
+    }
+
+    #[test]
+    fn prefix_id_path_truncations() {
+        let r = rpl("A:B:C:*");
+        let ids = r.prefix_id_path();
+        assert_eq!(ids.len(), 4);
+        assert_eq!(ids[0], RplId::ROOT);
+        assert_eq!(ids[2], rpl("A:B").prefix_id());
+        assert_eq!(ids[3], r.prefix_id());
+        assert!(r.starts_with_id(rpl("A:B").prefix_id()));
+        assert!(!r.starts_with_id(rpl("A:X").prefix_id()));
+        assert!(!rpl("A").starts_with_id(rpl("A:B").prefix_id()));
     }
 
     #[test]
@@ -419,6 +683,19 @@ mod tests {
         assert!(!rpl("A:*:X").disjoint(&rpl("A:X")));
         assert!(rpl("A:*:[1]").disjoint(&rpl("A:B:[2]")));
         assert!(!rpl("A:*:[1]").disjoint(&rpl("A:B:[1]")));
+    }
+
+    #[test]
+    fn memoized_wildcard_relations_are_stable() {
+        // Repeat queries must keep answering the same thing through the
+        // cache (regression guard for cache-key canonicalisation).
+        for _ in 0..3 {
+            assert!(rpl("Memo:*:X").disjoint(&rpl("Memo:Y")));
+            assert!(!rpl("Memo:Y").disjoint(&rpl("Memo:*"))); // symmetric order
+            assert!(!rpl("Memo:*").disjoint(&rpl("Memo:Y")));
+            assert!(rpl("Memo:Y").included_in(&rpl("Memo:*")));
+            assert!(!rpl("Memo:*").included_in(&rpl("Memo:Y")));
+        }
     }
 
     #[test]
@@ -556,6 +833,15 @@ mod tests {
             fn parse_display_roundtrip(a in arb_rpl()) {
                 let text = format!("{a}");
                 prop_assert_eq!(Rpl::parse(&text), a);
+            }
+
+            /// Interning round-trip: the elements the RPL was built from are
+            /// the elements it resolves back to.
+            #[test]
+            fn elements_roundtrip(elems in proptest::collection::vec(arb_element(), 0..6)) {
+                let r = Rpl::new(elems.clone());
+                prop_assert_eq!(r.elements(), &elems[..]);
+                prop_assert_eq!(r.len(), elems.len());
             }
         }
     }

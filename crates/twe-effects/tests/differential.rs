@@ -1,0 +1,157 @@
+//! Differential tests: the id-based RPL relations must agree with the
+//! retained element-wise implementation (`rpl::oracle`) on arbitrary RPL
+//! pairs, including wildcard suffixes, and the arena must intern
+//! consistently under concurrency.
+
+use proptest::prelude::*;
+use twe_effects::rpl::oracle;
+use twe_effects::{arena, Rpl, RplElement};
+
+fn arb_element() -> impl Strategy<Value = RplElement> {
+    prop_oneof![
+        (0..5u8).prop_map(|i| RplElement::name(["DA", "DB", "DC", "DD", "DE"][i as usize])),
+        (0..5i64).prop_map(RplElement::Index),
+        Just(RplElement::Star),
+        Just(RplElement::AnyIndex),
+    ]
+}
+
+fn arb_elements() -> impl Strategy<Value = Vec<RplElement>> {
+    proptest::collection::vec(arb_element(), 0..8)
+}
+
+fn arb_concrete_elements() -> impl Strategy<Value = Vec<RplElement>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..5u8).prop_map(|i| RplElement::name(["DA", "DB", "DC", "DD", "DE"][i as usize])),
+            (0..5i64).prop_map(RplElement::Index),
+        ],
+        0..8,
+    )
+}
+
+proptest! {
+    /// Id-based disjointness agrees with the element-wise oracle on
+    /// arbitrary pairs, wildcard suffixes included.
+    #[test]
+    fn disjoint_matches_oracle(a in arb_elements(), b in arb_elements()) {
+        let (ra, rb) = (Rpl::new(a.clone()), Rpl::new(b.clone()));
+        prop_assert_eq!(
+            ra.disjoint(&rb),
+            !oracle::overlaps(&a, &b),
+            "disjoint mismatch for {:?} vs {:?}", ra, rb
+        );
+        // And through the cache: a second query must answer the same.
+        prop_assert_eq!(ra.disjoint(&rb), !oracle::overlaps(&a, &b));
+    }
+
+    /// Id-based inclusion agrees with the element-wise oracle in both
+    /// directions.
+    #[test]
+    fn includes_matches_oracle(a in arb_elements(), b in arb_elements()) {
+        let (ra, rb) = (Rpl::new(a.clone()), Rpl::new(b.clone()));
+        prop_assert_eq!(
+            ra.includes(&rb),
+            oracle::includes(&a, &b),
+            "includes mismatch for {:?} ⊇ {:?}", ra, rb
+        );
+        prop_assert_eq!(rb.includes(&ra), oracle::includes(&b, &a));
+        prop_assert_eq!(ra.included_in(&rb), oracle::includes(&b, &a));
+    }
+
+    /// The concrete-concrete fast path (id inequality) agrees with the
+    /// oracle's full scan.
+    #[test]
+    fn concrete_fast_path_matches_oracle(
+        a in arb_concrete_elements(), b in arb_concrete_elements()
+    ) {
+        let (ra, rb) = (Rpl::new(a.clone()), Rpl::new(b.clone()));
+        prop_assert_eq!(ra.disjoint(&rb), !oracle::overlaps(&a, &b));
+        prop_assert_eq!(ra.includes(&rb), oracle::includes(&a, &b));
+        prop_assert_eq!(ra == rb, a == b, "interned equality must be element equality");
+    }
+
+    /// `starts_with` (element slice) agrees with a direct slice compare, and
+    /// the O(1) id-based prefix test agrees with it for wildcard-free
+    /// prefixes.
+    #[test]
+    fn starts_with_matches_oracle(
+        a in arb_elements(), p in arb_concrete_elements()
+    ) {
+        let ra = Rpl::new(a.clone());
+        let expected = a.len() >= p.len() && a[..p.len().min(a.len())] == p[..];
+        prop_assert_eq!(ra.starts_with(&p), expected);
+        let pid = arena::intern_path(&p);
+        prop_assert_eq!(
+            ra.starts_with_id(pid),
+            ra.max_wildcard_free_prefix().len() >= p.len()
+                && ra.max_wildcard_free_prefix()[..p.len()] == p[..],
+            "starts_with_id mismatch for {:?} / {:?}", ra, p
+        );
+    }
+
+    /// Interning round-trips the element list exactly.
+    #[test]
+    fn elements_roundtrip(a in arb_elements()) {
+        let r = Rpl::new(a.clone());
+        prop_assert_eq!(r.elements(), &a[..]);
+        let reparsed = Rpl::parse(&format!("{r}"));
+        prop_assert_eq!(reparsed, r);
+    }
+}
+
+/// Concurrent interning stress: many threads race to intern overlapping
+/// families of RPLs; every thread must observe identical ids, and the
+/// relations must stay consistent with the oracle throughout.
+#[test]
+fn concurrent_arena_interning_stress() {
+    let make = |t: usize, i: i64| -> Vec<RplElement> {
+        let mut v = vec![
+            RplElement::name("Stress"),
+            RplElement::name(["P", "Q", "R"][t % 3]),
+            RplElement::Index(i % 32),
+        ];
+        if i % 5 == 0 {
+            v.push(RplElement::Star);
+        }
+        v
+    };
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            std::thread::spawn(move || {
+                (0..256)
+                    .map(|i| {
+                        let elems = make(t, i);
+                        let r = Rpl::new(elems.clone());
+                        // Exercise the relations under concurrency too.
+                        let probe = Rpl::new(make((t + 1) % 8, i + 1));
+                        assert_eq!(
+                            r.disjoint(&probe),
+                            !oracle::overlaps(&elems, probe.elements())
+                        );
+                        (r.prefix_id(), r)
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let results: Vec<Vec<(arena::RplId, Rpl)>> =
+        handles.into_iter().map(|h| h.join().unwrap()).collect();
+    // Threads t and t+3 intern identical element lists (same t mod 3), so
+    // they must observe identical ids.
+    for t in 0..5 {
+        assert_eq!(
+            results[t],
+            results[t + 3],
+            "threads {t} and {} disagree",
+            t + 3
+        );
+    }
+    // Every id resolves back to the elements it was interned from.
+    for row in &results {
+        for (id, r) in row {
+            assert_eq!(arena::path(*id), r.max_wildcard_free_prefix());
+            assert_eq!(arena::depth(*id), r.max_wildcard_free_prefix().len());
+        }
+    }
+}

@@ -149,6 +149,9 @@ impl Scheduler for NaiveScheduler {
         // Only waiters whose effects interfere with the finished task's can
         // have been blocked by it (its spawned children's effects are covered
         // by its declared set, so this filter is conservative for them too).
+        // The interference filter runs on interned RPL ids — for the dominant
+        // fully-specified case each pair is a single integer compare — so the
+        // rescan stays cheap even when every queued task is a candidate.
         self.enable_ready_among(|t| !task.effects.non_interfering(&t.effects));
     }
 

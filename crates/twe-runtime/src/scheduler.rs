@@ -45,6 +45,11 @@ pub trait Scheduler: Send + Sync {
 /// task; both are reads; their RPLs are disjoint; or the existing task is
 /// (transitively) blocked on the new task and none of its not-yet-joined
 /// spawned children's effects conflict with `new`.
+///
+/// The disjointness test runs over interned RPL ids ([`twe_effects::Rpl`]):
+/// for two fully-specified RPLs it is one integer comparison, and wildcard
+/// pairs are memoized, so this function is cheap enough to sit on the
+/// per-task hot path of both schedulers.
 pub fn effects_conflict(
     existing_task: &Arc<TaskRecord>,
     existing: &Effect,

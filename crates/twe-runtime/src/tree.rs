@@ -21,7 +21,7 @@ use parking_lot::{ArcMutexGuard, Mutex, RawMutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
-use twe_effects::{Effect, EffectKind, Rpl, RplElement};
+use twe_effects::{Effect, EffectKind, Rpl, RplId};
 
 /// Callback used to hand an enabled task to the execution substrate.
 pub type EnableFn = Box<dyn Fn(Arc<TaskRecord>) + Send + Sync>;
@@ -30,8 +30,12 @@ pub type EnableFn = Box<dyn Fn(Arc<TaskRecord>) + Send + Sync>;
 pub struct EffectRecord {
     /// True for a write effect.
     pub write: bool,
-    /// The RPL the effect is on.
+    /// The RPL the effect is on (interned; `Copy`).
     pub rpl: Rpl,
+    /// The arena ids of the RPL's wildcard-free prefix truncated to every
+    /// depth (`prefix_path[d]` is the ancestor at depth `d`); resolved once
+    /// at record creation so tree descent never walks elements.
+    pub prefix_path: &'static [RplId],
     /// The owning task (weak: the task owns its records).
     pub task: Weak<TaskRecord>,
     /// The tree node currently holding this effect.
@@ -39,19 +43,31 @@ pub struct EffectRecord {
     /// Whether the effect is currently enabled.
     pub enabled: AtomicBool,
     /// Effects that are waiting because they conflict with this one.
-    pub waiters: Mutex<Vec<Arc<EffectRecord>>>,
+    ///
+    /// Entries are weak: a waiter that completes (or whose task record is
+    /// dropped) while still registered here must not be kept alive by this
+    /// list — with strong references, every record registered on a
+    /// long-lived effect leaked until that effect finished.
+    pub waiters: Mutex<Vec<Weak<EffectRecord>>>,
 }
 
 impl EffectRecord {
     fn new(task: &Arc<TaskRecord>, effect: &Effect) -> Arc<Self> {
         Arc::new(EffectRecord {
             write: effect.is_write(),
-            rpl: effect.rpl.clone(),
+            rpl: effect.rpl,
+            prefix_path: effect.rpl.prefix_id_path(),
             task: Arc::downgrade(task),
             node: Mutex::new(None),
             enabled: AtomicBool::new(false),
             waiters: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Depth of the RPL's maximal wildcard-free prefix: the depth of the
+    /// tree node this effect settles at.
+    fn prefix_depth(&self) -> usize {
+        self.prefix_path.len() - 1
     }
 
     /// The effect as a plain [`Effect`] value.
@@ -62,7 +78,7 @@ impl EffectRecord {
             } else {
                 EffectKind::Read
             },
-            rpl: self.rpl.clone(),
+            rpl: self.rpl,
         }
     }
 
@@ -91,11 +107,16 @@ impl std::fmt::Debug for EffectRecord {
 }
 
 /// The contents of one scheduler-tree node (Figure 5.3).
+///
+/// Each node corresponds to a wildcard-free RPL, so children are keyed by
+/// the child's interned [`RplId`] — one hash over a `u32` instead of an
+/// element compare — and descent indexes the effect's precomputed prefix id
+/// path.
 #[derive(Default)]
 pub struct NodeInner {
     depth: usize,
     effects: Vec<Arc<EffectRecord>>,
-    children: HashMap<RplElement, NodeRef>,
+    children: HashMap<RplId, NodeRef>,
 }
 
 /// A reference-counted, individually locked tree node.
@@ -124,10 +145,20 @@ fn remove_effect(guard: &mut NodeGuard, e: &Arc<EffectRecord>) {
 /// the same conflict persists, and re-registering it each time would let the
 /// list grow by a factor per recheck generation, which turns the fine-grained
 /// contended case (e.g. the K-Means accumulate pattern) quadratic-or-worse.
+///
+/// Entries are weak, and entries whose record has been dropped are pruned on
+/// the way: a waiter enabled through another record's recheck has no
+/// back-pointer to remove itself from this list, so a strong list on a
+/// long-lived effect would accumulate (and keep alive) the records of every
+/// short task that ever waited on it.
 fn push_waiter(on: &EffectRecord, waiter: &Arc<EffectRecord>) {
     let mut waiters = on.waiters.lock();
-    if !waiters.iter().any(|w| Arc::ptr_eq(w, waiter)) {
-        waiters.push(waiter.clone());
+    waiters.retain(|w| w.strong_count() > 0);
+    if !waiters
+        .iter()
+        .any(|w| std::ptr::eq(w.as_ptr(), Arc::as_ptr(waiter)))
+    {
+        waiters.push(Arc::downgrade(waiter));
     }
 }
 
@@ -332,7 +363,10 @@ impl TreeScheduler {
     ) {
         let mut below: Vec<(NodeRef, Vec<Arc<EffectRecord>>)> = Vec::new();
         for e in effects {
-            let at_this_node = e.rpl.len() == depth || e.rpl.elements()[depth].is_wildcard();
+            // An effect settles at the node of its maximal wildcard-free
+            // prefix (its RPL either ends there or continues with a
+            // wildcard).
+            let at_this_node = e.prefix_depth() == depth;
             if at_this_node {
                 add_effect(&node, &mut guard, &e);
                 let conflicts_here = self.check_at(&mut guard, &e, false);
@@ -348,7 +382,7 @@ impl TreeScheduler {
                 if conflicts_here {
                     add_effect(&node, &mut guard, &e);
                 } else {
-                    let next = e.rpl.elements()[depth];
+                    let next = e.prefix_path[depth + 1];
                     let child_depth = guard.depth + 1;
                     let child = guard
                         .children
@@ -421,7 +455,7 @@ impl TreeScheduler {
                 return;
             }
             let d = guard.depth;
-            if e.rpl.len() == d || e.rpl.elements()[d].is_wildcard() {
+            if e.prefix_depth() == d {
                 let children: Vec<NodeRef> = guard.children.values().cloned().collect();
                 let conflicts_below = self.check_below(children, e, &node, &mut guard, prio);
                 if !conflicts_below {
@@ -433,7 +467,7 @@ impl TreeScheduler {
             // No conflict here and not yet at the maximal wildcard-free
             // prefix: move the effect down one level and continue from there.
             remove_effect(&mut guard, e);
-            let next = e.rpl.elements()[d];
+            let next = e.prefix_path[d + 1];
             let child_depth = d + 1;
             let child = guard
                 .children
@@ -475,8 +509,12 @@ impl TreeScheduler {
     /// them wait has been resolved (used by task completion and by
     /// spawned-child completion).
     fn recheck_waiters_of(&self, e: &Arc<EffectRecord>) {
-        let waiters: Vec<Arc<EffectRecord>> = std::mem::take(&mut *e.waiters.lock());
+        let waiters: Vec<Weak<EffectRecord>> = std::mem::take(&mut *e.waiters.lock());
         for waiter in waiters {
+            // Records of completed-and-dropped waiters simply vanish here.
+            let Some(waiter) = waiter.upgrade() else {
+                continue;
+            };
             let Some(waiter_task) = waiter.task.upgrade() else {
                 continue;
             };
@@ -772,6 +810,58 @@ mod tests {
         h.sched.submit(a.clone());
         assert!(h.sched.recorded_effects() >= 2);
         h.finish(&a);
+        assert_eq!(h.sched.recorded_effects(), 0);
+    }
+
+    #[test]
+    fn completed_waiters_records_are_dropped_while_blocker_still_runs() {
+        // Regression test for the waiter strong-reference leak: t3 waits
+        // behind t2's enabled effect on A (registering itself on that
+        // record's waiter list), is then enabled through prioritization, runs
+        // and completes — all while t2 is still alive. Its effect records
+        // must be freed as soon as its task record is dropped; with strong
+        // waiter references they stayed alive until t2 eventually finished.
+        let h = harness();
+        let t1 = task(1, "writes B");
+        let t2 = task(2, "writes A, writes B");
+        let t3 = task(3, "writes A");
+        h.sched.submit(t1.clone());
+        h.sched.submit(t2.clone());
+        h.sched.submit(t3.clone());
+        assert_eq!(h.enabled_ids(), vec![1]);
+        // A running task blocks on t3, prioritizing it; it steals A from t2.
+        let blocker = task(99, "writes C");
+        h.sched.submit(blocker.clone());
+        *blocker.blocker.lock() = Some(t3.clone());
+        h.sched.on_await(Some(&blocker), &t3);
+        assert!(h.enabled_ids().contains(&3));
+        // t3 completes and its record is dropped; t2 still waits on t1. The
+        // runtime clears the blocker link once the join returns, so the test
+        // does the same before dropping t3.
+        h.finish(&t3);
+        *blocker.blocker.lock() = None;
+        let weak_records: Vec<std::sync::Weak<EffectRecord>> = t3
+            .tree_effects
+            .get()
+            .unwrap()
+            .iter()
+            .map(Arc::downgrade)
+            .collect();
+        drop(t3);
+        let leaked = weak_records
+            .iter()
+            .filter(|w| w.upgrade().is_some())
+            .count();
+        assert_eq!(
+            leaked, 0,
+            "effect records of a completed, dropped task must not be kept \
+             alive by another record's waiter list"
+        );
+        // Drain the rest so the tree ends empty.
+        h.finish(&blocker);
+        h.finish(&t1);
+        assert!(h.enabled_ids().contains(&2));
+        h.finish(&t2);
         assert_eq!(h.sched.recorded_effects(), 0);
     }
 
