@@ -11,7 +11,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use twe_bench::conflict_paths;
+use twe_bench::{anyindex_paths, conflict_paths, disjoint_effect_sets};
 use twe_effects::rpl::oracle;
 use twe_effects::Rpl;
 
@@ -45,6 +45,62 @@ fn bench_conflict(c: &mut Criterion) {
             });
         }
     }
+
+    // The `P:[?]` shape: trailing-any-index wildcards against concrete index
+    // children, resolved by the dedicated O(1) parent-id check.
+    for depth in [2usize, 8] {
+        let elems = anyindex_paths(depth, 64);
+        let rpls: Vec<Rpl> = elems.iter().map(|p| Rpl::new(p.clone())).collect();
+        c.bench_function(format!("conflict_id_depth{depth}_anyindex"), |b| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for x in &rpls {
+                    for y in &rpls {
+                        acc += u32::from(black_box(x).disjoint(black_box(y)));
+                    }
+                }
+                acc
+            })
+        });
+        c.bench_function(format!("conflict_elementwise_depth{depth}_anyindex"), |b| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for x in &elems {
+                    for y in &elems {
+                        acc += u32::from(!oracle::overlaps(black_box(x), black_box(y)));
+                    }
+                }
+                acc
+            })
+        });
+    }
+
+    // Set-level non-interference on pairwise-disjoint 8-effect sets:
+    // summary rejection vs the all-pairs loop it filters.
+    let sets = disjoint_effect_sets(64, 8);
+    c.bench_function("conflict_set_summary_8x8_disjoint", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for x in &sets {
+                for y in &sets {
+                    acc += u32::from(black_box(x).non_interfering(black_box(y)));
+                }
+            }
+            acc
+        })
+    });
+    c.bench_function("conflict_set_allpairs_8x8_disjoint", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for x in &sets {
+                for y in &sets {
+                    let ni = x.iter().all(|ex| y.iter().all(|ey| ex.non_interfering(ey)));
+                    acc += u32::from(black_box(ni));
+                }
+            }
+            acc
+        })
+    });
 }
 
 criterion_group! {

@@ -9,9 +9,11 @@
 //! minutes on a laptop; without it the workloads approximate the paper's
 //! sizes (50 000-point K-Means, 2048×2048 images, 400 000-edge SSCA2, …).
 //!
-//! `--fig conflict` runs only the RPL conflict-test microbenchmark
-//! (id-based vs element-wise throughput); `--conflict-json` additionally
-//! writes its rows as a JSON throughput record (`BENCH_conflict.json` in the
+//! `--fig conflict` runs only the conflict-test microbenchmark: id-based vs
+//! element-wise RPL disjointness on concrete, wildcard-mix and `P:[?]`
+//! workloads, plus summary-filtered vs all-pairs `EffectSet`
+//! non-interference on disjoint sets; `--conflict-json` additionally writes
+//! its rows as a JSON throughput record (`BENCH_conflict.json` in the
 //! scheduled CI smoke job, uploaded as an artifact so the perf trajectory is
 //! tracked).
 

@@ -18,7 +18,7 @@ use serde::Serialize;
 use std::time::Instant;
 use twe_apps::{barneshut, coloring, fourwins, imageedit, kmeans, montecarlo, refine, ssca2, tsp};
 use twe_effects::rpl::oracle;
-use twe_effects::{Rpl, RplElement};
+use twe_effects::{Effect, EffectSet, Rpl, RplElement};
 use twe_runtime::{Runtime, SchedulerKind};
 
 /// One measured data point of a figure.
@@ -411,18 +411,31 @@ pub fn fig_7_1(quick: bool) -> Vec<Row> {
 
 /// One row of the RPL conflict-test microbenchmark (`BENCH_conflict.json`):
 /// throughput of the interned id-based disjointness test against the
-/// element-wise baseline on same-shaped workloads.
+/// baseline it replaced, on same-shaped workloads.
 #[derive(Clone, Debug, Serialize)]
 pub struct ConflictRow {
-    /// RPL depth of the workload (elements below `Root`).
+    /// Workload shape:
+    ///
+    /// * `"concrete"` — fully-specified RPLs (the pure id-compare path);
+    /// * `"wild-mix"` — every fourth RPL a wildcard cycling trailing-star /
+    ///   trailing-`[?]` / mid-star (ancestor test, `[?]` shape test, memo
+    ///   cache);
+    /// * `"anyindex"` — `P:[?]` against concrete index children (the
+    ///   dedicated O(1) shape fast path);
+    /// * `"set-disjoint"` — pairwise-disjoint `EffectSet`s (`depth` is the
+    ///   per-set effect count): summary-filtered
+    ///   `EffectSet::non_interfering` vs the plain all-pairs loop, both over
+    ///   interned ids.
+    pub shape: String,
+    /// RPL depth of the workload (for `set-disjoint`: effects per set).
     pub depth: usize,
-    /// Whether the workload mixes in trailing-star wildcard RPLs (exercising
-    /// the O(1) ancestor test and the memoized relation cache) or is fully
-    /// specified (the pure id-compare fast path).
+    /// Whether the workload contains wildcard RPLs.
     pub wildcard: bool,
-    /// Conflict tests per second with the interned id representation.
+    /// Conflict tests per second with the interned-id (for sets:
+    /// summary-filtered) implementation.
     pub id_ops_per_sec: f64,
-    /// Conflict tests per second with the element-wise oracle.
+    /// Conflict tests per second with the baseline: the element-wise oracle
+    /// for RPL rows, the all-pairs effect loop for set rows.
     pub elementwise_ops_per_sec: f64,
     /// `id_ops_per_sec / elementwise_ops_per_sec`.
     pub speedup: f64,
@@ -485,6 +498,59 @@ pub fn conflict_paths(depth: usize, n: usize, wildcard: bool) -> Vec<Vec<RplElem
         .collect()
 }
 
+/// Builds the `n`-path `P:[?]` workload at the given depth (≥ 2): every
+/// other path is the trailing-any-index wildcard `P:[?]` over a shared
+/// concrete prefix, the rest are concrete index children `P:[i]` — the
+/// index-partitioned shape (`Data:[i]` workers vs a `Data:[?]` sweeper)
+/// whose conflict test now resolves through the dedicated O(1) parent-id +
+/// last-element-kind check instead of the memo cache.
+pub fn anyindex_paths(depth: usize, n: usize) -> Vec<Vec<RplElement>> {
+    assert!(depth >= 2, "the P:[?] shape needs a parent and a tail");
+    (0..n)
+        .map(|i| {
+            let mut path: Vec<RplElement> = Vec::with_capacity(depth);
+            path.push(RplElement::name("AnyIdx"));
+            for level in 1..depth - 1 {
+                path.push(RplElement::name(&format!("L{level}")));
+            }
+            if i % 2 == 0 {
+                path.push(RplElement::AnyIndex);
+            } else {
+                path.push(RplElement::Index(i as i64));
+            }
+            path
+        })
+        .collect()
+}
+
+/// Builds `n` pairwise anchor-disjoint effect sets of `set_size` effects
+/// each: set `k`'s effects live under the top-level region `SetK`, so any
+/// two sets are disjoint and the per-set summary rejects the pair in O(set)
+/// where the all-pairs loop scans `set_size²` id pairs.
+pub fn disjoint_effect_sets(n: usize, set_size: usize) -> Vec<EffectSet> {
+    (0..n)
+        .map(|k| {
+            EffectSet::from_effects((0..set_size).map(|j| {
+                let rpl = Rpl::new(vec![
+                    RplElement::name(&format!("Set{k}")),
+                    RplElement::Index(j as i64),
+                ]);
+                if j % 3 == 0 {
+                    Effect::read(rpl)
+                } else {
+                    Effect::write(rpl)
+                }
+            }))
+        })
+        .collect()
+}
+
+/// The plain all-pairs set non-interference loop (what `EffectSet` did
+/// before the per-set summaries): the baseline for the `set-disjoint` rows.
+fn pairwise_non_interfering(a: &EffectSet, b: &EffectSet) -> bool {
+    a.iter().all(|x| b.iter().all(|y| x.non_interfering(y)))
+}
+
 /// Runs 64×64 all-pairs sweeps of `test` until at least `min_seconds` of
 /// wall clock have elapsed (with `batch` sweeps between clock reads), then
 /// returns ops/second. The minimum window keeps the measurement robust to
@@ -514,39 +580,91 @@ fn all_pairs_throughput(
     }
 }
 
-/// Measures conflict-test (RPL disjointness) throughput on deep-RPL
-/// workloads: the interned id-based implementation versus the element-wise
-/// oracle it replaced. One row per (depth, wildcard) combination.
+/// Measures an RPL workload: cross-checks the id-based disjointness against
+/// the element-wise oracle (also warming the interner/caches), then records
+/// steady-state throughput of both.
+fn conflict_row(
+    shape: &str,
+    depth: usize,
+    wildcard: bool,
+    paths: &[Vec<RplElement>],
+    min_seconds: f64,
+) -> ConflictRow {
+    let rpls: Vec<Rpl> = paths.iter().map(|p| Rpl::new(p.clone())).collect();
+    for (i, a) in paths.iter().enumerate() {
+        for (j, b) in paths.iter().enumerate() {
+            assert_eq!(
+                rpls[i].disjoint(&rpls[j]),
+                !oracle::overlaps(a, b),
+                "id-based and element-wise disagree on {a:?} vs {b:?}"
+            );
+        }
+    }
+    let id_tp = all_pairs_throughput(min_seconds, 20, |i, j| rpls[i].disjoint(&rpls[j]));
+    let el_tp = all_pairs_throughput(min_seconds, 20, |i, j| {
+        !oracle::overlaps(&paths[i], &paths[j])
+    });
+    ConflictRow {
+        shape: shape.to_string(),
+        depth,
+        wildcard,
+        id_ops_per_sec: id_tp,
+        elementwise_ops_per_sec: el_tp,
+        speedup: id_tp / el_tp.max(1e-12),
+    }
+}
+
+/// Measures conflict-test throughput on the workload shapes of the conflict
+/// plane: the interned id-based implementation versus the element-wise
+/// oracle it replaced (one row per depth × concrete/wildcard-mix, plus the
+/// dedicated `P:[?]` shape rows), and summary-filtered set-level
+/// non-interference versus the plain all-pairs loop (`set-disjoint` rows).
 pub fn run_conflict_bench(quick: bool) -> Vec<ConflictRow> {
     let min_seconds = if quick { 0.12 } else { 0.6 };
     let mut rows = Vec::new();
     for depth in [2usize, 4, 6, 8] {
         for wildcard in [false, true] {
+            let shape = if wildcard { "wild-mix" } else { "concrete" };
             let paths = conflict_paths(depth, 64, wildcard);
-            let rpls: Vec<Rpl> = paths.iter().map(|p| Rpl::new(p.clone())).collect();
-            // Correctness cross-check (also warms the interner/caches so
-            // steady-state throughput is measured afterwards).
-            for (i, a) in paths.iter().enumerate() {
-                for (j, b) in paths.iter().enumerate() {
-                    assert_eq!(
-                        rpls[i].disjoint(&rpls[j]),
-                        !oracle::overlaps(a, b),
-                        "id-based and element-wise disagree on {a:?} vs {b:?}"
-                    );
-                }
-            }
-            let id_tp = all_pairs_throughput(min_seconds, 20, |i, j| rpls[i].disjoint(&rpls[j]));
-            let el_tp = all_pairs_throughput(min_seconds, 20, |i, j| {
-                !oracle::overlaps(&paths[i], &paths[j])
-            });
-            rows.push(ConflictRow {
-                depth,
-                wildcard,
-                id_ops_per_sec: id_tp,
-                elementwise_ops_per_sec: el_tp,
-                speedup: id_tp / el_tp.max(1e-12),
-            });
+            rows.push(conflict_row(shape, depth, wildcard, &paths, min_seconds));
         }
+    }
+    // The `P:[?]` shape: wildcard rows that resolve entirely through the
+    // O(1) parent-id check (no memo-cache traffic).
+    for depth in [2usize, 4, 8] {
+        let paths = anyindex_paths(depth, 64);
+        rows.push(conflict_row("anyindex", depth, true, &paths, min_seconds));
+    }
+    // Set-level rows: summary rejection vs the all-pairs loop on disjoint
+    // sets (both over interned ids; the summary's job is skipping pairs).
+    for set_size in [4usize, 8] {
+        let sets = disjoint_effect_sets(64, set_size);
+        for (i, a) in sets.iter().enumerate() {
+            for (j, b) in sets.iter().enumerate() {
+                assert_eq!(
+                    a.non_interfering(b),
+                    pairwise_non_interfering(a, b),
+                    "summary-filtered set test disagrees with all-pairs loop"
+                );
+                assert_eq!(
+                    a.non_interfering(b),
+                    i != j,
+                    "distinct sets must be disjoint; a set self-interferes"
+                );
+            }
+        }
+        let id_tp = all_pairs_throughput(min_seconds, 20, |i, j| sets[i].non_interfering(&sets[j]));
+        let el_tp = all_pairs_throughput(min_seconds, 20, |i, j| {
+            pairwise_non_interfering(&sets[i], &sets[j])
+        });
+        rows.push(ConflictRow {
+            shape: "set-disjoint".to_string(),
+            depth: set_size,
+            wildcard: false,
+            id_ops_per_sec: id_tp,
+            elementwise_ops_per_sec: el_tp,
+            speedup: id_tp / el_tp.max(1e-12),
+        });
     }
     rows
 }
@@ -554,13 +672,13 @@ pub fn run_conflict_bench(quick: bool) -> Vec<ConflictRow> {
 /// Pretty-prints the conflict microbenchmark rows.
 pub fn print_conflict_rows(rows: &[ConflictRow]) {
     println!(
-        "{:<6} {:<9} {:>16} {:>16} {:>9}",
-        "depth", "wildcard", "id ops/s", "elemwise ops/s", "speedup"
+        "{:<13} {:<6} {:<9} {:>16} {:>16} {:>9}",
+        "shape", "depth", "wildcard", "id ops/s", "baseline ops/s", "speedup"
     );
     for r in rows {
         println!(
-            "{:<6} {:<9} {:>16.0} {:>16.0} {:>8.2}x",
-            r.depth, r.wildcard, r.id_ops_per_sec, r.elementwise_ops_per_sec, r.speedup
+            "{:<13} {:<6} {:<9} {:>16.0} {:>16.0} {:>8.2}x",
+            r.shape, r.depth, r.wildcard, r.id_ops_per_sec, r.elementwise_ops_per_sec, r.speedup
         );
     }
 }
@@ -624,5 +742,36 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         assert!(json.contains("k-means"));
         assert!(json.contains("\"threads\":4"));
+    }
+
+    #[test]
+    fn anyindex_workload_has_the_advertised_shape() {
+        let paths = anyindex_paths(4, 16);
+        assert_eq!(paths.len(), 16);
+        for (i, p) in paths.iter().enumerate() {
+            assert_eq!(p.len(), 4, "every path carries its full depth");
+            let r = Rpl::new(p.clone());
+            if i % 2 == 0 {
+                assert!(r.is_parent_any_index(), "even paths are P:[?]");
+            } else {
+                assert!(r.is_fully_specified(), "odd paths are concrete");
+            }
+            // All tails hang off the same parent, so P:[?] overlaps every
+            // concrete sibling.
+            assert!(!Rpl::new(paths[0].clone()).disjoint(&r));
+        }
+    }
+
+    #[test]
+    fn disjoint_effect_sets_are_pairwise_disjoint_and_self_interfering() {
+        let sets = disjoint_effect_sets(6, 8);
+        for (i, a) in sets.iter().enumerate() {
+            assert_eq!(a.len(), 8);
+            for (j, b) in sets.iter().enumerate() {
+                assert_eq!(a.non_interfering(b), i != j);
+                assert_eq!(a.non_interfering(b), pairwise_non_interfering(a, b));
+            }
+            assert!(a.certainly_non_interfering(&sets[(i + 1) % sets.len()]));
+        }
     }
 }

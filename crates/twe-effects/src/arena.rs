@@ -14,6 +14,25 @@
 //! * resolving a path ([`path`], [`id_path`]) returns a shared static slice
 //!   and never allocates.
 //!
+//! # Wait-free reads: the chunked entry store
+//!
+//! Entries live in an append-only **chunked store**: a fixed table of
+//! exponentially-sized buckets, each a lazily-allocated slice of
+//! `OnceLock<Entry>` slots. Existing entries are never moved or reallocated,
+//! so every read-side query ([`parent`], [`depth`], [`last_elem`], [`path`],
+//! [`id_path`], [`is_ancestor_or_self`], [`is_index_child_of`]) is a pair of
+//! plain atomic loads — bucket pointer, then slot — with **no lock of any
+//! kind**. Only the write path (the *first* intern of a given child) takes a
+//! lock, and that lock is never touched by reads.
+//!
+//! **Publication invariant:** an entry is fully initialized — parent, depth,
+//! element, and both leaked path slices written and released via its slot's
+//! `OnceLock` — *before* its id is handed out (returned from
+//! [`intern_child`] or inserted into the child index). An `RplId` a thread
+//! can legitimately hold therefore always resolves without blocking, and the
+//! accessors treat an unpublished slot as a logic error (panic), not a state
+//! to wait on.
+//!
 //! # Invariants
 //!
 //! * [`RplId::ROOT`] (id 0) is the implicit `Root` region and is its own
@@ -29,10 +48,14 @@
 //! * Only wildcard-free elements may be interned; [`intern_child`] panics on
 //!   `*` / `[?]` (wildcard suffixes are interned separately by
 //!   [`crate::rpl::Rpl`]).
+//! * [`dyn_region_root`] reserves the root-level region name `__DynRegion`
+//!   for the dynamic reference regions of chapter 7 (`DynCell` in
+//!   `twe-runtime`); statically-declared regions must not use that name.
 
 use crate::rpl::RplElement;
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Interned id of a wildcard-free RPL prefix.
@@ -72,15 +95,47 @@ struct Entry {
     id_path: &'static [RplId],
 }
 
-struct Arena {
-    entries: Vec<Entry>,
-    children: HashMap<(RplId, RplElement), RplId>,
+/// Bucket layout of the chunked store: bucket `b` holds
+/// `FIRST_BUCKET_LEN << b` slots, so 27 buckets cover the whole `u32` id
+/// space while an id resolves to its slot with a handful of ALU ops.
+const BUCKET_COUNT: usize = 27;
+const FIRST_BUCKET_BITS: u32 = 6;
+const FIRST_BUCKET_LEN: usize = 1 << FIRST_BUCKET_BITS;
+
+/// Bucket index and offset of an entry index.
+fn locate(index: usize) -> (usize, usize) {
+    let v = (index >> FIRST_BUCKET_BITS) + 1;
+    let bucket = (usize::BITS - 1 - v.leading_zeros()) as usize;
+    let bucket_start = ((1usize << bucket) - 1) << FIRST_BUCKET_BITS;
+    (bucket, index - bucket_start)
 }
 
-static ARENA: OnceLock<RwLock<Arena>> = OnceLock::new();
+struct Arena {
+    /// The chunked entry store. Bucket slices are allocated by the write
+    /// path and published through the `OnceLock`; slots are published
+    /// individually. Neither is ever moved afterwards, so reads are plain
+    /// loads.
+    buckets: [OnceLock<Box<[OnceLock<Entry>]>>; BUCKET_COUNT],
+    /// Number of published entries (diagnostics; store-released after each
+    /// publication).
+    len: AtomicUsize,
+    /// Child index `(parent, elem) → id`. Reads (repeat interns) take the
+    /// read lock; the write lock doubles as the first-intern mutex and is
+    /// the only lock on the write path. Conflict-plane queries never touch
+    /// it.
+    children: RwLock<HashMap<(RplId, RplElement), RplId>>,
+}
 
-fn arena() -> &'static RwLock<Arena> {
+static ARENA: OnceLock<Arena> = OnceLock::new();
+
+fn arena() -> &'static Arena {
     ARENA.get_or_init(|| {
+        let a = Arena {
+            buckets: [const { OnceLock::new() }; BUCKET_COUNT],
+            len: AtomicUsize::new(1),
+            children: RwLock::new(HashMap::new()),
+        };
+        let bucket0 = a.buckets[0].get_or_init(|| new_bucket(0));
         let root = Entry {
             parent: RplId::ROOT,
             depth: 0,
@@ -88,21 +143,34 @@ fn arena() -> &'static RwLock<Arena> {
             path: &[],
             id_path: Box::leak(vec![RplId::ROOT].into_boxed_slice()),
         };
-        RwLock::new(Arena {
-            entries: vec![root],
-            children: HashMap::new(),
-        })
+        if bucket0[0].set(root).is_err() {
+            unreachable!("root slot initialized twice");
+        }
+        a
     })
 }
 
-fn entry(id: RplId) -> Entry {
-    arena().read().entries[id.0 as usize]
+fn new_bucket(bucket: usize) -> Box<[OnceLock<Entry>]> {
+    (0..FIRST_BUCKET_LEN << bucket)
+        .map(|_| OnceLock::new())
+        .collect()
+}
+
+/// Resolves an id to its published entry: two plain loads, no lock.
+fn entry(id: RplId) -> &'static Entry {
+    let (bucket, offset) = locate(id.0 as usize);
+    arena().buckets[bucket]
+        .get()
+        .and_then(|slots| slots[offset].get())
+        .expect("RplId used before publication (arena invariant violated)")
 }
 
 /// Interns the child region `parent : elem`, returning its id. Idempotent.
 ///
-/// Interning takes the write lock only the first time a given child is seen;
-/// repeat lookups take the read lock.
+/// Repeat lookups take the child-index read lock; the write lock is taken
+/// only the first time a given child is seen, and the new entry is fully
+/// published into the chunked store *before* its id is inserted into the
+/// index or returned (see the module docs for the publication invariant).
 ///
 /// # Panics
 ///
@@ -113,30 +181,37 @@ pub fn intern_child(parent: RplId, elem: RplElement) -> RplId {
         !elem.is_wildcard(),
         "only wildcard-free elements may be interned in the RPL arena"
     );
-    {
-        let guard = arena().read();
-        if let Some(&id) = guard.children.get(&(parent, elem)) {
-            return id;
-        }
-    }
-    let mut guard = arena().write();
-    if let Some(&id) = guard.children.get(&(parent, elem)) {
+    let a = arena();
+    if let Some(&id) = a.children.read().get(&(parent, elem)) {
         return id;
     }
-    let parent_entry = guard.entries[parent.0 as usize];
-    let id = RplId(u32::try_from(guard.entries.len()).expect("RPL arena overflow (u32 ids)"));
+    let mut children = a.children.write();
+    if let Some(&id) = children.get(&(parent, elem)) {
+        return id;
+    }
+    // Only this thread (holding the write lock) appends, so the relaxed
+    // load reads the value this same lock's previous holder stored.
+    let index = a.len.load(Ordering::Relaxed);
+    let id = RplId(u32::try_from(index).expect("RPL arena overflow (u32 ids)"));
+    let parent_entry = entry(parent);
     let mut path = parent_entry.path.to_vec();
     path.push(elem);
     let mut id_path = parent_entry.id_path.to_vec();
     id_path.push(id);
-    guard.entries.push(Entry {
-        parent,
-        depth: parent_entry.depth + 1,
-        elem,
-        path: Box::leak(path.into_boxed_slice()),
-        id_path: Box::leak(id_path.into_boxed_slice()),
-    });
-    guard.children.insert((parent, elem), id);
+    let (bucket, offset) = locate(index);
+    let slots = a.buckets[bucket].get_or_init(|| new_bucket(bucket));
+    let published = slots[offset]
+        .set(Entry {
+            parent,
+            depth: parent_entry.depth + 1,
+            elem,
+            path: Box::leak(path.into_boxed_slice()),
+            id_path: Box::leak(id_path.into_boxed_slice()),
+        })
+        .is_ok();
+    assert!(published, "arena slot {index} published twice");
+    a.len.store(index + 1, Ordering::Release);
+    children.insert((parent, elem), id);
     id
 }
 
@@ -176,17 +251,42 @@ pub fn id_path(id: RplId) -> &'static [RplId] {
 }
 
 /// Is `anc` an ancestor of `desc` (or equal to it)? O(1): one lookup into
-/// the descendant's id path.
+/// the descendant's id path; no lock.
 pub fn is_ancestor_or_self(anc: RplId, desc: RplId) -> bool {
-    let guard = arena().read();
-    let a = guard.entries[anc.0 as usize].depth as usize;
-    let d = &guard.entries[desc.0 as usize];
+    let a = entry(anc).depth as usize;
+    let d = entry(desc);
     a <= d.depth as usize && d.id_path[a] == anc
+}
+
+/// Is `child` a *direct* child of `parent` whose last element is a concrete
+/// array index? O(1); no lock. This is the shape test behind the `P:[?]`
+/// wildcard fast path: `P:[?]` overlaps a fully-specified RPL iff that RPL
+/// is an index child of `P`.
+pub fn is_index_child_of(child: RplId, parent: RplId) -> bool {
+    let c = entry(child);
+    c.depth > 0 && c.parent == parent && matches!(c.elem, RplElement::Index(_))
+}
+
+/// The reserved root of **dynamic reference regions** (chapter 7): every
+/// `DynCell` in `twe-runtime` interns its region as an index child of
+/// `Root:__DynRegion:[id]`, so dynamic claims carry ordinary [`RplId`]s,
+/// use the same disjointness fast paths as static effects, and can appear
+/// in the scheduler tree.
+///
+/// An RPL written under `__DynRegion` *names cell regions* — that aliasing
+/// is the point of the unification (e.g. `writes __DynRegion:[?]` declares
+/// a static effect over every cell), not a collision to be rejected.
+/// Consequently, do not declare unrelated application regions under this
+/// name: the double-underscore prefix is the reservation convention, and
+/// `__DynRegion:[n]` coincides with cell `n` by construction.
+pub fn dyn_region_root() -> RplId {
+    static DYN_ROOT: OnceLock<RplId> = OnceLock::new();
+    *DYN_ROOT.get_or_init(|| intern_child(RplId::ROOT, RplElement::name("__DynRegion")))
 }
 
 /// Number of interned prefixes, including the root (diagnostic).
 pub fn len() -> usize {
-    arena().read().entries.len()
+    arena().len.load(Ordering::Acquire)
 }
 
 #[cfg(test)]
@@ -195,6 +295,23 @@ mod tests {
 
     fn name(s: &str) -> RplElement {
         RplElement::name(s)
+    }
+
+    #[test]
+    fn bucket_layout_is_dense_and_covers_u32() {
+        let mut expect = 0usize;
+        for index in 0..10_000usize {
+            let (b, off) = locate(index);
+            assert!(b < BUCKET_COUNT);
+            assert!(off < FIRST_BUCKET_LEN << b);
+            if off == 0 && index > 0 {
+                expect += 1;
+                assert_eq!(b, expect, "bucket boundaries must be contiguous");
+            }
+        }
+        let (b, off) = locate(u32::MAX as usize);
+        assert!(b < BUCKET_COUNT, "u32::MAX must fit the bucket table");
+        assert!(off < FIRST_BUCKET_LEN << b);
     }
 
     #[test]
@@ -246,6 +363,47 @@ mod tests {
         assert!(is_ancestor_or_self(d, d));
         assert!(!is_ancestor_or_self(d, a));
         assert!(!is_ancestor_or_self(other, d));
+    }
+
+    #[test]
+    fn index_child_shape_test() {
+        let p = intern_path(&[name("Arena"), name("IdxP")]);
+        let idx = intern_child(p, RplElement::Index(5));
+        let named = intern_child(p, name("NotAnIndex"));
+        let deep = intern_child(idx, RplElement::Index(9));
+        assert!(is_index_child_of(idx, p));
+        assert!(!is_index_child_of(named, p));
+        assert!(!is_index_child_of(deep, p)); // grandchild, not a child
+        assert!(!is_index_child_of(p, p));
+        assert!(!is_index_child_of(RplId::ROOT, RplId::ROOT));
+        assert!(is_index_child_of(deep, idx));
+    }
+
+    #[test]
+    fn dyn_region_root_is_stable_and_below_root() {
+        let r = dyn_region_root();
+        assert_eq!(r, dyn_region_root());
+        assert_eq!(parent(r), RplId::ROOT);
+        assert_eq!(depth(r), 1);
+        assert_eq!(last_elem(r), Some(RplElement::name("__DynRegion")));
+    }
+
+    #[test]
+    fn grows_past_many_buckets_without_moving_entries() {
+        // Intern enough distinct children to cross several bucket
+        // boundaries, capturing the static path slices as we go: they must
+        // remain valid and identical afterwards (entries never move).
+        let base = intern_path(&[name("Arena"), name("Buckets")]);
+        let mut snapshot = Vec::new();
+        for i in 0..300 {
+            let id = intern_child(base, RplElement::Index(i));
+            snapshot.push((id, path(id), id_path(id)));
+        }
+        for (id, p, ip) in snapshot {
+            assert!(std::ptr::eq(p, path(id)));
+            assert!(std::ptr::eq(ip, id_path(id)));
+            assert_eq!(ip.len(), 4);
+        }
     }
 
     #[test]

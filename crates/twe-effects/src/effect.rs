@@ -12,7 +12,24 @@
 //! individual effect of the smaller set must be covered by *some* individual
 //! effect of the larger set (the paper notes this excludes coverage by a
 //! combination of effects but is sufficient in practice).
+//!
+//! # Set summaries
+//!
+//! Every `EffectSet` carries a precomputed **summary** maintained on
+//! `push`/`union`: the sorted, deduplicated array of each effect's *anchor*
+//! (the depth-1 ancestor id of its RPL's wildcard-free prefix — the
+//! top-level region it lives under), a 64-bit Bloom filter over those
+//! anchors, and flags for *root-level wildcard* effects (`*…`/`[?]…`, which
+//! relate to every anchor). Two effects can only interfere when one is a
+//! write and their RPLs overlap, and overlap forces equal anchors (or a
+//! root-level wildcard); likewise inclusion forces the covering effect onto
+//! the covered effect's anchor. [`EffectSet::non_interfering`] and
+//! [`EffectSet::included_in`] therefore reject anchor-disjoint sets in
+//! O(set) — one Bloom AND plus at most one sorted merge — before falling
+//! back to the pairwise loop, which is what keeps the schedulers' rescan
+//! filters linear instead of quadratic in set size.
 
+use crate::arena::RplId;
 use crate::rpl::Rpl;
 use std::fmt;
 
@@ -112,19 +129,167 @@ impl fmt::Debug for Effect {
     }
 }
 
+/// The precomputed conflict summary of an [`EffectSet`] (see the module
+/// docs). Derived entirely from the effect list, so it is excluded from
+/// equality and hashing.
+#[derive(Clone, Debug, Default)]
+struct SetSummary {
+    /// Sorted, deduped anchors of all effects. The anchor of an effect is
+    /// the depth-1 ancestor of its RPL's wildcard-free prefix, or
+    /// [`RplId::ROOT`] for the concrete `Root` RPL itself.
+    anchors_all: Vec<RplId>,
+    /// Sorted, deduped anchors of the write effects.
+    anchors_write: Vec<RplId>,
+    /// 64-bit Bloom filter over `anchors_all` (one hashed bit per anchor).
+    bloom_all: u64,
+    /// 64-bit Bloom filter over `anchors_write`.
+    bloom_write: u64,
+    /// Set if some read effect's RPL starts with a wildcard (`*…`/`[?]…`):
+    /// such an effect has no anchor and may relate to any region.
+    universal_read: bool,
+    /// Set if some write effect's RPL starts with a wildcard.
+    universal_write: bool,
+}
+
+/// The anchor of an RPL, or `None` for root-level wildcards (see
+/// [`SetSummary::anchors_all`]).
+fn anchor_of(rpl: &Rpl) -> Option<RplId> {
+    if rpl.prefix_depth() >= 1 {
+        Some(rpl.prefix_id_path()[1])
+    } else if rpl.is_fully_specified() {
+        Some(RplId::ROOT) // the concrete `Root` region itself
+    } else {
+        None
+    }
+}
+
+/// One hashed Bloom bit for an anchor id (Fibonacci multiplicative hash on
+/// the raw index; top 6 bits select the bit).
+fn bloom_bit(id: RplId) -> u64 {
+    1u64 << (id.index().wrapping_mul(0x9E37_79B9) >> 26)
+}
+
+/// Inserts `id` into a small sorted deduped vec.
+fn insort(v: &mut Vec<RplId>, id: RplId) {
+    if let Err(pos) = v.binary_search(&id) {
+        v.insert(pos, id);
+    }
+}
+
+/// Do two sorted id arrays share an element? O(n + m) merge walk.
+fn sorted_intersect(a: &[RplId], b: &[RplId]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// Is sorted `a` a subset of sorted `b`? O(n + m) merge walk.
+fn sorted_subset(a: &[RplId], b: &[RplId]) -> bool {
+    let mut j = 0;
+    'outer: for &x in a {
+        while j < b.len() {
+            match b[j].cmp(&x) {
+                std::cmp::Ordering::Less => j += 1,
+                std::cmp::Ordering::Equal => {
+                    j += 1;
+                    continue 'outer;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+impl SetSummary {
+    fn add(&mut self, e: &Effect) {
+        match anchor_of(&e.rpl) {
+            Some(a) => {
+                let bit = bloom_bit(a);
+                self.bloom_all |= bit;
+                insort(&mut self.anchors_all, a);
+                if e.is_write() {
+                    self.bloom_write |= bit;
+                    insort(&mut self.anchors_write, a);
+                }
+            }
+            None => {
+                if e.is_write() {
+                    self.universal_write = true;
+                } else {
+                    self.universal_read = true;
+                }
+            }
+        }
+    }
+
+    fn has_writes(&self) -> bool {
+        self.universal_write || !self.anchors_write.is_empty()
+    }
+
+    /// Could any pair drawn from the two summarised sets interfere?
+    /// `false` is definitive (the sets cannot interfere); `true` means the
+    /// pairwise loop must decide.
+    fn may_interfere(&self, other: &SetSummary) -> bool {
+        // A root-level wildcard write overlaps every region of a non-empty
+        // set; a root-level wildcard read interferes iff the other side
+        // writes anywhere.
+        if self.universal_write || other.universal_write {
+            return true;
+        }
+        if (self.universal_read && other.has_writes())
+            || (other.universal_read && self.has_writes())
+        {
+            return true;
+        }
+        // Otherwise interference needs a write and a same-anchor partner.
+        (self.bloom_write & other.bloom_all != 0
+            && sorted_intersect(&self.anchors_write, &other.anchors_all))
+            || (other.bloom_write & self.bloom_all != 0
+                && sorted_intersect(&other.anchors_write, &self.anchors_all))
+    }
+}
+
 /// A set of read/write effects — the effect summary attached to a task or
 /// method. The empty set is the `pure` effect.
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+///
+/// The set carries a precomputed conflict summary (see the module docs)
+/// maintained on `push`/`union`; building a set deduplicates exactly-equal
+/// effects (an
+/// `Effect` is a small `Copy` value, so duplicates carry no information and
+/// would only lengthen the pairwise loops). Equality and hashing consider
+/// the effect list only.
+#[derive(Clone, Default)]
 pub struct EffectSet {
     effects: Vec<Effect>,
+    summary: SetSummary,
+}
+
+impl PartialEq for EffectSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.effects == other.effects
+    }
+}
+
+impl Eq for EffectSet {}
+
+impl std::hash::Hash for EffectSet {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.effects.hash(state);
+    }
 }
 
 impl EffectSet {
     /// The `pure` effect: no reads or writes.
     pub fn pure() -> Self {
-        EffectSet {
-            effects: Vec::new(),
-        }
+        EffectSet::default()
     }
 
     /// The top effect `writes Root:*`, which covers every possible effect.
@@ -132,20 +297,20 @@ impl EffectSet {
         EffectSet::from_effects([Effect::write(Rpl::root().under_star())])
     }
 
-    /// Builds a set from individual effects.
+    /// Builds a set from individual effects (deduplicating exact repeats).
     pub fn from_effects(effects: impl IntoIterator<Item = Effect>) -> Self {
-        EffectSet {
-            effects: effects.into_iter().collect(),
+        let mut set = EffectSet::default();
+        for e in effects {
+            set.push(e);
         }
+        set
     }
 
     /// Parses a comma-separated effect list, e.g. `"writes Top, reads Root"`.
     /// Each item must parse with [`Effect::parse`]; items that do not parse
     /// are skipped.
     pub fn parse(text: &str) -> Self {
-        EffectSet {
-            effects: text.split(',').filter_map(Effect::parse).collect(),
-        }
+        EffectSet::from_effects(text.split(',').filter_map(Effect::parse))
     }
 
     /// One read effect.
@@ -178,24 +343,50 @@ impl EffectSet {
         self.effects.is_empty()
     }
 
-    /// Adds an effect to the set.
+    /// Adds an effect to the set and folds it into the summary. An effect
+    /// already present (exact `Copy` equality) is skipped, so building a set
+    /// deduplicates and the pairwise loops never scan repeats.
     pub fn push(&mut self, effect: Effect) {
+        if self.effects.contains(&effect) {
+            return;
+        }
+        self.summary.add(&effect);
         self.effects.push(effect);
     }
 
-    /// Returns the union of two effect sets.
+    /// Returns the union of two effect sets, deduplicating effects present
+    /// in both.
     pub fn union(&self, other: &EffectSet) -> EffectSet {
-        let mut effects = self.effects.clone();
-        effects.extend(other.effects.iter().copied());
-        EffectSet { effects }
+        let mut union = self.clone();
+        for &e in &other.effects {
+            union.push(e);
+        }
+        union
+    }
+
+    /// Summary-only non-interference test: `true` *guarantees* the two sets
+    /// cannot interfere (O(set): one Bloom AND plus at most one sorted
+    /// anchor merge, no per-pair work); `false` means a pair might
+    /// interfere and the pairwise test must decide. Schedulers use this as
+    /// their rescan filter.
+    pub fn certainly_non_interfering(&self, other: &EffectSet) -> bool {
+        self.effects.is_empty()
+            || other.effects.is_empty()
+            || !self.summary.may_interfere(&other.summary)
     }
 
     /// Set-level non-interference: every pair of effects drawn from the two
     /// sets is non-interfering.
+    ///
+    /// Anchor-disjoint sets are rejected by the summary in O(set) without
+    /// touching any pair; only sets sharing a top-level region (or
+    /// containing root-level wildcards) pay for the pairwise loop.
     pub fn non_interfering(&self, other: &EffectSet) -> bool {
-        self.effects
-            .iter()
-            .all(|a| other.effects.iter().all(|b| a.non_interfering(b)))
+        self.certainly_non_interfering(other)
+            || self
+                .effects
+                .iter()
+                .all(|a| other.effects.iter().all(|b| a.non_interfering(b)))
     }
 
     /// Set-level interference: some pair of effects interferes.
@@ -205,7 +396,33 @@ impl EffectSet {
 
     /// Set-level inclusion: every effect of `self` is included in some single
     /// effect of `other` (conservative, per §2.2).
+    ///
+    /// The summary rejects in O(set) when some anchor of `self` has no
+    /// possible cover in `other` (a cover must share the covered effect's
+    /// anchor or be a root-level wildcard of suitable kind); only then does
+    /// the pairwise loop run.
     pub fn included_in(&self, other: &EffectSet) -> bool {
+        if self.effects.is_empty() {
+            return true;
+        }
+        let (s, o) = (&self.summary, &other.summary);
+        // A root-level wildcard is only coverable by a root-level wildcard
+        // (a write one only by a write one).
+        if s.universal_write && !o.universal_write {
+            return false;
+        }
+        if s.universal_read && !(o.universal_read || o.universal_write) {
+            return false;
+        }
+        // Each write needs a write cover on its own anchor…
+        if !o.universal_write && !sorted_subset(&s.anchors_write, &o.anchors_write) {
+            return false;
+        }
+        // …and each effect needs some cover on its own anchor.
+        if !(o.universal_write || o.universal_read || sorted_subset(&s.anchors_all, &o.anchors_all))
+        {
+            return false;
+        }
         self.effects
             .iter()
             .all(|a| other.effects.iter().any(|b| a.included_in(b)))
@@ -342,6 +559,73 @@ mod tests {
         assert!(EffectSet::pure().included_in(&top));
         assert!(EffectSet::pure().included_in(&EffectSet::pure()));
         assert!(!top.included_in(&EffectSet::pure()));
+    }
+
+    #[test]
+    fn union_and_push_dedup_identical_effects() {
+        let a = EffectSet::parse("writes Top, reads Side");
+        let b = EffectSet::parse("writes Top, writes Other");
+        let u = a.union(&b);
+        assert_eq!(u.len(), 3, "identical Copy effects must not repeat: {u}");
+        let mut s = EffectSet::pure();
+        s.push(Effect::write(r("X")));
+        s.push(Effect::write(r("X")));
+        s.push(Effect::read(r("X"))); // different kind: kept
+        assert_eq!(s.len(), 2);
+        // Dedup keeps the set semantics intact.
+        assert!(u.interferes(&EffectSet::parse("writes Top")));
+        assert!(EffectSet::parse("writes Top").included_in(&u));
+    }
+
+    #[test]
+    fn summary_rejects_anchor_disjoint_sets() {
+        let a = EffectSet::parse("writes A:[1], reads A:[2], writes B:X");
+        let b = EffectSet::parse("writes C:[1], reads D");
+        assert!(a.certainly_non_interfering(&b));
+        assert!(a.non_interfering(&b));
+        // Shared anchor but read-only on both sides: summary may pass it to
+        // the pairwise loop, which must still answer "non-interfering".
+        let ra = EffectSet::parse("reads A:[1]");
+        let rb = EffectSet::parse("reads A:[2]");
+        assert!(ra.non_interfering(&rb));
+        // Shared anchor with a write: interference found by the pairwise loop.
+        let wa = EffectSet::parse("writes A:[1]");
+        assert!(!wa.certainly_non_interfering(&a));
+        assert!(wa.interferes(&a));
+    }
+
+    #[test]
+    fn summary_handles_root_level_wildcards_and_root() {
+        let star = EffectSet::parse("writes *");
+        let reads_star = EffectSet::parse("reads *");
+        let reads_only = EffectSet::parse("reads A, reads B");
+        let writes_c = EffectSet::parse("writes C");
+        let root = EffectSet::parse("writes Root");
+        assert!(!star.certainly_non_interfering(&reads_only));
+        assert!(star.interferes(&reads_only));
+        assert!(reads_star.non_interfering(&reads_only));
+        assert!(reads_star.interferes(&writes_c));
+        // The concrete Root region anchors at ROOT and only meets itself.
+        assert!(root.non_interfering(&writes_c));
+        assert!(root.interferes(&root));
+        assert!(!star.certainly_non_interfering(&root));
+    }
+
+    #[test]
+    fn summary_inclusion_rejections_are_consistent() {
+        let small = EffectSet::parse("writes A:[1]");
+        let big = EffectSet::parse("writes A:[?], writes B");
+        let elsewhere = EffectSet::parse("writes C:*, writes D");
+        assert!(small.included_in(&big));
+        assert!(!small.included_in(&elsewhere));
+        // Root-level wildcard containment needs a root-level wildcard cover.
+        let star = EffectSet::parse("writes *");
+        assert!(!star.included_in(&EffectSet::parse("writes A, writes B")));
+        assert!(EffectSet::parse("reads *").included_in(&star));
+        assert!(!EffectSet::parse("writes *").included_in(&EffectSet::parse("reads *")));
+        // A write needs a write cover even on a matching anchor.
+        assert!(!small.included_in(&EffectSet::parse("reads A:*")));
+        assert!(small.included_in(&EffectSet::parse("writes A:*")));
     }
 
     #[test]

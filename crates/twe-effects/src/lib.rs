@@ -32,12 +32,32 @@
 //! [`arena::RplId`] carrying its parent pointer and depth, and the (rare,
 //! short) wildcard suffix is interned separately. An [`Rpl`] is therefore an
 //! 8-byte `Copy` value whose equality and hash are O(1), whose hot
-//! concrete-vs-concrete disjointness test is a single id comparison with no
-//! locking, and whose wildcard relations are memoized per id pair. The
-//! element-wise procedure of §2.3.1 is retained verbatim in [`rpl::oracle`]
-//! as the fallback for wildcard cases and as the differential-testing
-//! baseline. See the [`arena`] module docs for the id-ordering, parent/depth
-//! and cache-semantics invariants.
+//! concrete-vs-concrete disjointness test is a single id comparison, whose
+//! trailing-star (`P:*`) and trailing-any-index (`P:[?]`) relations are O(1)
+//! shape tests, and whose remaining wildcard relations are memoized per id
+//! pair. The element-wise procedure of §2.3.1 is retained verbatim in
+//! [`rpl::oracle`] as the fallback for those cases and as the
+//! differential-testing baseline.
+//!
+//! Arena entries live in an append-only **chunked store** with wait-free
+//! reads: every read-side query (`depth`/`id_path`/element resolution/
+//! ancestor and `P:[?]` shape tests) is a pair of plain atomic loads with no
+//! lock of any kind, and the write path takes a lock only for the *first*
+//! intern of a path. The **publication invariant** — an entry is fully
+//! initialized before its id is handed out — is what makes the lock-free
+//! reads safe; see the [`arena`] module docs for it and for the id-ordering
+//! and parent/depth invariants. The arena also reserves the root-level
+//! region `__DynRegion` ([`arena::dyn_region_root`]) for the dynamic
+//! reference regions of chapter 7, so dynamic claims share the same id
+//! space and fast paths as static effects.
+//!
+//! # Effect-set summaries
+//!
+//! Each [`EffectSet`] carries a precomputed summary (sorted top-level-anchor
+//! ids plus a 64-bit Bloom filter, maintained on `push`/`union`) that lets
+//! [`EffectSet::non_interfering`] and [`EffectSet::included_in`] reject
+//! anchor-disjoint sets in O(set) before falling back to the pairwise §2.2
+//! loops; see the [`effect`] module docs.
 //!
 //! ```
 //! use twe_effects::{Rpl, Effect, EffectSet};

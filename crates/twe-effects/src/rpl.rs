@@ -108,11 +108,29 @@ impl fmt::Display for RplElement {
 struct SuffixId(u32);
 
 const EMPTY_SUFFIX: SuffixId = SuffixId(0);
+/// Pre-seeded id of the suffix `[*]` (see [`star_suffix`]).
+const STAR_SUFFIX: SuffixId = SuffixId(1);
+/// Pre-seeded id of the suffix `[[?]]` (see [`anyindex_suffix`]).
+const ANYINDEX_SUFFIX: SuffixId = SuffixId(2);
 
 static SUFFIXES: OnceLock<LeakInterner<[RplElement]>> = OnceLock::new();
 
 fn suffixes() -> &'static LeakInterner<[RplElement]> {
-    SUFFIXES.get_or_init(|| LeakInterner::with_seed(&[]))
+    SUFFIXES.get_or_init(|| {
+        let interner: LeakInterner<[RplElement]> = LeakInterner::with_seed(&[]);
+        // Pre-intern the two dominant wildcard shapes at fixed ids so their
+        // shape tests compare against compile-time constants (no lazy-init
+        // load on the conflict hot path).
+        let star = interner.intern([RplElement::Star].as_slice(), |els| {
+            Box::leak(els.to_vec().into_boxed_slice())
+        });
+        let anyindex = interner.intern([RplElement::AnyIndex].as_slice(), |els| {
+            Box::leak(els.to_vec().into_boxed_slice())
+        });
+        assert_eq!(star, STAR_SUFFIX.0, "suffix seeding order changed");
+        assert_eq!(anyindex, ANYINDEX_SUFFIX.0, "suffix seeding order changed");
+        interner
+    })
 }
 
 fn intern_suffix(elements: &[RplElement]) -> SuffixId {
@@ -127,11 +145,19 @@ fn suffix_slice(id: SuffixId) -> &'static [RplElement] {
 }
 
 /// The interned id of the suffix `[*]` — the trailing-star shape (`P:*`)
-/// that dominates wildcard use in scheduler workloads. Cached so shape tests
-/// are id compares.
+/// that dominates wildcard use in scheduler workloads. Pre-seeded at a fixed
+/// id so shape tests are compares against a constant.
 fn star_suffix() -> SuffixId {
-    static STAR: OnceLock<SuffixId> = OnceLock::new();
-    *STAR.get_or_init(|| intern_suffix(&[RplElement::Star]))
+    STAR_SUFFIX
+}
+
+/// The interned id of the suffix `[[?]]` — the trailing-any-index shape
+/// (`P:[?]`), the other common wildcard of index-partitioned workloads.
+/// Pre-seeded at a fixed id so its O(1) shape fast paths (parent id +
+/// last-element-kind checks, see [`Rpl::overlaps`]) bypass the memo cache
+/// entirely.
+fn anyindex_suffix() -> SuffixId {
+    ANYINDEX_SUFFIX
 }
 
 // ---------------------------------------------------------------------------
@@ -143,8 +169,48 @@ fn star_suffix() -> SuffixId {
 /// a correctness requirement).
 const RELATION_CACHE_CAP: usize = 1 << 20;
 
-type RelationCache = OnceLock<RwLock<HashMap<(Rpl, Rpl), bool>>>;
-type FullPathTable = OnceLock<RwLock<HashMap<(RplId, u32), &'static [RplElement]>>>;
+/// Multiply-rotate hasher for the small fixed-width interned-id keys of the
+/// relation caches. The default SipHash costs more than the short element
+/// scan it memoizes away (the PR-2 wildcard rows sat below 1×); a
+/// Fibonacci-style mix over the four `u32` ids is plenty for cache keys
+/// whose quality requirement is only bucket spread.
+#[derive(Default, Clone, Copy)]
+struct IdHasher(u64);
+
+impl std::hash::Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        // Final avalanche so low-entropy ids spread across high bits too.
+        let mut h = self.0;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        h
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.0 = (self.0.rotate_left(26) ^ u64::from(v)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+#[derive(Default, Clone, Copy)]
+struct IdHasherBuilder;
+
+impl std::hash::BuildHasher for IdHasherBuilder {
+    type Hasher = IdHasher;
+    fn build_hasher(&self) -> IdHasher {
+        IdHasher::default()
+    }
+}
+
+type IdHashMap<K, V> = HashMap<K, V, IdHasherBuilder>;
+type RelationCache = OnceLock<RwLock<IdHashMap<(Rpl, Rpl), bool>>>;
+type FullPathTable = OnceLock<RwLock<IdHashMap<(RplId, u32), &'static [RplElement]>>>;
 
 static OVERLAPS_CACHE: RelationCache = OnceLock::new();
 static INCLUDES_CACHE: RelationCache = OnceLock::new();
@@ -155,7 +221,7 @@ fn cached_relation(
     key: (Rpl, Rpl),
     compute: impl FnOnce() -> bool,
 ) -> bool {
-    let cache = cache.get_or_init(|| RwLock::new(HashMap::new()));
+    let cache = cache.get_or_init(|| RwLock::new(IdHashMap::default()));
     if let Some(&v) = cache.read().get(&key) {
         return v;
     }
@@ -201,6 +267,16 @@ impl Rpl {
     /// Builds an RPL from a list of elements (excluding the implicit `Root`).
     pub fn new(elements: impl Into<Vec<RplElement>>) -> Self {
         Self::from_elements(&elements.into())
+    }
+
+    /// Builds the fully-specified RPL naming the region already interned as
+    /// `prefix` (O(1), no interning work). This is how dynamic reference
+    /// regions ([`crate::arena::dyn_region_root`]) become ordinary RPLs.
+    pub fn from_prefix_id(prefix: RplId) -> Self {
+        Rpl {
+            prefix,
+            suffix: EMPTY_SUFFIX,
+        }
     }
 
     /// Builds an RPL from an element slice, splitting it canonically into
@@ -267,7 +343,7 @@ impl Rpl {
         if self.suffix == EMPTY_SUFFIX {
             return arena::path(self.prefix);
         }
-        let full = FULL_PATHS.get_or_init(|| RwLock::new(HashMap::new()));
+        let full = FULL_PATHS.get_or_init(|| RwLock::new(IdHashMap::default()));
         let key = (self.prefix, self.suffix.0);
         if let Some(&slice) = full.read().get(&key) {
             return slice;
@@ -329,6 +405,20 @@ impl Rpl {
         !self.is_fully_specified()
     }
 
+    /// True if the RPL's only wildcard is a single trailing `[?]` (the shape
+    /// `P:[?]`). Such an RPL can only overlap index children of `P` (and
+    /// wildcard RPLs reaching them), which schedulers exploit to prune their
+    /// conflict walks. O(1) id compare.
+    pub fn is_parent_any_index(&self) -> bool {
+        self.suffix == anyindex_suffix()
+    }
+
+    /// True if the RPL's only wildcard is a single trailing `*` (the shape
+    /// `P:*`). O(1) id compare.
+    pub fn is_trailing_star(&self) -> bool {
+        self.suffix == star_suffix()
+    }
+
     /// The maximal wildcard-free prefix of this RPL.
     pub fn max_wildcard_free_prefix(&self) -> &'static [RplElement] {
         arena::path(self.prefix)
@@ -379,6 +469,14 @@ impl Rpl {
             // wildcard-free prefix descends from (or is) P. O(1).
             return arena::is_ancestor_or_self(self.prefix, other.prefix);
         }
+        if self.suffix == anyindex_suffix() {
+            // `P:[?]` denotes exactly the index children of P, so it covers
+            // a fully-specified RPL iff that RPL is an index child of P, and
+            // among wildcard RPLs covers only `P:[?]` itself. O(1).
+            return (other.suffix == EMPTY_SUFFIX
+                && arena::is_index_child_of(other.prefix, self.prefix))
+                || self == other;
+        }
         if self == other {
             return true;
         }
@@ -426,6 +524,30 @@ impl Rpl {
         if self.suffix == star && other.suffix == star {
             return arena::is_ancestor_or_self(self.prefix, other.prefix)
                 || arena::is_ancestor_or_self(other.prefix, self.prefix);
+        }
+        // Trailing-any-index fast paths: `P:[?]` denotes exactly the index
+        // children of P, so it overlaps a fully-specified RPL iff that RPL
+        // is an index child of P, overlaps `Q:[?]` iff P = Q, and overlaps
+        // `Q:*` iff Q reaches an index child of P (Q at/above P, or Q itself
+        // an index child of P). All O(1) shape checks on plain arena loads;
+        // no memo-cache traffic.
+        let anyindex = anyindex_suffix();
+        if self.suffix == anyindex && other.suffix == EMPTY_SUFFIX {
+            return arena::is_index_child_of(other.prefix, self.prefix);
+        }
+        if other.suffix == anyindex && self.suffix == EMPTY_SUFFIX {
+            return arena::is_index_child_of(self.prefix, other.prefix);
+        }
+        if self.suffix == anyindex && other.suffix == anyindex {
+            return self.prefix == other.prefix;
+        }
+        if self.suffix == anyindex && other.suffix == star {
+            return arena::is_ancestor_or_self(other.prefix, self.prefix)
+                || arena::is_index_child_of(other.prefix, self.prefix);
+        }
+        if self.suffix == star && other.suffix == anyindex {
+            return arena::is_ancestor_or_self(self.prefix, other.prefix)
+                || arena::is_index_child_of(self.prefix, other.prefix);
         }
         // Overlap is symmetric: canonicalise the key so each unordered pair
         // is cached once.
@@ -664,6 +786,45 @@ mod tests {
         assert!(!rpl("A:[?]").disjoint(&rpl("A:[5]")));
         assert!(rpl("A:[?]").disjoint(&rpl("A:B")));
         assert!(!rpl("A:[?]").disjoint(&rpl("A:[?]")));
+    }
+
+    #[test]
+    fn any_index_shape_fast_paths() {
+        // The `P:[?]` shape predicate.
+        assert!(rpl("A:[?]").is_parent_any_index());
+        assert!(!rpl("A:[?]:B").is_parent_any_index());
+        assert!(!rpl("A:*").is_parent_any_index());
+        assert!(rpl("A:*").is_trailing_star());
+        // vs fully-specified RPLs: only index children of P overlap.
+        assert!(!rpl("A:[?]").disjoint(&rpl("A:[0]")));
+        assert!(rpl("A:[?]").disjoint(&rpl("A")));
+        assert!(rpl("A:[?]").disjoint(&rpl("A:[0]:[1]")));
+        assert!(rpl("[?]").disjoint(&Rpl::root()));
+        assert!(!rpl("[?]").disjoint(&rpl("[9]")));
+        // vs `Q:[?]`: overlap iff same parent.
+        assert!(rpl("A:[?]").disjoint(&rpl("B:[?]")));
+        assert!(rpl("A:[?]").disjoint(&rpl("A:[1]:[?]")));
+        // vs `Q:*`: Q at/above P, or Q itself an index child of P.
+        assert!(!rpl("A:[?]").disjoint(&rpl("A:*")));
+        assert!(!rpl("A:[?]").disjoint(&rpl("*")));
+        assert!(!rpl("A:[?]").disjoint(&rpl("A:[3]:*")));
+        assert!(rpl("A:[?]").disjoint(&rpl("A:B:*")));
+        assert!(rpl("A:B:*").disjoint(&rpl("A:[?]")));
+        // `P:[?]` inclusion: index children of P, and itself.
+        assert!(rpl("A:[7]").included_in(&rpl("A:[?]")));
+        assert!(rpl("A:[?]").included_in(&rpl("A:[?]")));
+        assert!(!rpl("A").included_in(&rpl("A:[?]")));
+        assert!(!rpl("A:[1]:[2]").included_in(&rpl("A:[?]")));
+        assert!(!rpl("A:*").included_in(&rpl("A:[?]")));
+        assert!(!rpl("A:B").included_in(&rpl("A:[?]")));
+    }
+
+    #[test]
+    fn from_prefix_id_roundtrips() {
+        let r = rpl("Pfx:X:[3]");
+        assert_eq!(Rpl::from_prefix_id(r.prefix_id()), r);
+        assert_eq!(Rpl::from_prefix_id(RplId::ROOT), Rpl::root());
+        assert!(Rpl::from_prefix_id(r.prefix_id()).is_fully_specified());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 use twe_effects::rpl::oracle;
-use twe_effects::{arena, Rpl, RplElement};
+use twe_effects::{arena, Effect, EffectSet, Rpl, RplElement};
 
 fn arb_element() -> impl Strategy<Value = RplElement> {
     prop_oneof![
@@ -97,6 +97,188 @@ proptest! {
         prop_assert_eq!(r.elements(), &a[..]);
         let reparsed = Rpl::parse(&format!("{r}"));
         prop_assert_eq!(reparsed, r);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Set-level differential tests: the summary-filtered EffectSet relations
+// must agree with the plain all-pairs procedure (itself grounded in the
+// element-wise oracle) on arbitrary sets, wildcard suffixes included.
+// ---------------------------------------------------------------------------
+
+fn arb_effect() -> impl Strategy<Value = (bool, Vec<RplElement>)> {
+    (
+        any::<bool>(),
+        proptest::collection::vec(arb_element(), 0..5),
+    )
+}
+
+fn arb_effect_vec() -> impl Strategy<Value = Vec<(bool, Vec<RplElement>)>> {
+    proptest::collection::vec(arb_effect(), 0..6)
+}
+
+fn build_set(effects: &[(bool, Vec<RplElement>)]) -> EffectSet {
+    EffectSet::from_effects(effects.iter().map(|(w, els)| {
+        let rpl = Rpl::new(els.clone());
+        if *w {
+            Effect::write(rpl)
+        } else {
+            Effect::read(rpl)
+        }
+    }))
+}
+
+/// All-pairs non-interference over the raw element lists: the oracle the
+/// summary-filtered `EffectSet::non_interfering` must agree with.
+fn pairwise_non_interfering(a: &[(bool, Vec<RplElement>)], b: &[(bool, Vec<RplElement>)]) -> bool {
+    a.iter().all(|(wa, ea)| {
+        b.iter()
+            .all(|(wb, eb)| (!wa && !wb) || !oracle::overlaps(ea, eb))
+    })
+}
+
+/// All-pairs set inclusion over the raw element lists. A write is only
+/// coverable by a write; a read by either kind.
+fn pairwise_included_in(a: &[(bool, Vec<RplElement>)], b: &[(bool, Vec<RplElement>)]) -> bool {
+    a.iter().all(|(wa, ea)| {
+        b.iter()
+            .any(|(wb, eb)| (!*wa || *wb) && oracle::includes(eb, ea))
+    })
+}
+
+proptest! {
+    /// Summary-filtered set non-interference agrees with the all-pairs
+    /// oracle on arbitrary sets (including wildcard suffixes), and the
+    /// summary-only rejection is sound (never claims certainty wrongly).
+    #[test]
+    fn set_non_interfering_matches_pairwise_oracle(
+        a in arb_effect_vec(), b in arb_effect_vec()
+    ) {
+        let (sa, sb) = (build_set(&a), build_set(&b));
+        let expected = pairwise_non_interfering(&a, &b);
+        prop_assert_eq!(
+            sa.non_interfering(&sb), expected,
+            "set non-interference mismatch: {} vs {}", sa, sb
+        );
+        prop_assert_eq!(sb.non_interfering(&sa), expected, "must be symmetric");
+        if sa.certainly_non_interfering(&sb) {
+            prop_assert!(expected, "summary rejection must be sound: {} vs {}", sa, sb);
+        }
+    }
+
+    /// Summary-filtered set inclusion agrees with the all-pairs oracle in
+    /// both directions.
+    #[test]
+    fn set_included_in_matches_pairwise_oracle(
+        a in arb_effect_vec(), b in arb_effect_vec()
+    ) {
+        let (sa, sb) = (build_set(&a), build_set(&b));
+        prop_assert_eq!(
+            sa.included_in(&sb), pairwise_included_in(&a, &b),
+            "set inclusion mismatch: {} ⊆ {}", sa, sb
+        );
+        prop_assert_eq!(sb.included_in(&sa), pairwise_included_in(&b, &a));
+    }
+
+    /// Union is deduplicating but semantically a union: it interferes with
+    /// exactly what either operand interferes with, and covers both.
+    #[test]
+    fn union_preserves_interference_semantics(
+        a in arb_effect_vec(), b in arb_effect_vec(), c in arb_effect_vec()
+    ) {
+        let (sa, sb, sc) = (build_set(&a), build_set(&b), build_set(&c));
+        let u = sa.union(&sb);
+        prop_assert!(u.len() <= sa.len() + sb.len());
+        prop_assert_eq!(
+            u.interferes(&sc),
+            sa.interferes(&sc) || sb.interferes(&sc),
+            "union interference must be the OR of its parts"
+        );
+        prop_assert!(sa.included_in(&u));
+        prop_assert!(sb.included_in(&u));
+    }
+}
+
+/// Wait-free read stress: reader threads hammer the lock-free arena
+/// accessors (`depth`/`id_path`/`path`/ancestor and `P:[?]` shape tests) on
+/// already-published ids while writer threads race to intern fresh paths.
+/// Every id a reader holds must keep resolving to exactly the same static
+/// slices, and the O(1) relations must stay correct throughout.
+#[test]
+fn wait_free_reads_race_first_interns() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let family = |i: i64| -> Vec<RplElement> {
+        vec![
+            RplElement::name("WaitFree"),
+            RplElement::name(["L", "R"][(i % 2) as usize]),
+            RplElement::Index(i % 64),
+        ]
+    };
+    // Publish a seed family, captured with its expected resolutions.
+    let seed: Vec<(arena::RplId, &'static [RplElement], &'static [arena::RplId])> = (0..64)
+        .map(|i| {
+            let id = arena::intern_path(&family(i));
+            (id, arena::path(id), arena::id_path(id))
+        })
+        .collect();
+    let anchor = arena::intern_path(&[RplElement::name("WaitFree")]);
+    let qm = Rpl::new(vec![
+        RplElement::name("WaitFree"),
+        RplElement::name("L"),
+        RplElement::AnyIndex,
+    ]);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Writers: keep forcing first-interns of brand-new paths (fresh index
+    // tails), growing the store across bucket boundaries while readers run.
+    let writers: Vec<_> = (0..3)
+        .map(|t| {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut i = 0i64;
+                while !stop.load(Ordering::Relaxed) {
+                    let fresh = vec![
+                        RplElement::name("WaitFreeFresh"),
+                        RplElement::Index(t),
+                        RplElement::Index(i),
+                    ];
+                    let id = arena::intern_path(&fresh);
+                    assert_eq!(arena::depth(id), 3);
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let seed = seed.clone();
+            std::thread::spawn(move || {
+                for _ in 0..2_000 {
+                    for &(id, p, ip) in &seed {
+                        // Published entries never move: identical slices.
+                        assert!(std::ptr::eq(arena::path(id), p));
+                        assert!(std::ptr::eq(arena::id_path(id), ip));
+                        assert_eq!(arena::depth(id), 3);
+                        assert!(arena::is_ancestor_or_self(anchor, id));
+                        assert!(!arena::is_ancestor_or_self(id, anchor));
+                        // The `P:[?]` fast path over racing interns.
+                        let concrete = Rpl::from_prefix_id(id);
+                        let is_left = p[1] == RplElement::name("L");
+                        assert_eq!(qm.disjoint(&concrete), !is_left);
+                    }
+                }
+            })
+        })
+        .collect();
+    for r in readers {
+        r.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for w in writers {
+        w.join().unwrap();
     }
 }
 

@@ -137,7 +137,7 @@ impl<'rt> TaskCtx<'rt> {
         self.acquire_region(cell.region_id(), true)
     }
 
-    fn acquire_region(&self, region: u64, write: bool) -> Result<(), Aborted> {
+    fn acquire_region(&self, region: twe_effects::RplId, write: bool) -> Result<(), Aborted> {
         let result = if write {
             self.rt.dynamic.acquire_write(self.record.id, region)
         } else {
@@ -155,7 +155,7 @@ impl<'rt> TaskCtx<'rt> {
     /// Releases every dynamic effect this task has added so far (used when a
     /// retryable task aborts; completed tasks release automatically).
     pub fn release_dynamic_effects(&self) {
-        let claims: Vec<u64> = self.record.dynamic_claims.lock().drain(..).collect();
+        let claims: Vec<twe_effects::RplId> = self.record.dynamic_claims.lock().drain(..).collect();
         self.rt.dynamic.release_all(self.record.id, &claims);
     }
 

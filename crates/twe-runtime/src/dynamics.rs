@@ -10,17 +10,25 @@
 //! retries one of the conflicting tasks.
 //!
 //! In this implementation every [`DynCell`] owns a fresh *reference region*
-//! (`Root:__dynref:[id]` conceptually), disjoint from every statically-named
-//! region — the same argument the paper uses for Java atomics (§5.5.4).
-//! Conflicts are therefore only possible between dynamic effects, and a
-//! sharded claim table keyed by reference id performs exactly the conflict
-//! check the paper's per-tree-node dynamic effect sets perform (§7.5), with
-//! the same abort-the-requester / retry resolution (§7.2.4).
+//! interned into the global RPL arena as `Root:__DynRegion:[id]` (under the
+//! reserved [`twe_effects::arena::dyn_region_root`]), so a dynamic region id
+//! **is** an ordinary [`RplId`]: disjointness against any static effect is
+//! the same O(1) id test the schedulers use everywhere else, a cell's region
+//! can be named in a static [`twe_effects::EffectSet`] (via [`DynCell::rpl`])
+//! and scheduled through the tree scheduler like any other region, and the
+//! `__DynRegion` subtree is disjoint from every statically-declared region —
+//! the same argument the paper uses for Java atomics (§5.5.4). Conflicts
+//! between *claims* are only possible between dynamic effects on the same
+//! cell, and a sharded claim table keyed by the region id performs exactly
+//! the conflict check the paper's per-tree-node dynamic effect sets perform
+//! (§7.5), with the same abort-the-requester / retry resolution (§7.2.4).
 
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
+use twe_effects::arena::{self, RplId};
+use twe_effects::{Rpl, RplElement};
 
 /// Error returned when adding a dynamic effect conflicts with another task's
 /// dynamic effects; the requesting task should abort and retry.
@@ -35,7 +43,20 @@ impl std::fmt::Display for Aborted {
 
 impl std::error::Error for Aborted {}
 
-static NEXT_DYN_REGION: AtomicU64 = AtomicU64::new(1);
+static NEXT_DYN_REGION: AtomicI64 = AtomicI64::new(1);
+
+/// Interns a fresh reference region `Root:__DynRegion:[n]`, returning its
+/// arena id.
+///
+/// Cost note: the arena is append-only, so every cell ever created leaves
+/// one permanently-interned entry (~100 bytes) behind — the price of giving
+/// dynamic regions the same O(1) conflict fast paths as static ones.
+/// Workloads that churn through millions of short-lived cells should pool
+/// and reuse them (or see the arena-reclamation item in ROADMAP.md).
+fn fresh_dyn_region() -> RplId {
+    let n = NEXT_DYN_REGION.fetch_add(1, Ordering::Relaxed);
+    arena::intern_child(arena::dyn_region_root(), RplElement::Index(n))
+}
 
 /// A shared object with its own unique *reference region*.
 ///
@@ -45,8 +66,12 @@ static NEXT_DYN_REGION: AtomicU64 = AtomicU64::new(1);
 /// concurrently. The inner `RwLock` keeps the data memory-safe even if a
 /// buggy caller skips the acquire (in TWEJava the static checker would reject
 /// such code; in Rust we fall back to the lock).
+///
+/// The reference region is a real arena region (`Root:__DynRegion:[id]`), so
+/// [`DynCell::rpl`] can also be used to declare a *static* effect on the
+/// cell and route it through the effect-aware schedulers.
 pub struct DynCell<T> {
-    id: u64,
+    region: RplId,
     data: RwLock<T>,
 }
 
@@ -54,14 +79,30 @@ impl<T> DynCell<T> {
     /// Wraps `value` in a new cell with a fresh reference region.
     pub fn new(value: T) -> Arc<Self> {
         Arc::new(DynCell {
-            id: NEXT_DYN_REGION.fetch_add(1, Ordering::Relaxed),
+            region: fresh_dyn_region(),
             data: RwLock::new(value),
         })
     }
 
-    /// The id of this cell's reference region.
-    pub fn region_id(&self) -> u64 {
-        self.id
+    /// The interned id of this cell's reference region.
+    pub fn region_id(&self) -> RplId {
+        self.region
+    }
+
+    /// The cell's reference region as an ordinary fully-specified RPL
+    /// (`Root:__DynRegion:[id]`), usable in static effect declarations.
+    ///
+    /// **One discipline per cell:** a cell must be guarded either by
+    /// dynamic claims (`acquire_read`/`acquire_write`, optimistic
+    /// abort-and-retry) or by static effects on this RPL (pessimistic
+    /// scheduling) — not both concurrently. The claim table and the
+    /// schedulers do not check against each other (the paper likewise keeps
+    /// the two conflict planes separate, §7.5), so a task holding a static
+    /// effect on the cell is invisible to another task's `acquire_*` and
+    /// vice versa; mixing the disciplines on one cell forfeits isolation
+    /// for it. Cross-plane coordination is a ROADMAP item.
+    pub fn rpl(&self) -> Rpl {
+        Rpl::from_prefix_id(self.region)
     }
 
     /// Read access to the data (the caller should hold a read or write claim).
@@ -77,7 +118,12 @@ impl<T> DynCell<T> {
 
 impl<T: std::fmt::Debug> std::fmt::Debug for DynCell<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "DynCell#{}({:?})", self.id, &*self.data.read())
+        write!(
+            f,
+            "DynCell#{}({:?})",
+            self.region.index(),
+            &*self.data.read()
+        )
     }
 }
 
@@ -105,7 +151,7 @@ pub struct DynamicStats {
 /// The table recording which task currently holds dynamic effects on which
 /// reference regions. Sharded by region id to keep the hot path scalable.
 pub struct DynamicEffectTable {
-    shards: Vec<Mutex<HashMap<u64, ClaimEntry>>>,
+    shards: Vec<Mutex<HashMap<RplId, ClaimEntry>>>,
     acquires: AtomicU64,
     conflicts: AtomicU64,
 }
@@ -126,14 +172,14 @@ impl DynamicEffectTable {
         }
     }
 
-    fn shard(&self, region: u64) -> &Mutex<HashMap<u64, ClaimEntry>> {
-        &self.shards[(region as usize) % self.shards.len()]
+    fn shard(&self, region: RplId) -> &Mutex<HashMap<RplId, ClaimEntry>> {
+        &self.shards[(region.index() as usize) % self.shards.len()]
     }
 
     /// Adds a dynamic *read* effect on `region` for `task`.
     ///
     /// Fails (and counts a conflict) if another task holds a write claim.
-    pub fn acquire_read(&self, task: u64, region: u64) -> Result<(), Aborted> {
+    pub fn acquire_read(&self, task: u64, region: RplId) -> Result<(), Aborted> {
         let mut shard = self.shard(region).lock();
         let entry = shard.entry(region).or_default();
         match entry.writer {
@@ -154,7 +200,7 @@ impl DynamicEffectTable {
     /// Adds a dynamic *write* effect on `region` for `task`.
     ///
     /// Fails (and counts a conflict) if another task holds any claim on it.
-    pub fn acquire_write(&self, task: u64, region: u64) -> Result<(), Aborted> {
+    pub fn acquire_write(&self, task: u64, region: RplId) -> Result<(), Aborted> {
         let mut shard = self.shard(region).lock();
         let entry = shard.entry(region).or_default();
         let other_writer = matches!(entry.writer, Some(owner) if owner != task);
@@ -170,7 +216,7 @@ impl DynamicEffectTable {
     }
 
     /// Does `task` currently hold a claim (read or write) on `region`?
-    pub fn holds(&self, task: u64, region: u64) -> bool {
+    pub fn holds(&self, task: u64, region: RplId) -> bool {
         let shard = self.shard(region).lock();
         shard
             .get(&region)
@@ -180,7 +226,7 @@ impl DynamicEffectTable {
 
     /// Releases every claim `task` holds on the given regions (called when a
     /// task completes, aborts, or retries).
-    pub fn release_all(&self, task: u64, regions: &[u64]) {
+    pub fn release_all(&self, task: u64, regions: &[RplId]) {
         for &region in regions {
             let mut shard = self.shard(region).lock();
             if let Some(entry) = shard.get_mut(&region) {
@@ -208,60 +254,76 @@ impl DynamicEffectTable {
 mod tests {
     use super::*;
 
+    fn region(tag: i64) -> RplId {
+        arena::intern_child(arena::dyn_region_root(), RplElement::Index(1_000_000 + tag))
+    }
+
     #[test]
     fn readers_share_writers_exclude() {
         let table = DynamicEffectTable::new();
-        assert!(table.acquire_read(1, 100).is_ok());
-        assert!(table.acquire_read(2, 100).is_ok());
+        assert!(table.acquire_read(1, region(100)).is_ok());
+        assert!(table.acquire_read(2, region(100)).is_ok());
         // A writer conflicts with the existing readers.
-        assert_eq!(table.acquire_write(3, 100), Err(Aborted));
+        assert_eq!(table.acquire_write(3, region(100)), Err(Aborted));
         // Readers of a different region are unaffected.
-        assert!(table.acquire_write(3, 200).is_ok());
+        assert!(table.acquire_write(3, region(200)).is_ok());
         // And another task cannot read what task 3 writes.
-        assert_eq!(table.acquire_read(1, 200), Err(Aborted));
+        assert_eq!(table.acquire_read(1, region(200)), Err(Aborted));
     }
 
     #[test]
     fn same_task_can_upgrade_and_reacquire() {
         let table = DynamicEffectTable::new();
-        assert!(table.acquire_read(1, 7).is_ok());
-        assert!(table.acquire_write(1, 7).is_ok());
-        assert!(table.acquire_write(1, 7).is_ok());
-        assert!(table.acquire_read(1, 7).is_ok());
-        assert!(table.holds(1, 7));
+        assert!(table.acquire_read(1, region(7)).is_ok());
+        assert!(table.acquire_write(1, region(7)).is_ok());
+        assert!(table.acquire_write(1, region(7)).is_ok());
+        assert!(table.acquire_read(1, region(7)).is_ok());
+        assert!(table.holds(1, region(7)));
         // Another task still conflicts.
-        assert_eq!(table.acquire_read(2, 7), Err(Aborted));
+        assert_eq!(table.acquire_read(2, region(7)), Err(Aborted));
     }
 
     #[test]
     fn release_makes_region_available_again() {
         let table = DynamicEffectTable::new();
-        assert!(table.acquire_write(1, 42).is_ok());
-        assert_eq!(table.acquire_write(2, 42), Err(Aborted));
-        table.release_all(1, &[42]);
-        assert!(!table.holds(1, 42));
-        assert!(table.acquire_write(2, 42).is_ok());
+        assert!(table.acquire_write(1, region(42)).is_ok());
+        assert_eq!(table.acquire_write(2, region(42)), Err(Aborted));
+        table.release_all(1, &[region(42)]);
+        assert!(!table.holds(1, region(42)));
+        assert!(table.acquire_write(2, region(42)).is_ok());
     }
 
     #[test]
     fn stats_count_acquires_and_conflicts() {
         let table = DynamicEffectTable::new();
-        table.acquire_write(1, 1).unwrap();
-        table.acquire_write(1, 2).unwrap();
-        let _ = table.acquire_write(2, 1);
+        table.acquire_write(1, region(301)).unwrap();
+        table.acquire_write(1, region(302)).unwrap();
+        let _ = table.acquire_write(2, region(301));
         let stats = table.stats();
         assert_eq!(stats.acquires, 2);
         assert_eq!(stats.conflicts, 1);
     }
 
     #[test]
-    fn dyncell_ids_are_unique_and_data_accessible() {
+    fn dyncell_regions_are_unified_rpl_ids() {
         let a: Arc<DynCell<i32>> = DynCell::new(1);
         let b: Arc<DynCell<i32>> = DynCell::new(2);
         assert_ne!(a.region_id(), b.region_id());
         *a.write() += 10;
         assert_eq!(*a.read(), 11);
         assert_eq!(*b.read(), 2);
+        // The reference region is a real arena region under __DynRegion…
+        assert_eq!(arena::parent(a.region_id()), arena::dyn_region_root());
+        assert!(a.rpl().is_fully_specified());
+        assert_eq!(a.rpl().prefix_id(), a.region_id());
+        // …so disjointness against static regions and other cells is the
+        // ordinary O(1) conflict test.
+        assert!(a.rpl().disjoint(&b.rpl()));
+        assert!(!a.rpl().disjoint(&a.rpl()));
+        assert!(a.rpl().disjoint(&Rpl::parse("Data:[3]")));
+        // A `__DynRegion:[?]` wildcard claim overlaps every cell.
+        let any_cell = Rpl::from_prefix_id(arena::dyn_region_root()).child(RplElement::AnyIndex);
+        assert!(!any_cell.disjoint(&a.rpl()));
     }
 
     #[test]
@@ -273,8 +335,8 @@ mod tests {
                 let table = table.clone();
                 let successes = successes.clone();
                 std::thread::spawn(move || {
-                    for region in 0..100u64 {
-                        if table.acquire_write(task + 1, region).is_ok() {
+                    for r in 0..100i64 {
+                        if table.acquire_write(task + 1, region(2_000 + r)).is_ok() {
                             successes.fetch_add(1, Ordering::Relaxed);
                         }
                     }

@@ -149,16 +149,18 @@ impl Scheduler for NaiveScheduler {
         // Only waiters whose effects interfere with the finished task's can
         // have been blocked by it (its spawned children's effects are covered
         // by its declared set, so this filter is conservative for them too).
-        // The interference filter runs on interned RPL ids — for the dominant
-        // fully-specified case each pair is a single integer compare — so the
-        // rescan stays cheap even when every queued task is a candidate.
-        self.enable_ready_among(|t| !task.effects.non_interfering(&t.effects));
+        // The filter runs on the per-set summaries: anchor-disjoint sets are
+        // rejected in O(set) with no per-pair work at all, so the rescan
+        // stays linear in queue length even for many-effect tasks. (The
+        // filter may pass a non-interfering task through; `can_enable` still
+        // decides correctness.)
+        self.enable_ready_among(|t| !task.effects.certainly_non_interfering(&t.effects));
     }
 
     fn spawned_child_done(&self, parent: &Arc<TaskRecord>) {
         // Same covering argument as in `task_done`: a child's effects are
         // covered by the parent's declared effects.
-        self.enable_ready_among(|t| !parent.effects.non_interfering(&t.effects));
+        self.enable_ready_among(|t| !parent.effects.certainly_non_interfering(&t.effects));
     }
 }
 

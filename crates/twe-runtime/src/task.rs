@@ -78,7 +78,9 @@ pub struct TaskRecord {
     /// scheduler and for spawned tasks).
     pub tree_effects: OnceLock<Vec<Arc<EffectRecord>>>,
     /// Reference-region ids of dynamic effects currently held (chapter 7).
-    pub dynamic_claims: Mutex<Vec<u64>>,
+    /// Dynamic regions are ordinary interned RPL ids under the reserved
+    /// `Root:__DynRegion` root, so they share the static conflict fast paths.
+    pub dynamic_claims: Mutex<Vec<twe_effects::RplId>>,
 }
 
 impl TaskRecord {

@@ -112,11 +112,35 @@ impl std::fmt::Debug for EffectRecord {
 /// the child's interned [`RplId`] — one hash over a `u32` instead of an
 /// element compare — and descent indexes the effect's precomputed prefix id
 /// path.
+///
+/// The node keeps a one-word summary of its record list — the number of
+/// write records — so the conflict walks can skip scanning read-only nodes
+/// for read effects (reads never conflict with reads), which is the common
+/// shape of `reads Root`-heavy workloads.
 #[derive(Default)]
 pub struct NodeInner {
     depth: usize,
     effects: Vec<Arc<EffectRecord>>,
     children: HashMap<RplId, NodeRef>,
+    /// Number of entries of `effects` that are write records.
+    write_records: usize,
+}
+
+impl NodeInner {
+    fn push_record(&mut self, e: Arc<EffectRecord>) {
+        if e.write {
+            self.write_records += 1;
+        }
+        self.effects.push(e);
+    }
+
+    fn remove_record_at(&mut self, i: usize) -> Arc<EffectRecord> {
+        let e = self.effects.remove(i);
+        if e.write {
+            self.write_records -= 1;
+        }
+        e
+    }
 }
 
 /// A reference-counted, individually locked tree node.
@@ -128,16 +152,19 @@ fn new_node(depth: usize) -> NodeRef {
         depth,
         effects: Vec::new(),
         children: HashMap::new(),
+        write_records: 0,
     }))
 }
 
 fn add_effect(node: &NodeRef, guard: &mut NodeGuard, e: &Arc<EffectRecord>) {
-    guard.effects.push(e.clone());
+    guard.push_record(e.clone());
     *e.node.lock() = Some(node.clone());
 }
 
 fn remove_effect(guard: &mut NodeGuard, e: &Arc<EffectRecord>) {
-    guard.effects.retain(|x| !Arc::ptr_eq(x, e));
+    if let Some(i) = guard.effects.iter().position(|x| Arc::ptr_eq(x, e)) {
+        guard.remove_record_at(i);
+    }
 }
 
 /// Registers `waiter` on `on`'s waiter list. The list is conceptually a set
@@ -190,6 +217,18 @@ impl TreeScheduler {
             let here = guard.effects.len();
             drop(guard);
             here + children.iter().map(count).sum::<usize>()
+        }
+        count(&self.root)
+    }
+
+    /// Number of nodes in the scheduling tree, the root included
+    /// (diagnostic; exercised by the empty-leaf pruning tests).
+    pub fn tree_nodes(&self) -> usize {
+        fn count(node: &NodeRef) -> usize {
+            let guard = node.lock();
+            let children: Vec<NodeRef> = guard.children.values().cloned().collect();
+            drop(guard);
+            1 + children.iter().map(count).sum::<usize>()
         }
         count(&self.root)
     }
@@ -275,13 +314,38 @@ impl TreeScheduler {
     }
 
     /// Checks `e` against the enabled effects at the locked node (Figure 5.6).
-    fn check_at(&self, guard: &mut NodeGuard, e: &Arc<EffectRecord>, prio: bool) -> bool {
+    ///
+    /// Also sweeps **dead records** on the way: an effect whose task record
+    /// was dropped before completion (so `task_done` never removed it) can
+    /// never conflict again and is unlinked from the node list here rather
+    /// than lingering forever. Swept records are pushed onto `swept` so the
+    /// caller can recheck their waiters once every node lock is released —
+    /// a task parked behind the dropped task must not stay blocked on a
+    /// conflict that no longer exists.
+    fn check_at(
+        &self,
+        guard: &mut NodeGuard,
+        e: &Arc<EffectRecord>,
+        prio: bool,
+        swept: &mut Vec<Arc<EffectRecord>>,
+    ) -> bool {
+        if !e.write && guard.write_records == 0 {
+            // Node summary: only read records here, and reads never conflict
+            // with a read — skip the scan entirely.
+            return false;
+        }
         // Index-based iteration: `guard.effects` is only mutated through this
         // same guard, and cloning the whole list here is a hot-path
         // allocation (this node may hold every outstanding `reads Root`).
-        for i in 0..guard.effects.len() {
+        let mut i = 0;
+        while i < guard.effects.len() {
             let existing = guard.effects[i].clone();
             if Arc::ptr_eq(&existing, e) {
+                i += 1;
+                continue;
+            }
+            if existing.task.strong_count() == 0 {
+                swept.push(guard.remove_record_at(i)); // dead-record sweep
                 continue;
             }
             if existing.is_enabled() && self.conflicts(&existing, e) {
@@ -292,57 +356,106 @@ impl TreeScheduler {
                     return true;
                 }
             }
+            i += 1;
         }
         false
     }
 
-    /// Checks `e` against the effects in the subtrees rooted at `children`
-    /// (Figure 5.7). `ne` is the (locked) node containing `e`; conflicting
-    /// effects that are not enabled (or can be disabled) are moved up to it.
+    /// Checks `e` against the effects in the subtree below the locked
+    /// `parent` guard (Figure 5.7). `ne` is the node containing `e`;
+    /// conflicting effects that are not enabled (or can be disabled) are
+    /// moved up to it. `ne_guard` is `None` when `parent` *is* `ne` (the
+    /// top-level call), in which case `parent_guard` receives the moved
+    /// effects.
+    ///
+    /// Three refinements over the plain Figure 5.7 walk:
+    ///
+    /// * **`P:[?]` descent pruning** — a trailing-any-index effect settles
+    ///   at `P` and can only overlap index children of `P`, so the walk
+    ///   visits only index-keyed direct children and never recurses deeper.
+    /// * **Read-only node skip** — for a read effect, nodes holding no write
+    ///   records are not scanned (reads never conflict with reads).
+    /// * **Dead-record sweep and empty-leaf pruning** — records whose task
+    ///   record was dropped before completion are unlinked, and a child left
+    ///   with no records and no children is removed from its parent, so
+    ///   index-region churn (`Data:[i]`) stops growing the tree
+    ///   monotonically.
     fn check_below(
         &self,
-        children: Vec<NodeRef>,
+        parent_guard: &mut NodeGuard,
         e: &Arc<EffectRecord>,
         ne: &NodeRef,
-        ne_guard: &mut NodeGuard,
+        mut ne_guard: Option<&mut NodeGuard>,
         prio: bool,
+        swept: &mut Vec<Arc<EffectRecord>>,
     ) -> bool {
         if !e.rpl.has_wildcard() {
             // A wildcard-free RPL is disjoint from every RPL with a longer
             // wildcard-free prefix, so nothing below can conflict.
             return false;
         }
-        for child in children {
+        let any_index_only = e.rpl.is_parent_any_index();
+        let keys: Vec<RplId> = parent_guard.children.keys().copied().collect();
+        for key in keys {
+            if any_index_only && !twe_effects::arena::is_index_child_of(key, e.rpl.prefix_id()) {
+                // `P:[?]` only reaches index children of P.
+                continue;
+            }
+            let Some(child) = parent_guard.children.get(&key).cloned() else {
+                continue;
+            };
             let mut cg = child.lock_arc();
             let mut conflict_found = false;
-            let mut i = 0;
-            while i < cg.effects.len() {
-                let existing = cg.effects[i].clone();
-                if self.conflicts(&existing, e) {
-                    if !existing.enabled.load(Ordering::Acquire)
-                        || (prio && self.try_disable(&existing))
-                    {
-                        // Move the (disabled) conflicting effect up to ne so
-                        // that rechecking it later starts from a node where it
-                        // will encounter `e`.
-                        push_waiter(e, &existing);
-                        cg.effects.remove(i);
-                        ne_guard.effects.push(existing.clone());
-                        *existing.node.lock() = Some(ne.clone());
+            if e.write || cg.write_records > 0 {
+                let mut i = 0;
+                while i < cg.effects.len() {
+                    let existing = cg.effects[i].clone();
+                    if existing.task.strong_count() == 0 {
+                        swept.push(cg.remove_record_at(i)); // dead-record sweep
                         continue;
-                    } else {
-                        push_waiter(&existing, e);
-                        conflict_found = true;
-                        break;
                     }
+                    if self.conflicts(&existing, e) {
+                        if !existing.enabled.load(Ordering::Acquire)
+                            || (prio && self.try_disable(&existing))
+                        {
+                            // Move the (disabled) conflicting effect up to ne
+                            // so that rechecking it later starts from a node
+                            // where it will encounter `e`.
+                            push_waiter(e, &existing);
+                            cg.remove_record_at(i);
+                            let target: &mut NodeGuard = match ne_guard {
+                                Some(ref mut g) => g,
+                                None => parent_guard,
+                            };
+                            target.push_record(existing.clone());
+                            *existing.node.lock() = Some(ne.clone());
+                            continue;
+                        } else {
+                            push_waiter(&existing, e);
+                            conflict_found = true;
+                            break;
+                        }
+                    }
+                    i += 1;
                 }
-                i += 1;
             }
-            if !conflict_found {
-                let grandchildren: Vec<NodeRef> = cg.children.values().cloned().collect();
-                conflict_found = self.check_below(grandchildren, e, ne, ne_guard, prio);
+            if !conflict_found && !any_index_only {
+                // A `P:[?]` effect cannot overlap anything deeper than the
+                // index children of P; every other wildcard shape descends.
+                let ne_for_child: &mut NodeGuard = match ne_guard {
+                    Some(ref mut g) => g,
+                    None => parent_guard,
+                };
+                conflict_found = self.check_below(&mut cg, e, ne, Some(ne_for_child), prio, swept);
             }
+            let prune = cg.effects.is_empty() && cg.children.is_empty();
             drop(cg);
+            if prune {
+                // Safe under the parent lock: every descent into a child
+                // happens while its parent is held, no record points at an
+                // empty node, and the NodeRef itself is refcounted.
+                parent_guard.children.remove(&key);
+            }
             if conflict_found {
                 return true;
             }
@@ -360,6 +473,7 @@ impl TreeScheduler {
         mut guard: NodeGuard,
         effects: Vec<Arc<EffectRecord>>,
         depth: usize,
+        swept: &mut Vec<Arc<EffectRecord>>,
     ) {
         let mut below: Vec<(NodeRef, Vec<Arc<EffectRecord>>)> = Vec::new();
         for e in effects {
@@ -369,16 +483,16 @@ impl TreeScheduler {
             let at_this_node = e.prefix_depth() == depth;
             if at_this_node {
                 add_effect(&node, &mut guard, &e);
-                let conflicts_here = self.check_at(&mut guard, &e, false);
+                let conflicts_here = self.check_at(&mut guard, &e, false, swept);
                 if !conflicts_here {
-                    let children: Vec<NodeRef> = guard.children.values().cloned().collect();
-                    let conflicts_below = self.check_below(children, &e, &node, &mut guard, false);
+                    let conflicts_below =
+                        self.check_below(&mut guard, &e, &node, None, false, swept);
                     if !conflicts_below {
                         self.enable_effect(&e);
                     }
                 }
             } else {
-                let conflicts_here = self.check_at(&mut guard, &e, false);
+                let conflicts_here = self.check_at(&mut guard, &e, false, swept);
                 if conflicts_here {
                     add_effect(&node, &mut guard, &e);
                 } else {
@@ -407,7 +521,7 @@ impl TreeScheduler {
             .collect();
         drop(guard);
         for (child, child_guard, effs) in locked {
-            self.insert(child, child_guard, effs, depth + 1);
+            self.insert(child, child_guard, effs, depth + 1, swept);
         }
     }
 
@@ -447,17 +561,17 @@ impl TreeScheduler {
         mut guard: NodeGuard,
         e: &Arc<EffectRecord>,
         prio: bool,
+        swept: &mut Vec<Arc<EffectRecord>>,
     ) {
         loop {
-            let conflicts_here = self.check_at(&mut guard, e, prio);
+            let conflicts_here = self.check_at(&mut guard, e, prio, swept);
             if conflicts_here {
                 drop(guard);
                 return;
             }
             let d = guard.depth;
             if e.prefix_depth() == d {
-                let children: Vec<NodeRef> = guard.children.values().cloned().collect();
-                let conflicts_below = self.check_below(children, e, &node, &mut guard, prio);
+                let conflicts_below = self.check_below(&mut guard, e, &node, None, prio, swept);
                 if !conflicts_below {
                     self.enable_effect(e);
                 }
@@ -485,30 +599,36 @@ impl TreeScheduler {
     /// Re-checks all the effects of a task that could not previously be
     /// enabled (Figure 5.12, lines 1–13).
     fn recheck_task(&self, task: &Arc<TaskRecord>) {
-        let _serial = self.recheck_lock.lock();
-        if task.is_done() || task.sched.lock().status >= TaskStatus::Enabled {
-            return;
-        }
-        task.sched.lock().rechecking = true;
-        let records = task.tree_effects.get().cloned().unwrap_or_default();
-        for e in records {
-            let (node, guard) = self.lock_containing_node(&e);
-            if !e.enabled.load(Ordering::Acquire) {
-                self.recheck_effect(node, guard, &e, true);
-                if task.sched.lock().status >= TaskStatus::Enabled {
-                    break;
-                }
-            } else {
-                drop(guard);
+        let mut swept = Vec::new();
+        {
+            let _serial = self.recheck_lock.lock();
+            if task.is_done() || task.sched.lock().status >= TaskStatus::Enabled {
+                return;
             }
+            task.sched.lock().rechecking = true;
+            let records = task.tree_effects.get().cloned().unwrap_or_default();
+            for e in records {
+                let (node, guard) = self.lock_containing_node(&e);
+                if !e.enabled.load(Ordering::Acquire) {
+                    self.recheck_effect(node, guard, &e, true, &mut swept);
+                    if task.sched.lock().status >= TaskStatus::Enabled {
+                        break;
+                    }
+                } else {
+                    drop(guard);
+                }
+            }
+            task.sched.lock().rechecking = false;
         }
-        task.sched.lock().rechecking = false;
+        // Outside the recheck lock (rechecking a swept record's waiters may
+        // itself recheck whole tasks, which re-takes that lock).
+        self.recheck_swept(swept);
     }
 
     /// Re-checks the waiters recorded on `e` after the conflict that made
-    /// them wait has been resolved (used by task completion and by
-    /// spawned-child completion).
-    fn recheck_waiters_of(&self, e: &Arc<EffectRecord>) {
+    /// them wait has been resolved (used by task completion, spawned-child
+    /// completion, and the dead-record sweep).
+    fn recheck_waiters_of(&self, e: &Arc<EffectRecord>, swept: &mut Vec<Arc<EffectRecord>>) {
         let waiters: Vec<Weak<EffectRecord>> = std::mem::take(&mut *e.waiters.lock());
         for waiter in waiters {
             // Records of completed-and-dropped waiters simply vanish here.
@@ -524,7 +644,7 @@ impl TreeScheduler {
             let (node, guard) = self.lock_containing_node(&waiter);
             if !waiter.enabled.load(Ordering::Acquire) {
                 let prio = waiter_task.sched.lock().status == TaskStatus::Prioritized;
-                self.recheck_effect(node, guard, &waiter, prio);
+                self.recheck_effect(node, guard, &waiter, prio, swept);
                 if prio && waiter_task.sched.lock().status == TaskStatus::Prioritized {
                     // Rechecking the single effect was not sufficient (some of
                     // the task's other effects may have been disabled):
@@ -534,6 +654,18 @@ impl TreeScheduler {
             } else {
                 drop(guard);
             }
+        }
+    }
+
+    /// Drains the dead records collected by a conflict walk, rechecking the
+    /// waiters each one still holds: a waiter parked behind a task whose
+    /// record was dropped before completion must not stay blocked on a
+    /// conflict that no longer exists. Called with **no node or recheck lock
+    /// held** (rechecking walks the tree and may take the recheck lock).
+    /// Worklist-style because a recheck can sweep further dead records.
+    fn recheck_swept(&self, mut swept: Vec<Arc<EffectRecord>>) {
+        while let Some(dead) = swept.pop() {
+            self.recheck_waiters_of(&dead, &mut swept);
         }
     }
 }
@@ -572,7 +704,9 @@ impl Scheduler for TreeScheduler {
         }
         let root = self.root.clone();
         let guard = root.lock_arc();
-        self.insert(root, guard, records, 0);
+        let mut swept = Vec::new();
+        self.insert(root, guard, records, 0, &mut swept);
+        self.recheck_swept(swept);
     }
 
     fn on_await(&self, _blocked: Option<&Arc<TaskRecord>>, target: &Arc<TaskRecord>) {
@@ -611,9 +745,11 @@ impl Scheduler for TreeScheduler {
             remove_effect(&mut guard, e);
             drop(guard);
         }
+        let mut swept = Vec::new();
         for e in &records {
-            self.recheck_waiters_of(e);
+            self.recheck_waiters_of(e, &mut swept);
         }
+        self.recheck_swept(swept);
     }
 
     fn spawned_child_done(&self, parent: &Arc<TaskRecord>) {
@@ -621,9 +757,11 @@ impl Scheduler for TreeScheduler {
         // conflict alive (Figure 5.8 checks the spawned children of blocked
         // tasks), so recheck the waiters recorded on the parent's effects.
         let records = parent.tree_effects.get().cloned().unwrap_or_default();
+        let mut swept = Vec::new();
         for e in &records {
-            self.recheck_waiters_of(e);
+            self.recheck_waiters_of(e, &mut swept);
         }
+        self.recheck_swept(swept);
     }
 }
 
@@ -862,6 +1000,187 @@ mod tests {
         h.finish(&t1);
         assert!(h.enabled_ids().contains(&2));
         h.finish(&t2);
+        assert_eq!(h.sched.recorded_effects(), 0);
+    }
+
+    #[test]
+    fn dead_records_are_swept_during_tree_walks() {
+        // Regression test for the dead-record sweep: a task record dropped
+        // *before* completion leaves its effect records in the node lists
+        // (task_done never ran), and the next wildcard walk over those nodes
+        // must unlink them.
+        let h = harness();
+        let ghost = task(1, "writes Data:[3], writes Data:[4]");
+        h.sched.submit(ghost.clone());
+        assert_eq!(h.enabled_ids(), vec![1]);
+        assert_eq!(h.sched.recorded_effects(), 2);
+        let weak_records: Vec<std::sync::Weak<EffectRecord>> = ghost
+            .tree_effects
+            .get()
+            .unwrap()
+            .iter()
+            .map(Arc::downgrade)
+            .collect();
+        drop(ghost);
+        // The node lists still hold the records strongly…
+        assert_eq!(h.sched.recorded_effects(), 2);
+        assert_eq!(
+            weak_records
+                .iter()
+                .filter(|w| w.upgrade().is_some())
+                .count(),
+            2
+        );
+        // …until a walk visits their nodes and sweeps them.
+        let sweeper = task(2, "writes Data:*");
+        h.sched.submit(sweeper.clone());
+        assert!(h.enabled_ids().contains(&2));
+        assert_eq!(
+            h.sched.recorded_effects(),
+            1,
+            "only the sweeper's record may remain"
+        );
+        let leaked = weak_records
+            .iter()
+            .filter(|w| w.upgrade().is_some())
+            .count();
+        assert_eq!(
+            leaked, 0,
+            "records of a task dropped before completion must be dropped by the sweep"
+        );
+        h.finish(&sweeper);
+        assert_eq!(h.sched.recorded_effects(), 0);
+    }
+
+    #[test]
+    fn sweeping_a_dead_record_releases_its_waiters() {
+        // A task parked behind a dropped-before-completion task must not
+        // stay blocked once the sweep removes the dead record: the sweep
+        // rechecks the swept record's waiters after the walk.
+        let h = harness();
+        let t1 = task(1, "writes Hot");
+        let t2 = task(2, "reads Hot");
+        h.sched.submit(t1.clone());
+        h.sched.submit(t2.clone());
+        assert_eq!(h.enabled_ids(), vec![1]);
+        assert_eq!(t2.status(), TaskStatus::Waiting);
+        // t1's record is dropped before completion (task_done never runs),
+        // leaving t2 registered on a record nothing will ever complete.
+        drop(t1);
+        assert_eq!(t2.status(), TaskStatus::Waiting);
+        // A read walk over Hot sweeps the dead write record. t2's only
+        // conflict was with it, so t2 must come out enabled — and the
+        // reader (read vs read) must not be blocked by t2 either.
+        let reader = task(3, "reads Hot:*");
+        h.sched.submit(reader.clone());
+        assert_eq!(reader.status(), TaskStatus::Enabled);
+        assert_eq!(
+            t2.status(),
+            TaskStatus::Enabled,
+            "sweeping the dead record must recheck and release its waiters"
+        );
+        h.finish(&t2);
+        h.finish(&reader);
+        assert_eq!(h.sched.recorded_effects(), 0);
+    }
+
+    #[test]
+    fn empty_leaf_nodes_are_pruned_after_index_churn() {
+        let h = harness();
+        let tasks: Vec<_> = (0..64)
+            .map(|i| task(i, &format!("writes Churn:[{i}]")))
+            .collect();
+        for t in &tasks {
+            h.sched.submit(t.clone());
+        }
+        for t in &tasks {
+            h.finish(t);
+        }
+        assert_eq!(h.sched.recorded_effects(), 0);
+        // Index churn left one empty leaf per distinct region.
+        let before = h.sched.tree_nodes();
+        assert!(
+            before >= 66,
+            "expected root + Churn + 64 leaves, got {before}"
+        );
+        // A wildcard walk over the subtree prunes the empty leaves.
+        let sweeper = task(100, "writes Churn:*");
+        h.sched.submit(sweeper.clone());
+        let after = h.sched.tree_nodes();
+        assert_eq!(after, 2, "only root and the Churn node may remain");
+        h.finish(&sweeper);
+    }
+
+    #[test]
+    fn any_index_effect_conflicts_exactly_with_index_children() {
+        let h = harness();
+        let named = task(1, "writes Data:Meta");
+        let idx = task(2, "writes Data:[7]");
+        let deep = task(3, "writes Data:[9]:Sub");
+        h.sched.submit(named.clone());
+        h.sched.submit(idx.clone());
+        h.sched.submit(deep.clone());
+        assert_eq!(h.enabled_ids(), vec![1, 2, 3]);
+        // `Data:[?]` conflicts with the index child [7] but with neither the
+        // name child nor the deeper region (the pruned descent must still
+        // find the real conflict).
+        let qm = task(4, "writes Data:[?]");
+        h.sched.submit(qm.clone());
+        assert_eq!(qm.status(), TaskStatus::Waiting);
+        h.finish(&named);
+        h.finish(&deep);
+        assert_eq!(qm.status(), TaskStatus::Waiting, "only Data:[7] blocks it");
+        h.finish(&idx);
+        assert_eq!(qm.status(), TaskStatus::Enabled);
+        // And the reverse direction: an index child submitted while the
+        // wildcard holder runs must wait.
+        let late_idx = task(5, "writes Data:[12]");
+        let late_name = task(6, "writes Data:Other");
+        h.sched.submit(late_idx.clone());
+        h.sched.submit(late_name.clone());
+        assert_eq!(late_idx.status(), TaskStatus::Waiting);
+        assert_eq!(late_name.status(), TaskStatus::Enabled);
+        h.finish(&qm);
+        assert_eq!(late_idx.status(), TaskStatus::Enabled);
+    }
+
+    #[test]
+    fn dyncell_claims_schedule_through_the_tree() {
+        // Chapter-7 reference regions are ordinary arena regions now, so
+        // effects on them flow through the tree scheduler like any other.
+        use crate::dynamics::DynCell;
+        let h = harness();
+        let a = DynCell::new(0u32);
+        let b = DynCell::new(0u32);
+        let t1 = TaskRecord::new(1, "t1", EffectSet::write(a.rpl()), false);
+        let t2 = TaskRecord::new(2, "t2", EffectSet::write(b.rpl()), false);
+        let t3 = TaskRecord::new(3, "t3", EffectSet::write(a.rpl()), false);
+        h.sched.submit(t1.clone());
+        h.sched.submit(t2.clone());
+        h.sched.submit(t3.clone());
+        // Distinct cells run in parallel; the same cell serializes.
+        assert_eq!(h.enabled_ids(), vec![1, 2]);
+        assert_eq!(t3.status(), TaskStatus::Waiting);
+        // Static effects on ordinary regions are disjoint from every cell.
+        let unrelated = task(4, "writes Data:[1]");
+        h.sched.submit(unrelated.clone());
+        assert_eq!(unrelated.status(), TaskStatus::Enabled);
+        // A `__DynRegion:[?]` wildcard claim covers every cell at once.
+        let all_cells = TaskRecord::new(
+            5,
+            "all-cells",
+            EffectSet::write(Rpl::parse("__DynRegion:[?]")),
+            false,
+        );
+        h.sched.submit(all_cells.clone());
+        assert_eq!(all_cells.status(), TaskStatus::Waiting);
+        h.finish(&t1);
+        assert_eq!(t3.status(), TaskStatus::Enabled);
+        h.finish(&t2);
+        h.finish(&t3);
+        assert_eq!(all_cells.status(), TaskStatus::Enabled);
+        h.finish(&all_cells);
+        h.finish(&unrelated);
         assert_eq!(h.sched.recorded_effects(), 0);
     }
 
