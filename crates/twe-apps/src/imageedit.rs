@@ -213,22 +213,20 @@ pub fn run_twe(rt: &Runtime, config: &ImageEditConfig, src: &Image) -> Image {
             .collect(),
     );
     let filter = config.filter;
-    let futures: Vec<_> = blocks
-        .iter()
-        .cloned()
-        .enumerate()
-        .map(|(b, rows)| {
-            let src = src.clone();
-            let out = out.clone();
-            rt.execute_later(
-                "filterBlock",
-                EffectSet::parse(&format!("reads Input, writes Image:[{b}]")),
-                move |_| {
-                    apply_rows(filter, &src, rows.clone(), out[b].get_mut());
-                },
-            )
-        })
-        .collect();
+    // One batch admission for the whole per-block fan-out: the tree
+    // scheduler locks and checks the shared `Image` prefix once for the
+    // batch instead of once per block.
+    let futures = rt.submit_all(blocks.iter().cloned().enumerate().map(|(b, rows)| {
+        let src = src.clone();
+        let out = out.clone();
+        (
+            "filterBlock",
+            EffectSet::parse(&format!("reads Input, writes Image:[{b}]")),
+            move |_: &twe_runtime::TaskCtx<'_>| {
+                apply_rows(filter, &src, rows.clone(), out[b].get_mut());
+            },
+        )
+    }));
     for f in futures {
         f.wait();
     }

@@ -148,12 +148,21 @@ pub fn run_twe(rt: &Runtime, input: &KMeansInput) -> KMeansOutput {
             .n_points
             .div_ceil(input.config.points_per_task.max(1)),
     );
-    let futures: Vec<_> = ranges
-        .into_iter()
-        .map(|range| {
-            let input = input.clone();
-            let accums = accums.clone();
-            rt.execute_later("WorkTask", EffectSet::parse("reads Root"), move |ctx| {
+    // The WorkTask fan-out is admitted as one batch: every task reads Root,
+    // so per-task admission would pay one scheduler round per point chunk
+    // for an identical footprint. Note for figure 6.3's single-queue rows:
+    // batch admission parks the whole fan-out in the queue up front, so on
+    // machines where per-task submission used to interleave with execution
+    // (few cores), the naive scheduler's O(queue) rescans now always see
+    // the full queue — the long-queue shape whose cost is precisely the
+    // paper's argument for the tree scheduler, which is unaffected.
+    let futures = rt.submit_all(ranges.into_iter().map(|range| {
+        let input = input.clone();
+        let accums = accums.clone();
+        (
+            "WorkTask",
+            EffectSet::parse("reads Root"),
+            move |ctx: &twe_runtime::TaskCtx<'_>| {
                 for p in range.clone() {
                     let cluster = nearest_cluster(&input, p);
                     let input = input.clone();
@@ -172,9 +181,9 @@ pub fn run_twe(rt: &Runtime, input: &KMeansInput) -> KMeansOutput {
                         },
                     );
                 }
-            })
-        })
-        .collect();
+            },
+        )
+    }));
     for f in futures {
         f.wait();
     }

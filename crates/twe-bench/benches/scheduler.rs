@@ -43,6 +43,48 @@ fn bench_dispatch(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_batched_submission(c: &mut Criterion) {
+    // Per-task `execute_later` vs one `submit_all` round for a disjoint
+    // fan-out wave, through the full runtime (execution included; the
+    // `figures --fig submit` harness isolates pure admission).
+    let mut group = c.benchmark_group("batched_submission");
+    group.sample_size(15);
+    for kind in [SchedulerKind::Naive, SchedulerKind::Tree] {
+        for (label, batched) in [("per-task", false), ("batched", true)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}-{label}", kind.label()), 256),
+                &256usize,
+                |b, &n| {
+                    let rt = Runtime::new(2, kind);
+                    b.iter(|| {
+                        let futures: Vec<_> = if batched {
+                            rt.submit_all((0..n).map(|i| {
+                                (
+                                    "bench",
+                                    EffectSet::parse(&format!("writes Fleet:Stage:Data:[{i}]")),
+                                    move |_: &twe_runtime::TaskCtx<'_>| black_box(i),
+                                )
+                            }))
+                        } else {
+                            (0..n)
+                                .map(|i| {
+                                    rt.execute_later(
+                                        "bench",
+                                        EffectSet::parse(&format!("writes Fleet:Stage:Data:[{i}]")),
+                                        move |_| black_box(i),
+                                    )
+                                })
+                                .collect()
+                        };
+                        futures.into_iter().map(|f| f.wait()).sum::<usize>()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_critical_sections(c: &mut Criterion) {
     // Outer tasks on disjoint regions, each running a short critical-section
     // task on one of a few shared regions — the K-Means accumulate pattern.
@@ -80,6 +122,6 @@ criterion_group! {
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_millis(400))
         .sample_size(10);
-    targets = bench_dispatch, bench_critical_sections
+    targets = bench_dispatch, bench_batched_submission, bench_critical_sections
 }
 criterion_main!(benches);

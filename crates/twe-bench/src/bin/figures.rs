@@ -1,8 +1,9 @@
 //! Regenerates the tables behind every figure of the TWE evaluation.
 //!
 //! ```text
-//! figures [--fig 6.1|6.2|6.3|6.4|7.1|conflict|all] [--quick] [--json out.json]
-//!         [--conflict-json BENCH_conflict.json]
+//! figures [--fig 6.1|6.2|6.3|6.4|7.1|conflict|submit|all] [--quick]
+//!         [--json out.json] [--conflict-json BENCH_conflict.json]
+//!         [--submit-json BENCH_submit.json]
 //! ```
 //!
 //! `--quick` shrinks the workloads so the whole sweep finishes in a couple of
@@ -16,8 +17,16 @@
 //! its rows as a JSON throughput record (`BENCH_conflict.json` in the
 //! scheduled CI smoke job, uploaded as an artifact so the perf trajectory is
 //! tracked).
+//!
+//! `--fig submit` runs only the batched-admission microbenchmark: per-task
+//! `Scheduler::submit` vs one-round `submit_batch` on disjoint fan-out waves
+//! of 64 / 512 / 4096 tasks, on both schedulers; `--submit-json` writes the
+//! rows as `BENCH_submit.json` (also a CI smoke-job artifact).
 
-use twe_bench::{print_conflict_rows, print_rows, run_conflict_bench, run_figures};
+use twe_bench::{
+    print_conflict_rows, print_rows, print_submit_rows, run_conflict_bench, run_figures,
+    run_submit_bench,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,6 +34,7 @@ fn main() {
     let mut quick = false;
     let mut json_path: Option<String> = None;
     let mut conflict_json_path: Option<String> = None;
+    let mut submit_json_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -44,10 +54,15 @@ fn main() {
                 conflict_json_path = args.get(i + 1).cloned();
                 i += 2;
             }
+            "--submit-json" => {
+                submit_json_path = args.get(i + 1).cloned();
+                i += 2;
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--fig 6.1|6.2|6.3|6.4|7.1|conflict|all] [--quick] \
-                     [--json out.json] [--conflict-json BENCH_conflict.json]"
+                    "usage: figures [--fig 6.1|6.2|6.3|6.4|7.1|conflict|submit|all] [--quick] \
+                     [--json out.json] [--conflict-json BENCH_conflict.json] \
+                     [--submit-json BENCH_submit.json]"
                 );
                 return;
             }
@@ -57,15 +72,17 @@ fn main() {
             }
         }
     }
-    // The conflict microbench is opt-in (`--fig conflict` / `--conflict-json`)
-    // rather than part of `all`, so figure sweeps and the microbench are
-    // never silently paid for twice in one invocation.
+    // The microbenches are opt-in (`--fig conflict|submit` / their `--*-json`
+    // flags) rather than part of `all`, so figure sweeps and the microbenches
+    // are never silently paid for twice in one invocation.
     let run_conflict = which == "conflict" || conflict_json_path.is_some();
-    if which == "conflict" {
+    let run_submit = which == "submit" || submit_json_path.is_some();
+    let micro_only = which == "conflict" || which == "submit";
+    if micro_only {
         if json_path.is_some() {
             eprintln!(
-                "# note: --json applies to figure rows and is ignored with --fig conflict; \
-                 use --conflict-json for the microbench record"
+                "# note: --json applies to figure rows and is ignored with --fig {which}; \
+                 use --conflict-json / --submit-json for the microbench records"
             );
         }
     } else {
@@ -94,6 +111,19 @@ fn main() {
         if let Some(path) = conflict_json_path {
             let json = serde_json::to_string_pretty(&rows).expect("serialize conflict rows");
             std::fs::write(&path, json).expect("write conflict JSON output");
+            eprintln!("# wrote {path}");
+        }
+    }
+    if run_submit {
+        eprintln!(
+            "# batched-admission microbench ({} mode)",
+            if quick { "quick" } else { "full" }
+        );
+        let rows = run_submit_bench(quick);
+        print_submit_rows(&rows);
+        if let Some(path) = submit_json_path {
+            let json = serde_json::to_string_pretty(&rows).expect("serialize submit rows");
+            std::fs::write(&path, json).expect("write submit JSON output");
             eprintln!("# wrote {path}");
         }
     }

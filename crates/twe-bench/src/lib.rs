@@ -15,10 +15,15 @@
 #![warn(missing_docs)]
 
 use serde::Serialize;
+use std::sync::Arc;
 use std::time::Instant;
 use twe_apps::{barneshut, coloring, fourwins, imageedit, kmeans, montecarlo, refine, ssca2, tsp};
 use twe_effects::rpl::oracle;
 use twe_effects::{Effect, EffectSet, Rpl, RplElement};
+use twe_runtime::naive::NaiveScheduler;
+use twe_runtime::scheduler::Scheduler;
+use twe_runtime::task::TaskRecord;
+use twe_runtime::tree::TreeScheduler;
 use twe_runtime::{Runtime, SchedulerKind};
 
 /// One measured data point of a figure.
@@ -667,6 +672,182 @@ pub fn run_conflict_bench(quick: bool) -> Vec<ConflictRow> {
         });
     }
     rows
+}
+
+/// One row of the batched-admission microbenchmark (`BENCH_submit.json`):
+/// scheduler admission throughput (tasks/second through `submit` /
+/// `submit_batch`, execution excluded) for a disjoint fan-out wave, per-task
+/// versus batched.
+#[derive(Clone, Debug, Serialize)]
+pub struct SubmitRow {
+    /// Scheduler under test (`"tree"` / `"naive"`).
+    pub scheduler: String,
+    /// Tasks per admission wave (the fan-out width).
+    pub fanout: usize,
+    /// RPL depth of the wave's effects (`depth − 1` shared prefix elements
+    /// plus a distinct trailing index). Per-task admission pays one lock +
+    /// check per prefix level per task; the batch pays them once per wave,
+    /// so the batched advantage grows with nesting depth.
+    pub depth: usize,
+    /// Admissions per second when each task is submitted individually
+    /// (`Scheduler::submit`, one descent + one recheck round per task).
+    pub per_task_ops_per_sec: f64,
+    /// Admissions per second when the wave is submitted as one batch
+    /// (`Scheduler::submit_batch`, one descent + one recheck round total).
+    pub batched_ops_per_sec: f64,
+    /// `batched_ops_per_sec / per_task_ops_per_sec`.
+    pub speedup: f64,
+}
+
+/// The fan-out widths the submit bench sweeps (the K-Means assign / image
+/// block shapes: a wave of disjoint index-region tasks).
+pub const SUBMIT_FANOUTS: [usize; 3] = [64, 512, 4096];
+
+/// The RPL depths the submit bench sweeps: a flat partition (`Data:[i]`,
+/// depth 2) and two nested hierarchies sharing 3 / 5 prefix elements.
+pub const SUBMIT_DEPTHS: [usize; 3] = [2, 4, 6];
+
+/// The disjoint effect `F1:…:F{depth−1}:[i]` used by the submit waves: a
+/// shared `depth − 1`-element prefix with a distinct trailing index, the
+/// shape where per-task admission re-locks and re-checks every interior
+/// prefix node once per task.
+fn submit_effect(depth: usize, i: usize) -> EffectSet {
+    let mut path: Vec<String> = (1..depth).map(|level| format!("F{level}")).collect();
+    path.push(format!("[{i}]"));
+    EffectSet::parse(&format!("writes {}", path.join(":")))
+}
+
+/// Builds one admission wave of pairwise-disjoint tasks.
+fn submit_wave(effects: &[EffectSet], first_id: u64) -> Vec<Arc<TaskRecord>> {
+    effects
+        .iter()
+        .enumerate()
+        .map(|(i, e)| TaskRecord::new(first_id + i as u64, "submit-bench", e.clone(), false))
+        .collect()
+}
+
+/// Measures admission throughput (tasks/second) of one scheduler for
+/// `fanout`-wide waves. Only the `submit`/`submit_batch` calls are timed;
+/// task-record construction and the drain (`task_done`) between waves are
+/// not. Runs until `min_seconds` of *timed* work have accumulated.
+///
+/// `enabled` is the scheduler's enable-callback counter; the waves are
+/// pairwise disjoint, so *this* run must enable exactly what it admitted
+/// (warm-up included) — asserted per run, so a batch path that silently
+/// enabled nothing cannot publish a throughput number.
+fn submit_throughput(
+    sched: &dyn Scheduler,
+    effects: &[EffectSet],
+    batched: bool,
+    min_seconds: f64,
+    enabled: &std::sync::atomic::AtomicU64,
+) -> f64 {
+    let fanout = effects.len();
+    let enabled_at_start = enabled.load(std::sync::atomic::Ordering::Relaxed);
+    let mut next_id = 1u64;
+    let mut admitted = 0u64;
+    let mut elapsed = 0.0f64;
+    // One untimed warm-up wave interns the RPLs and grows the tree/queue to
+    // its steady shape.
+    let warm = submit_wave(effects, next_id);
+    next_id += fanout as u64;
+    for t in &warm {
+        sched.submit(t.clone());
+    }
+    for t in &warm {
+        t.mark_done();
+        sched.task_done(t);
+    }
+    while elapsed < min_seconds {
+        let wave = submit_wave(effects, next_id);
+        next_id += fanout as u64;
+        let start = Instant::now();
+        if batched {
+            sched.submit_batch(wave.clone());
+        } else {
+            for t in &wave {
+                sched.submit(t.clone());
+            }
+        }
+        elapsed += start.elapsed().as_secs_f64();
+        admitted += fanout as u64;
+        for t in &wave {
+            t.mark_done();
+            sched.task_done(t);
+        }
+    }
+    let enabled_here = enabled.load(std::sync::atomic::Ordering::Relaxed) - enabled_at_start;
+    assert_eq!(
+        enabled_here,
+        admitted + fanout as u64,
+        "disjoint waves must enable every admitted task (batched={batched})"
+    );
+    admitted as f64 / elapsed.max(1e-12)
+}
+
+/// Measures per-task vs batched admission throughput on both schedulers
+/// across [`SUBMIT_FANOUTS`] (execution excluded: the enable callback is a
+/// no-op and tasks are drained untimed between waves). Every admitted task
+/// must come out `Enabled` — the waves are disjoint — which doubles as a
+/// correctness check on the batch path.
+pub fn run_submit_bench(quick: bool) -> Vec<SubmitRow> {
+    let min_seconds = if quick { 0.08 } else { 0.4 };
+    let mut rows = Vec::new();
+    for (label, kind) in [
+        ("tree", SchedulerKind::Tree),
+        ("naive", SchedulerKind::Naive),
+    ] {
+        for fanout in SUBMIT_FANOUTS {
+            for depth in SUBMIT_DEPTHS {
+                let effects: Vec<EffectSet> =
+                    (0..fanout).map(|i| submit_effect(depth, i)).collect();
+                let enabled = Arc::new(std::sync::atomic::AtomicU64::new(0));
+                let make = |enabled: Arc<std::sync::atomic::AtomicU64>| -> Box<dyn Scheduler> {
+                    let enable: Box<dyn Fn(Arc<TaskRecord>) + Send + Sync> = Box::new(move |_t| {
+                        enabled.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    });
+                    match kind {
+                        SchedulerKind::Tree => Box::new(TreeScheduler::new(enable)),
+                        SchedulerKind::Naive => Box::new(NaiveScheduler::new(enable)),
+                    }
+                };
+                let per_sched = make(enabled.clone());
+                let per_task =
+                    submit_throughput(per_sched.as_ref(), &effects, false, min_seconds, &enabled);
+                let batch_sched = make(enabled.clone());
+                let batched =
+                    submit_throughput(batch_sched.as_ref(), &effects, true, min_seconds, &enabled);
+                rows.push(SubmitRow {
+                    scheduler: label.to_string(),
+                    fanout,
+                    depth,
+                    per_task_ops_per_sec: per_task,
+                    batched_ops_per_sec: batched,
+                    speedup: batched / per_task.max(1e-12),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Pretty-prints the submit microbenchmark rows.
+pub fn print_submit_rows(rows: &[SubmitRow]) {
+    println!(
+        "{:<10} {:<8} {:<6} {:>18} {:>18} {:>9}",
+        "scheduler", "fanout", "depth", "per-task ops/s", "batched ops/s", "speedup"
+    );
+    for r in rows {
+        println!(
+            "{:<10} {:<8} {:<6} {:>18.0} {:>18.0} {:>8.2}x",
+            r.scheduler,
+            r.fanout,
+            r.depth,
+            r.per_task_ops_per_sec,
+            r.batched_ops_per_sec,
+            r.speedup
+        );
+    }
 }
 
 /// Pretty-prints the conflict microbenchmark rows.

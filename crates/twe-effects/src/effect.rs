@@ -163,9 +163,14 @@ fn anchor_of(rpl: &Rpl) -> Option<RplId> {
     }
 }
 
-/// One hashed Bloom bit for an anchor id (Fibonacci multiplicative hash on
+/// The hashed Bloom bit for an arena id (Fibonacci multiplicative hash on
 /// the raw index; top 6 bits select the bit).
-fn bloom_bit(id: RplId) -> u64 {
+///
+/// Public because the tree scheduler's per-node subtree summaries hash the
+/// same id space into the same 64-bit filters: a set-summary anchor and a
+/// scheduler-tree record prefix must land on the same bit for the two
+/// filter layers to be intersectable.
+pub fn bloom_bit(id: RplId) -> u64 {
     1u64 << (id.index().wrapping_mul(0x9E37_79B9) >> 26)
 }
 
@@ -362,6 +367,50 @@ impl EffectSet {
             union.push(e);
         }
         union
+    }
+
+    /// The union of any number of effect sets in one pass — the combined
+    /// *footprint* of a batch of tasks.
+    ///
+    /// `Runtime::submit_all` unions the batch's declared sets with this
+    /// before admission: the combined summary is built once (anchors and
+    /// Bloom folded per effect, duplicates deduplicated) instead of once per
+    /// intermediate pair, and the schedulers use it to prefilter which
+    /// already-queued tasks the batch could possibly interact with.
+    pub fn union_all<'a>(sets: impl IntoIterator<Item = &'a EffectSet>) -> EffectSet {
+        let mut union = EffectSet::default();
+        for set in sets {
+            for &e in &set.effects {
+                union.push(e);
+            }
+        }
+        union
+    }
+
+    /// The sorted, deduplicated depth-1 anchor ids of all effects in the set
+    /// (see the module docs; root-level wildcard effects carry no anchor and
+    /// are reported by [`EffectSet::has_root_wildcard`] instead).
+    pub fn anchors(&self) -> &[RplId] {
+        &self.summary.anchors_all
+    }
+
+    /// The sorted, deduplicated anchor ids of the *write* effects only.
+    pub fn write_anchors(&self) -> &[RplId] {
+        &self.summary.anchors_write
+    }
+
+    /// The 64-bit Bloom filter over [`EffectSet::anchors`]. Bits are hashed
+    /// with [`bloom_bit`], the same hash the tree scheduler's subtree
+    /// summaries use, so the two filter layers can be intersected directly.
+    pub fn anchor_bloom(&self) -> u64 {
+        self.summary.bloom_all
+    }
+
+    /// True if some effect's RPL starts with a wildcard (`*…`/`[?]…`). Such
+    /// an effect has no anchor and may relate to any region, so every
+    /// anchor-based prefilter must treat the set as universal.
+    pub fn has_root_wildcard(&self) -> bool {
+        self.summary.universal_read || self.summary.universal_write
     }
 
     /// Summary-only non-interference test: `true` *guarantees* the two sets
@@ -575,6 +624,34 @@ mod tests {
         // Dedup keeps the set semantics intact.
         assert!(u.interferes(&EffectSet::parse("writes Top")));
         assert!(EffectSet::parse("writes Top").included_in(&u));
+    }
+
+    #[test]
+    fn union_all_builds_the_combined_footprint() {
+        let sets = [
+            EffectSet::parse("writes A:[1], reads B"),
+            EffectSet::parse("writes A:[1], writes C:[2]"),
+            EffectSet::pure(),
+            EffectSet::parse("reads B, writes D:*"),
+        ];
+        let combined = EffectSet::union_all(sets.iter());
+        // Pairwise unions agree with the one-pass union.
+        let expected = sets.iter().fold(EffectSet::pure(), |acc, s| acc.union(s));
+        assert_eq!(combined, expected);
+        assert_eq!(combined.len(), 4, "duplicates must collapse: {combined}");
+        // The exported summary covers every member set's anchors…
+        for set in &sets {
+            for anchor in set.anchors() {
+                assert!(combined.anchors().contains(anchor));
+                assert_ne!(combined.anchor_bloom() & bloom_bit(*anchor), 0);
+            }
+            assert!(set.included_in(&combined));
+        }
+        // …and writes show up in the write anchors.
+        assert!(!combined.write_anchors().is_empty());
+        assert!(!combined.has_root_wildcard());
+        assert!(EffectSet::parse("writes *").has_root_wildcard());
+        assert!(EffectSet::union_all([]).is_pure());
     }
 
     #[test]

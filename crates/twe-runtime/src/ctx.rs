@@ -66,6 +66,26 @@ impl<'rt> TaskCtx<'rt> {
         self.rt.execute_later_impl(name, effects, body)
     }
 
+    /// Creates a whole batch of asynchronous tasks and admits them to the
+    /// scheduler in one batch round — the in-task form of
+    /// [`Runtime::submit_all`](crate::Runtime::submit_all), for fan-out
+    /// phases launched from inside a running task. The scheduling outcome
+    /// equals calling [`TaskCtx::execute_later`] per triple sequentially
+    /// (exact slice order on the naive scheduler; a valid sequential order
+    /// on the tree scheduler — see `Scheduler::submit_batch`); only the
+    /// per-task admission overhead is batched away.
+    pub fn execute_all_later<T, N, F>(
+        &self,
+        tasks: impl IntoIterator<Item = (N, EffectSet, F)>,
+    ) -> Vec<TaskFuture<T>>
+    where
+        T: Send + 'static,
+        N: Into<String>,
+        F: FnOnce(&TaskCtx<'_>) -> T + Send + 'static,
+    {
+        self.rt.submit_all_impl(tasks)
+    }
+
     /// Creates a task and immediately waits for it: the `execute` operation
     /// of §5.5.1, the TWE idiom for a critical section within a larger task.
     pub fn execute<T, F>(&self, name: &str, effects: EffectSet, body: F) -> T

@@ -19,7 +19,38 @@
 //!
 //! Dynamic effects (chapter 7) are supported through [`DynCell`] reference
 //! regions, `TaskCtx::acquire_read`/`acquire_write`, and retryable tasks
-//! ([`Runtime::execute_later_retry`]).
+//! ([`Runtime::execute_later_retry`]). **Contract:** a cell is guarded
+//! either by dynamic claims or by static effects on [`DynCell::rpl`] —
+//! never both concurrently on one cell (see the [`DynCell`] docs).
+//!
+//! # Task lifecycle
+//!
+//! A task created with [`Runtime::execute_later`] / [`Runtime::submit_all`]
+//! moves through the [`TaskStatus`] states:
+//!
+//! 1. **Submit** — the scheduler registers the task's effects (the tree
+//!    scheduler inserts one record per effect at its RPL's maximal
+//!    wildcard-free prefix) and checks them against every enabled task's.
+//! 2. **Park on waiters** — each conflicting effect registers on the
+//!    blocking record's waiter list and the task stays `Waiting`; if a
+//!    running task blocks on it (`getValue`/`join`), it becomes
+//!    `Prioritized` and may *disable* enabled-but-unstarted effects of
+//!    other waiting tasks (Figure 5.10).
+//! 3. **Enabled** — once every effect is conflict-free the scheduler flips
+//!    the task to `Enabled` exactly once and hands its body to the thread
+//!    pool.
+//! 4. **Done** — after the body returns (and the implicit join of spawned
+//!    children), the runtime marks the task `Done`, the scheduler releases
+//!    its effects and rechecks the records parked on their waiter lists.
+//! 5. **Sweep/prune** — records of tasks whose `TaskRecord` was dropped
+//!    *before* completion are unlinked lazily by later conflict walks,
+//!    their waiters rechecked, and empty leaves pruned, so the scheduling
+//!    tree does not grow monotonically under index-region churn.
+//!
+//! Wide fan-out phases should prefer the batched admission path
+//! ([`Runtime::submit_all`], [`TaskCtx::execute_all_later`]): same
+//! scheduling outcome as per-task `execute_later`, one admission round.
+//! See `ARCHITECTURE.md` for the scheduling contract in full.
 //!
 //! ```
 //! use twe_runtime::{Runtime, SchedulerKind};
@@ -114,7 +145,7 @@ impl RtInner {
 
     pub(crate) fn new_task<T: Send + 'static>(
         self: &Arc<Self>,
-        name: &str,
+        name: impl Into<String>,
         effects: EffectSet,
         spawned: bool,
     ) -> (Arc<TaskRecord>, Arc<FutureState<T>>) {
@@ -206,6 +237,40 @@ impl RtInner {
             record,
             state,
         }
+    }
+
+    /// Batched `execute_later`: creates every task of the batch, then admits
+    /// them through the scheduler's one-round batch path. A batch of zero
+    /// tasks touches no scheduler state; a batch of one is routed through
+    /// the plain `submit` path, so it is *exactly* `execute_later`.
+    pub(crate) fn submit_all_impl<T, N, F>(
+        self: &Arc<Self>,
+        tasks: impl IntoIterator<Item = (N, EffectSet, F)>,
+    ) -> Vec<TaskFuture<T>>
+    where
+        T: Send + 'static,
+        N: Into<String>,
+        F: FnOnce(&TaskCtx<'_>) -> T + Send + 'static,
+    {
+        let mut records: Vec<Arc<TaskRecord>> = Vec::new();
+        let mut futures: Vec<TaskFuture<T>> = Vec::new();
+        for (name, effects, body) in tasks {
+            let (record, state) = self.new_task::<T>(name, effects, false);
+            let job = self.make_job(record.clone(), state.clone(), body, None);
+            *record.job.lock() = Some(job);
+            records.push(record.clone());
+            futures.push(TaskFuture {
+                rt: self.clone(),
+                record,
+                state,
+            });
+        }
+        match records.len() {
+            0 => {}
+            1 => self.scheduler().submit(records.pop().expect("one record")),
+            _ => self.scheduler().submit_batch(records),
+        }
+        futures
     }
 
     pub(crate) fn execute_later_retry_impl<T, F>(
@@ -368,6 +433,56 @@ impl Runtime {
         self.inner.execute_later_impl(name, effects, body)
     }
 
+    /// Creates a whole batch of asynchronous tasks — `(name, effects, body)`
+    /// triples — and admits them to the scheduler in **one batch round**.
+    ///
+    /// The observable scheduling outcome is that of calling
+    /// [`Runtime::execute_later`] on each triple sequentially — exactly in
+    /// order on the naive scheduler; on the tree scheduler in a valid
+    /// sequential order where, among *conflicting batch members*, a
+    /// shallower-settling wildcard may win over an earlier deeper member
+    /// (see [`scheduler::Scheduler::submit_batch`] for the precise
+    /// contract). What the batch path saves is per-task admission
+    /// overhead, which dominates wide
+    /// fan-out phases (one task per array partition, image block, or
+    /// cluster): the tree scheduler inserts all the batch's effect records
+    /// under a *single* root descent — a shared region prefix is locked and
+    /// conflict-checked once per batch instead of once per task — and runs
+    /// one deferred recheck round; the naive scheduler takes its queue lock
+    /// once and prefilters the existing queue with the batch's combined
+    /// effect-set summary ([`EffectSet::union_all`]).
+    ///
+    /// An empty batch returns an empty vector without touching the
+    /// scheduler, and a single-element batch takes the plain
+    /// `execute_later` path (no extra recheck round).
+    ///
+    /// ```
+    /// use twe_runtime::{Runtime, SchedulerKind};
+    /// use twe_effects::EffectSet;
+    ///
+    /// let rt = Runtime::new(4, SchedulerKind::Tree);
+    /// let futures = rt.submit_all((0..64).map(|i| {
+    ///     (
+    ///         format!("shard{i}"),
+    ///         EffectSet::parse(&format!("writes Data:[{i}]")),
+    ///         move |_ctx: &twe_runtime::TaskCtx<'_>| i * 2,
+    ///     )
+    /// }));
+    /// let total: usize = futures.iter().map(|f| f.wait()).sum();
+    /// assert_eq!(total, (0..64).map(|i| i * 2).sum());
+    /// ```
+    pub fn submit_all<T, N, F>(
+        &self,
+        tasks: impl IntoIterator<Item = (N, EffectSet, F)>,
+    ) -> Vec<TaskFuture<T>>
+    where
+        T: Send + 'static,
+        N: Into<String>,
+        F: FnOnce(&TaskCtx<'_>) -> T + Send + 'static,
+    {
+        self.inner.submit_all_impl(tasks)
+    }
+
     /// Creates a *retryable* task that may add dynamic effects as it runs
     /// (chapter 7). The body is re-executed from the start whenever it
     /// returns `Err(Aborted)` after a dynamic-effect conflict.
@@ -441,6 +556,106 @@ mod tests {
         let sum: i32 = futures.iter().map(|f| f.wait()).sum();
         assert_eq!(sum, (0..100).map(|i| i * 2).sum());
         assert_eq!(rt.stats().tasks_executed, 100);
+    }
+
+    #[test]
+    fn submit_all_returns_futures_in_order_on_both_schedulers() {
+        for kind in [SchedulerKind::Naive, SchedulerKind::Tree] {
+            let rt = Runtime::new(4, kind);
+            let futures = rt.submit_all((0..128).map(|i| {
+                (
+                    format!("t{i}"),
+                    EffectSet::parse(&format!("writes Data:[{}]", i % 32)),
+                    move |_: &TaskCtx<'_>| i * 3,
+                )
+            }));
+            assert_eq!(futures.len(), 128);
+            for (i, f) in futures.iter().enumerate() {
+                assert_eq!(f.wait(), i * 3, "{kind:?}");
+            }
+            assert_eq!(rt.stats().tasks_executed, 128);
+        }
+    }
+
+    #[test]
+    fn submit_all_empty_batch_is_a_no_op() {
+        for kind in [SchedulerKind::Naive, SchedulerKind::Tree] {
+            let rt = Runtime::new(2, kind);
+            let futures: Vec<TaskFuture<u32>> = rt.submit_all(std::iter::empty::<(
+                String,
+                EffectSet,
+                fn(&TaskCtx<'_>) -> u32,
+            )>());
+            assert!(futures.is_empty());
+            // The runtime is untouched and fully usable.
+            assert_eq!(rt.run("after", EffectSet::parse("writes A"), |_| 5), 5);
+        }
+    }
+
+    #[test]
+    fn submit_all_single_batch_is_exactly_execute_later() {
+        // Regression for the empty/single-batch contract: a one-element
+        // batch must take the plain `submit` path — same result, same
+        // single admission, no extra recheck round.
+        for kind in [SchedulerKind::Naive, SchedulerKind::Tree] {
+            let rt = Runtime::new(2, kind);
+            let via_plain = rt.execute_later("plain", EffectSet::parse("writes Solo"), |_| 11u32);
+            assert_eq!(via_plain.wait(), 11);
+            let mut futures = rt.submit_all([(
+                "batched".to_string(),
+                EffectSet::parse("writes Solo"),
+                |_: &TaskCtx<'_>| 31u32,
+            )]);
+            assert_eq!(futures.len(), 1);
+            assert_eq!(futures.pop().unwrap().wait(), 31, "{kind:?}");
+            assert_eq!(rt.stats().tasks_executed, 2);
+        }
+    }
+
+    #[test]
+    fn submit_all_conflicting_batch_serializes_side_effects() {
+        // The batched analogue of `conflicting_tasks_serialize_their_side_
+        // effects`: one batch of 64 read-modify-write tasks on one region.
+        for kind in [SchedulerKind::Naive, SchedulerKind::Tree] {
+            let rt = Runtime::new(4, kind);
+            struct SendCell(std::cell::UnsafeCell<u64>);
+            unsafe impl Send for SendCell {}
+            unsafe impl Sync for SendCell {}
+            let shared = Arc::new(SendCell(std::cell::UnsafeCell::new(0)));
+            let futures = rt.submit_all((0..64).map(|i| {
+                let shared = shared.clone();
+                (
+                    format!("inc{i}"),
+                    EffectSet::parse("writes Counter"),
+                    move |_: &TaskCtx<'_>| unsafe {
+                        let p = shared.0.get();
+                        let old = std::ptr::read_volatile(p);
+                        std::thread::yield_now();
+                        std::ptr::write_volatile(p, old + 1);
+                    },
+                )
+            }));
+            for f in futures {
+                f.wait();
+            }
+            assert_eq!(unsafe { *shared.0.get() }, 64, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn execute_all_later_works_from_inside_a_task() {
+        let rt = Runtime::new(4, SchedulerKind::Tree);
+        let total = rt.run("driver", EffectSet::parse("reads Root"), |ctx| {
+            let futures = ctx.execute_all_later((0..32).map(|i| {
+                (
+                    format!("shard{i}"),
+                    EffectSet::parse(&format!("writes Out:[{i}]")),
+                    move |_: &TaskCtx<'_>| i as u64,
+                )
+            }));
+            futures.iter().map(|f| f.get_value(ctx)).sum::<u64>()
+        });
+        assert_eq!(total, (0..32).sum::<u64>());
     }
 
     #[test]

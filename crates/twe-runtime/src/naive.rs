@@ -13,6 +13,7 @@ use crate::scheduler::{tasks_conflict, Scheduler};
 use crate::task::{TaskRecord, TaskStatus};
 use parking_lot::Mutex;
 use std::sync::Arc;
+use twe_effects::EffectSet;
 
 /// Callback used to hand an enabled task to the execution substrate.
 pub type EnableFn = Box<dyn Fn(Arc<TaskRecord>) + Send + Sync>;
@@ -113,6 +114,71 @@ impl Scheduler for NaiveScheduler {
         // A new task only adds constraints, so the sole candidate for
         // enabling is the task itself.
         self.enable_ready_among(|t| t.id == id);
+    }
+
+    fn submit_batch(&self, tasks: Vec<Arc<TaskRecord>>) {
+        if tasks.len() <= 1 {
+            // A single-element batch must be *exactly* `submit` (one queue
+            // push, one enable round over the task itself).
+            if let Some(task) = tasks.into_iter().next() {
+                self.submit(task);
+            }
+            return;
+        }
+        // One-pass batch admission: take the queue lock once, append the
+        // whole batch, and run a single enable round over it. New tasks only
+        // add constraints, so no pre-existing waiter can become enabled; and
+        // a batch member must be isolated from every relevant task ahead of
+        // it — pre-existing tasks (all ahead) and earlier batch members —
+        // exactly `can_enable`'s rule for a freshly appended waiting task.
+        //
+        // The batch's combined footprint prefilters the pre-existing queue:
+        // a task whose effects certainly cannot interfere with the union of
+        // the batch's effect sets cannot conflict with any member (a
+        // member's summary is component-wise contained in the union's), so
+        // the per-member scan runs over the relevant remainder instead of
+        // the whole queue.
+        let footprint = EffectSet::union_all(tasks.iter().map(|t| &t.effects));
+        let to_enable: Vec<Arc<TaskRecord>> = {
+            let mut queue = self.queue.lock();
+            let relevant: Vec<Arc<TaskRecord>> = queue
+                .iter()
+                .filter(|t| {
+                    t.status() != TaskStatus::Done
+                        && !t.effects.certainly_non_interfering(&footprint)
+                })
+                .cloned()
+                .collect();
+            queue.extend(tasks.iter().cloned());
+            let mut ready = Vec::new();
+            for (pos, task) in tasks.iter().enumerate() {
+                let blocked = relevant.iter().any(|other| tasks_conflict(other, task))
+                    || tasks[..pos].iter().any(|other| tasks_conflict(other, task));
+                // Debug-time tie to the canonical rule: the prefiltered
+                // inline test must agree with `can_enable` over the
+                // extended queue, so a future change to `can_enable` that
+                // is not mirrored here fails every debug run (the batched
+                // differential proptests drive this constantly).
+                debug_assert_eq!(
+                    !blocked,
+                    Self::can_enable(&queue, queue.len() - tasks.len() + pos, task),
+                    "batched admission rule diverged from can_enable for task {}",
+                    task.id
+                );
+                if !blocked {
+                    ready.push(task.clone());
+                }
+            }
+            // Mark them enabled while still holding the lock so a
+            // concurrent scan does not double-enable them.
+            for task in &ready {
+                task.sched.lock().status = TaskStatus::Enabled;
+            }
+            ready
+        };
+        for task in to_enable {
+            (self.enable)(task);
+        }
     }
 
     fn on_await(&self, _blocked: Option<&Arc<TaskRecord>>, target: &Arc<TaskRecord>) {
@@ -253,6 +319,77 @@ mod tests {
         *a.blocker.lock() = Some(b.clone());
         sched.on_await(Some(&a), &b);
         assert_eq!(&*enabled.lock(), &[1, 3]);
+    }
+
+    #[test]
+    fn submit_batch_matches_sequential_submission_exactly() {
+        // The same task shapes pushed one-by-one and as one batch must
+        // produce the same enabled set and the same waiter statuses.
+        let shapes = [
+            "writes A",
+            "writes A",
+            "writes B, reads A",
+            "reads C",
+            "writes C:*",
+            "reads C",
+        ];
+        let build = |base: u64| -> Vec<Arc<TaskRecord>> {
+            shapes
+                .iter()
+                .enumerate()
+                .map(|(i, s)| task(base + i as u64, s))
+                .collect()
+        };
+        let (seq_enabled, seq_sched) = collecting_scheduler();
+        let seq_tasks = build(0);
+        for t in &seq_tasks {
+            seq_sched.submit(t.clone());
+        }
+        let (batch_enabled, batch_sched) = collecting_scheduler();
+        let batch_tasks = build(0);
+        batch_sched.submit_batch(batch_tasks.clone());
+        assert_eq!(&*seq_enabled.lock(), &*batch_enabled.lock());
+        for (s, b) in seq_tasks.iter().zip(&batch_tasks) {
+            assert_eq!(s.status(), b.status(), "task {}", s.id);
+        }
+        // Draining preserves the equivalence.
+        for (s, b) in seq_tasks.iter().zip(&batch_tasks) {
+            if s.status() == TaskStatus::Enabled {
+                s.mark_done();
+                seq_sched.task_done(s);
+                b.mark_done();
+                batch_sched.task_done(b);
+            }
+        }
+        assert_eq!(&*seq_enabled.lock(), &*batch_enabled.lock());
+    }
+
+    #[test]
+    fn batch_members_wait_behind_relevant_existing_tasks() {
+        // The combined-footprint prefilter must not skip an existing task
+        // that genuinely conflicts with one member.
+        let (enabled, sched) = collecting_scheduler();
+        let existing = task(1, "writes Shared");
+        sched.submit(existing.clone());
+        let hit = task(2, "reads Shared");
+        let miss = task(3, "writes Elsewhere");
+        sched.submit_batch(vec![hit.clone(), miss.clone()]);
+        assert_eq!(&*enabled.lock(), &[1, 3]);
+        assert_eq!(hit.status(), TaskStatus::Waiting);
+        existing.mark_done();
+        sched.task_done(&existing);
+        assert_eq!(&*enabled.lock(), &[1, 3, 2]);
+    }
+
+    #[test]
+    fn empty_and_singleton_batches_take_the_plain_submit_path() {
+        let (enabled, sched) = collecting_scheduler();
+        sched.submit_batch(Vec::new());
+        assert!(enabled.lock().is_empty());
+        let t = task(7, "writes A");
+        sched.submit_batch(vec![t.clone()]);
+        assert_eq!(&*enabled.lock(), &[7]);
+        assert_eq!(t.status(), TaskStatus::Enabled);
     }
 
     #[test]

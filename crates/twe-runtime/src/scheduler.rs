@@ -12,6 +12,26 @@ use std::sync::Arc;
 use twe_effects::Effect;
 
 /// The interface the runtime uses to drive an effect-aware task scheduler.
+///
+/// # Contract
+///
+/// An implementation must maintain **task isolation**: no two tasks whose
+/// declared effects interfere (per [`tasks_conflict`]) may be enabled
+/// concurrently, with the effect-transfer-when-blocked exception of §3.1.4.
+/// Beyond isolation it must guarantee **progress**: every submitted task is
+/// eventually enabled once all conflicting predecessors complete (the
+/// runtime calls [`Scheduler::task_done`] exactly once per finished task,
+/// and [`Scheduler::on_await`]/[`Scheduler::spawned_child_done`] whenever an
+/// event may have resolved a conflict).
+///
+/// Tasks move through the lifecycle documented on
+/// [`TaskStatus`](crate::task::TaskStatus): `submit` registers a `Waiting`
+/// task; `on_await` may promote it to `Prioritized`; the scheduler flips it
+/// to `Enabled` (invoking the enable callback installed by the runtime)
+/// exactly once; the runtime marks it `Done` *before* calling `task_done`.
+/// Spawned tasks bypass the scheduler entirely (their effects were
+/// transferred from a running parent) and are visible only through the
+/// conflict test's treatment of blocked tasks' children.
 pub trait Scheduler: Send + Sync {
     /// A short name for diagnostics ("naive" / "tree").
     fn name(&self) -> &'static str;
@@ -20,6 +40,36 @@ pub trait Scheduler: Send + Sync {
     /// execution via the callback installed by the runtime) once no enabled
     /// task has conflicting effects.
     fn submit(&self, task: Arc<TaskRecord>);
+
+    /// Batched `executeLater`: admit every task of `tasks` under one
+    /// admission round, equivalently to **some** sequential submission
+    /// order of the batch.
+    ///
+    /// The observable outcome (isolation, progress, which tasks can run
+    /// together) must be that of `for t in tasks { self.submit(t) }` for
+    /// *some* permutation of the batch; which of two **conflicting batch
+    /// members** runs first is implementation-defined. The naive scheduler
+    /// is exact slice order; the tree scheduler admits in settle-depth
+    /// order within each wave (a shallow wildcard may win over an earlier,
+    /// deeper conflicting member — callers needing a deterministic winner
+    /// among conflicting tasks should submit them per-task or in separate
+    /// batches). What the batch saves is the *per-task overhead* — repeated
+    /// lock acquisitions, repeated tree descents over a shared region
+    /// prefix, and per-task deferred-recheck rounds.
+    ///
+    /// An empty batch must be a no-op and a single-element batch must take
+    /// the plain [`Scheduler::submit`] path (no extra recheck round), so
+    /// `submit_all` of one task is *exactly* `execute_later`.
+    ///
+    /// The default implementation is the sequential loop; both bundled
+    /// schedulers override it (the tree scheduler inserts the whole batch
+    /// under a single root descent, the naive scheduler takes its queue lock
+    /// once and runs one enable round over the batch).
+    fn submit_batch(&self, tasks: Vec<Arc<TaskRecord>>) {
+        for task in tasks {
+            self.submit(task);
+        }
+    }
 
     /// A task (or an external thread, when `blocked` is `None`) is about to
     /// wait for `target`: prioritize `target` and recheck it — the blocked

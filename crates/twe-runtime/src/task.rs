@@ -16,6 +16,11 @@ use twe_effects::EffectSet;
 use crate::tree::EffectRecord;
 
 /// The scheduling status of a task (§5.3.1, Figure 5.3).
+///
+/// Statuses are strictly ordered (`Waiting < Prioritized < Enabled <
+/// Done`) and only ever advance; the scheduler flips a task to `Enabled`
+/// exactly once. See the crate docs ("Task lifecycle") for the full
+/// submit → park → enable → done → sweep walk-through.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum TaskStatus {
     /// Waiting for its effects to be enabled by the scheduler.

@@ -14,6 +14,39 @@
 //! The implementation follows Figures 5.3–5.14 closely: `insert`, `checkAt`,
 //! `checkBelow`, `conflicts`, `blockedOn`, `enable`/`tryDisable`, `await`,
 //! `recheckTask`/`recheckEffect`, `lockContainingNode`, and `taskDone`.
+//!
+//! # Subtree Blooms (summary-directed descent)
+//!
+//! Each node stores, next to every child pointer, a 64-bit Bloom filter over
+//! the settle-prefix ids of the records in that child's **whole subtree**
+//! (plus a second filter restricted to write records). The filters are
+//! *monotone stale supersets*: bits are OR'd in under the parent's lock
+//! whenever a record descends into the child (batch/single insert,
+//! recheck move-down), records leaving the subtree do not clear them, and
+//! only a full `check_below` walk of the child — which learns the subtree's
+//! true content — rewrites them fresh. Because every mutation that puts a
+//! record into a subtree happens while the parent is locked, a reader
+//! holding the parent lock always sees a superset of the subtree's records,
+//! so a *negative* filter answer is definitive and lets the conflict walks
+//! skip whole subtrees without locking them:
+//!
+//! * a **read** effect skips any child whose `write_bloom` is empty (no
+//!   write record anywhere below — reads never conflict with reads);
+//! * a **`P:[?]`** effect skips an index child whose filter lacks the
+//!   child's own prefix bit: `P:[?]` denotes only the depth-`|P|+1` regions
+//!   `P:[n]`, so it can conflict only with records settled *at* the index
+//!   child node itself, and every such record contributes exactly that bit.
+//!
+//! # Batch admission
+//!
+//! [`TreeScheduler::submit_batch`] admits a whole fan-out of tasks under a
+//! single root descent: records are grouped per child as the descent forks,
+//! so a shared region prefix (e.g. `Data` in a `writes Data:[i]` fan-out) is
+//! locked and checked once per batch instead of once per task, and the
+//! deferred dead-record recheck round runs once at the end. At each node,
+//! records that settle there are processed *before* records descending
+//! further, which makes the batch observably equivalent to sequential
+//! submission (see `insert`).
 
 use crate::scheduler::Scheduler;
 use crate::task::{blocked_on, TaskRecord, TaskStatus};
@@ -106,6 +139,47 @@ impl std::fmt::Debug for EffectRecord {
     }
 }
 
+/// The Bloom bit a record contributes to the subtree filters: hashed from
+/// its settle-prefix id with the same hash the [`twe_effects::EffectSet`]
+/// summaries use, so set-level and tree-level filters are intersectable.
+fn record_bit(e: &EffectRecord) -> u64 {
+    twe_effects::bloom_bit(e.rpl.prefix_id())
+}
+
+/// A child pointer plus the lazily-rebuilt Bloom summary of the child's
+/// whole subtree (module docs, "Subtree Blooms"). Stored *in the parent* so
+/// skip decisions never have to lock the child.
+struct ChildEntry {
+    node: NodeRef,
+    /// Bloom over [`record_bit`] of every record in the subtree. Monotone
+    /// stale superset between rebuilds: only a full walk may shrink it.
+    bloom: u64,
+    /// The same filter restricted to write records.
+    write_bloom: u64,
+}
+
+impl ChildEntry {
+    fn new(depth: usize) -> Self {
+        ChildEntry {
+            node: new_node(depth),
+            bloom: 0,
+            write_bloom: 0,
+        }
+    }
+
+    /// Records that a record is descending into (or settling in) this
+    /// subtree. Must be called while the parent node is locked, *before*
+    /// that lock is released, so readers of the entry always see a superset
+    /// of the subtree's content.
+    fn absorb(&mut self, e: &EffectRecord) {
+        let bit = record_bit(e);
+        self.bloom |= bit;
+        if e.write {
+            self.write_bloom |= bit;
+        }
+    }
+}
+
 /// The contents of one scheduler-tree node (Figure 5.3).
 ///
 /// Each node corresponds to a wildcard-free RPL, so children are keyed by
@@ -116,12 +190,13 @@ impl std::fmt::Debug for EffectRecord {
 /// The node keeps a one-word summary of its record list — the number of
 /// write records — so the conflict walks can skip scanning read-only nodes
 /// for read effects (reads never conflict with reads), which is the common
-/// shape of `reads Root`-heavy workloads.
+/// shape of `reads Root`-heavy workloads. Per-child subtree Blooms (see
+/// `ChildEntry` and the module docs) extend the same idea below the node.
 #[derive(Default)]
 pub struct NodeInner {
     depth: usize,
     effects: Vec<Arc<EffectRecord>>,
-    children: HashMap<RplId, NodeRef>,
+    children: HashMap<RplId, ChildEntry>,
     /// Number of entries of `effects` that are write records.
     write_records: usize,
 }
@@ -140,6 +215,27 @@ impl NodeInner {
             self.write_records -= 1;
         }
         e
+    }
+
+    /// The node's true subtree Blooms as far as this node can know them:
+    /// exact bits for its own records, the (superset) child entries for
+    /// everything deeper. Used to rewrite this node's entry in its parent
+    /// after a full walk.
+    fn fresh_blooms(&self) -> (u64, u64) {
+        let mut bloom = 0u64;
+        let mut write_bloom = 0u64;
+        for e in &self.effects {
+            let bit = record_bit(e);
+            bloom |= bit;
+            if e.write {
+                write_bloom |= bit;
+            }
+        }
+        for entry in self.children.values() {
+            bloom |= entry.bloom;
+            write_bloom |= entry.write_bloom;
+        }
+        (bloom, write_bloom)
     }
 }
 
@@ -213,7 +309,7 @@ impl TreeScheduler {
     pub fn recorded_effects(&self) -> usize {
         fn count(node: &NodeRef) -> usize {
             let guard = node.lock();
-            let children: Vec<NodeRef> = guard.children.values().cloned().collect();
+            let children: Vec<NodeRef> = guard.children.values().map(|c| c.node.clone()).collect();
             let here = guard.effects.len();
             drop(guard);
             here + children.iter().map(count).sum::<usize>()
@@ -226,11 +322,41 @@ impl TreeScheduler {
     pub fn tree_nodes(&self) -> usize {
         fn count(node: &NodeRef) -> usize {
             let guard = node.lock();
-            let children: Vec<NodeRef> = guard.children.values().cloned().collect();
+            let children: Vec<NodeRef> = guard.children.values().map(|c| c.node.clone()).collect();
             drop(guard);
             1 + children.iter().map(count).sum::<usize>()
         }
         count(&self.root)
+    }
+
+    /// Builds and registers the per-effect tree records of a task being
+    /// submitted, setting its disabled-effect count (shared by the single
+    /// and batched admission paths).
+    fn register_records(&self, task: &Arc<TaskRecord>) -> Vec<Arc<EffectRecord>> {
+        let records: Vec<Arc<EffectRecord>> = task
+            .effects
+            .iter()
+            .map(|e| EffectRecord::new(task, e))
+            .collect();
+        task.sched.lock().disabled_effects = records.len();
+        let _ = task.tree_effects.set(records.clone());
+        records
+    }
+
+    /// Enables a task with no effects (a pure task needs no tree insertion).
+    fn enable_pure(&self, task: Arc<TaskRecord>) {
+        let submit = {
+            let mut s = task.sched.lock();
+            if s.status < TaskStatus::Enabled {
+                s.status = TaskStatus::Enabled;
+                true
+            } else {
+                false
+            }
+        };
+        if submit {
+            (self.enable)(task);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -329,6 +455,13 @@ impl TreeScheduler {
         prio: bool,
         swept: &mut Vec<Arc<EffectRecord>>,
     ) -> bool {
+        if guard.effects.is_empty() {
+            // Interior nodes of a deep hierarchy usually hold no records at
+            // all (records only park here when stopped by a conflict);
+            // bail before any per-effect work — this check sits on the
+            // per-record, per-level path of batch descents.
+            return false;
+        }
         if !e.write && guard.write_records == 0 {
             // Node summary: only read records here, and reads never conflict
             // with a read — skip the scan entirely.
@@ -368,11 +501,17 @@ impl TreeScheduler {
     /// top-level call), in which case `parent_guard` receives the moved
     /// effects.
     ///
-    /// Three refinements over the plain Figure 5.7 walk:
+    /// Four refinements over the plain Figure 5.7 walk:
     ///
     /// * **`P:[?]` descent pruning** — a trailing-any-index effect settles
     ///   at `P` and can only overlap index children of `P`, so the walk
     ///   visits only index-keyed direct children and never recurses deeper.
+    /// * **Subtree-Bloom skips** — the per-child subtree filters (module
+    ///   docs) let the walk skip, *without locking the child*, any subtree
+    ///   that provably holds nothing the effect can conflict with: a
+    ///   write-free subtree for a read effect, and, for `P:[?]`, an index
+    ///   child with no record settled at the child node itself. A fully
+    ///   walked child has its stale filter rewritten fresh on the way out.
     /// * **Read-only node skip** — for a read effect, nodes holding no write
     ///   records are not scanned (reads never conflict with reads).
     /// * **Dead-record sweep and empty-leaf pruning** — records whose task
@@ -401,9 +540,27 @@ impl TreeScheduler {
                 // `P:[?]` only reaches index children of P.
                 continue;
             }
-            let Some(child) = parent_guard.children.get(&key).cloned() else {
+            let Some(entry) = parent_guard.children.get(&key) else {
                 continue;
             };
+            // Subtree-Bloom skips: negative answers are definitive because
+            // the entry is a superset of the subtree's records for as long
+            // as the parent lock is held (see `ChildEntry::absorb`).
+            if !e.write && entry.write_bloom == 0 {
+                // No write record anywhere in the subtree: a read effect
+                // cannot conflict with anything down there.
+                continue;
+            }
+            if any_index_only && entry.bloom & twe_effects::bloom_bit(key) == 0 {
+                // `P:[?]` denotes only the regions `P:[n]`, so it can
+                // conflict only with records settled *at* this index child
+                // (anything settled deeper has a longer wildcard-free
+                // prefix and denotes strictly deeper regions). Every such
+                // record carries the child's own prefix bit; its absence
+                // proves the child clean.
+                continue;
+            }
+            let child = entry.node.clone();
             let mut cg = child.lock_arc();
             let mut conflict_found = false;
             if e.write || cg.write_records > 0 {
@@ -448,6 +605,18 @@ impl TreeScheduler {
                 };
                 conflict_found = self.check_below(&mut cg, e, ne, Some(ne_for_child), prio, swept);
             }
+            if !conflict_found {
+                // Lazy rebuild: the child was examined without an early
+                // conflict exit, so rewrite its stale superset filter with
+                // the node's freshest knowledge (exact bits for its own
+                // records, superset entries for everything deeper). This is
+                // where the sweep/prune walks shrink the Blooms back down.
+                let (bloom, write_bloom) = cg.fresh_blooms();
+                if let Some(entry) = parent_guard.children.get_mut(&key) {
+                    entry.bloom = bloom;
+                    entry.write_bloom = write_bloom;
+                }
+            }
             let prune = cg.effects.is_empty() && cg.children.is_empty();
             drop(cg);
             if prune {
@@ -467,6 +636,23 @@ impl TreeScheduler {
     // Insertion (Figure 5.4)
     // ------------------------------------------------------------------
 
+    /// Inserts a group of effect records (possibly from many tasks of one
+    /// batch) into the subtree rooted at the locked `node`.
+    ///
+    /// An effect settles at the node of its maximal wildcard-free prefix
+    /// (its RPL either ends there or continues with a wildcard). Records
+    /// that settle **here** are processed before records descending
+    /// further: a record that settles (and possibly enables) at this node
+    /// must be visible to every deeper batch record's `check_at` on its way
+    /// past, exactly as if it had been submitted first — without this
+    /// ordering, a batch pairing `writes X:*` (settles at `X`) after
+    /// `writes X:Y` (settles below) would let both enable, because each
+    /// would run its checks before the other was present anywhere. With
+    /// settle-first processing the batch is observably equivalent to
+    /// sequential submission: for any conflicting pair, the deeper record
+    /// always passes the shallower one's settle node after it was added,
+    /// and same-depth pairs see each other in list order. (Within a single
+    /// task the order is immaterial — a task never conflicts with itself.)
     fn insert(
         &self,
         node: NodeRef,
@@ -475,48 +661,100 @@ impl TreeScheduler {
         depth: usize,
         swept: &mut Vec<Arc<EffectRecord>>,
     ) {
-        let mut below: Vec<(NodeRef, Vec<Arc<EffectRecord>>)> = Vec::new();
-        for e in effects {
-            // An effect settles at the node of its maximal wildcard-free
-            // prefix (its RPL either ends there or continues with a
-            // wildcard).
-            let at_this_node = e.prefix_depth() == depth;
-            if at_this_node {
-                add_effect(&node, &mut guard, &e);
-                let conflicts_here = self.check_at(&mut guard, &e, false, swept);
+        // Two passes by reference instead of a `partition` (which would
+        // allocate two vectors per visited node — at a 4096-wide fork that
+        // is thousands of allocations per wave, once per leaf).
+        let n_descend = effects.iter().filter(|e| e.prefix_depth() != depth).count();
+        if n_descend != effects.len() {
+            for e in &effects {
+                if e.prefix_depth() != depth {
+                    continue;
+                }
+                add_effect(&node, &mut guard, e);
+                let conflicts_here = self.check_at(&mut guard, e, false, swept);
                 if !conflicts_here {
                     let conflicts_below =
-                        self.check_below(&mut guard, &e, &node, None, false, swept);
+                        self.check_below(&mut guard, e, &node, None, false, swept);
                     if !conflicts_below {
-                        self.enable_effect(&e);
-                    }
-                }
-            } else {
-                let conflicts_here = self.check_at(&mut guard, &e, false, swept);
-                if conflicts_here {
-                    add_effect(&node, &mut guard, &e);
-                } else {
-                    let next = e.prefix_path[depth + 1];
-                    let child_depth = guard.depth + 1;
-                    let child = guard
-                        .children
-                        .entry(next)
-                        .or_insert_with(|| new_node(child_depth))
-                        .clone();
-                    match below.iter_mut().find(|(c, _)| Arc::ptr_eq(c, &child)) {
-                        Some((_, v)) => v.push(e),
-                        None => below.push((child, vec![e])),
+                        self.enable_effect(e);
                     }
                 }
             }
         }
-        // Hand-over-hand: lock the needed children, then release this node,
-        // then recurse into the children.
+        if n_descend == 0 {
+            return;
+        }
+        // Group the descending records per child. One wave usually runs
+        // long same-child stretches (the whole batch shares a region
+        // prefix until the fork level), so the per-record fast path is a
+        // single id compare against the previous record's child; only a
+        // change of child pays the hash lookups. Each group's Bloom bits
+        // are accumulated locally and folded into the child's subtree
+        // filter *before this node's lock is released* (the publication
+        // invariant the skip rules rely on).
+        struct Group {
+            key: RplId,
+            child: NodeRef,
+            bloom: u64,
+            write_bloom: u64,
+            records: Vec<Arc<EffectRecord>>,
+        }
+        let mut below: Vec<Group> = Vec::new();
+        let mut below_index: HashMap<RplId, usize> = HashMap::new();
+        let mut last: Option<(RplId, usize)> = None;
+        for e in &effects {
+            if e.prefix_depth() == depth {
+                continue;
+            }
+            let conflicts_here = self.check_at(&mut guard, e, false, swept);
+            if conflicts_here {
+                add_effect(&node, &mut guard, e);
+                continue;
+            }
+            let next = e.prefix_path[depth + 1];
+            let slot = match last {
+                Some((key, slot)) if key == next => slot,
+                _ => {
+                    let child_depth = guard.depth + 1;
+                    let entry = guard
+                        .children
+                        .entry(next)
+                        .or_insert_with(|| ChildEntry::new(child_depth));
+                    let child = entry.node.clone();
+                    let slot = *below_index.entry(next).or_insert_with(|| {
+                        below.push(Group {
+                            key: next,
+                            child,
+                            bloom: 0,
+                            write_bloom: 0,
+                            records: Vec::new(),
+                        });
+                        below.len() - 1
+                    });
+                    last = Some((next, slot));
+                    slot
+                }
+            };
+            let group = &mut below[slot];
+            let bit = record_bit(e);
+            group.bloom |= bit;
+            if e.write {
+                group.write_bloom |= bit;
+            }
+            group.records.push(e.clone());
+        }
+        drop(effects);
+        // Publish the accumulated bits, then hand-over-hand: lock the
+        // needed children, release this node, recurse into the children.
         let locked: Vec<(NodeRef, NodeGuard, Vec<Arc<EffectRecord>>)> = below
             .into_iter()
-            .map(|(child, effs)| {
-                let child_guard = child.lock_arc();
-                (child, child_guard, effs)
+            .map(|group| {
+                if let Some(entry) = guard.children.get_mut(&group.key) {
+                    entry.bloom |= group.bloom;
+                    entry.write_bloom |= group.write_bloom;
+                }
+                let child_guard = group.child.lock_arc();
+                (group.child, child_guard, group.records)
             })
             .collect();
         drop(guard);
@@ -583,11 +821,12 @@ impl TreeScheduler {
             remove_effect(&mut guard, e);
             let next = e.prefix_path[d + 1];
             let child_depth = d + 1;
-            let child = guard
+            let entry = guard
                 .children
                 .entry(next)
-                .or_insert_with(|| new_node(child_depth))
-                .clone();
+                .or_insert_with(|| ChildEntry::new(child_depth));
+            entry.absorb(e);
+            let child = entry.node.clone();
             let mut child_guard = child.lock_arc();
             add_effect(&child, &mut child_guard, e);
             drop(guard);
@@ -676,36 +915,62 @@ impl Scheduler for TreeScheduler {
     }
 
     fn submit(&self, task: Arc<TaskRecord>) {
-        let records: Vec<Arc<EffectRecord>> = task
-            .effects
-            .iter()
-            .map(|e| EffectRecord::new(&task, e))
-            .collect();
-        {
-            let mut s = task.sched.lock();
-            s.disabled_effects = records.len();
-        }
-        let _ = task.tree_effects.set(records.clone());
+        let records = self.register_records(&task);
         if records.is_empty() {
             // A pure task can run immediately.
-            let submit = {
-                let mut s = task.sched.lock();
-                if s.status < TaskStatus::Enabled {
-                    s.status = TaskStatus::Enabled;
-                    true
-                } else {
-                    false
-                }
-            };
-            if submit {
-                (self.enable)(task);
-            }
+            self.enable_pure(task);
             return;
         }
         let root = self.root.clone();
         let guard = root.lock_arc();
         let mut swept = Vec::new();
         self.insert(root, guard, records, 0, &mut swept);
+        self.recheck_swept(swept);
+    }
+
+    fn submit_batch(&self, tasks: Vec<Arc<TaskRecord>>) {
+        if tasks.len() <= 1 {
+            // A single-element batch must be *exactly* `submit` — same
+            // single descent, same single deferred recheck round.
+            if let Some(task) = tasks.into_iter().next() {
+                self.submit(task);
+            }
+            return;
+        }
+        // Register every task's records first, then admit the batch in
+        // sub-waves of up to `CHUNK` records, each under one root descent:
+        // shared region prefixes are locked and checked once per sub-wave
+        // (instead of once per task), and the deferred dead-record recheck
+        // round runs once at the end. The chunking bounds the working set a
+        // single descent streams through — one huge wave touches every
+        // record once per level and falls out of cache between levels —
+        // while keeping per-task admission overhead amortized. Sub-wave
+        // boundaries fall on task boundaries, so the admission order is
+        // still sequential-equivalent (a sequence of sequential-equivalent
+        // batches, via `insert`'s settle-first ordering).
+        const CHUNK: usize = 512;
+        let mut swept = Vec::new();
+        let mut wave: Vec<Arc<EffectRecord>> = Vec::new();
+        let flush = |wave: &mut Vec<Arc<EffectRecord>>, swept: &mut Vec<Arc<EffectRecord>>| {
+            if wave.is_empty() {
+                return;
+            }
+            let root = self.root.clone();
+            let guard = root.lock_arc();
+            self.insert(root, guard, std::mem::take(wave), 0, swept);
+        };
+        for task in tasks {
+            let records = self.register_records(&task);
+            if records.is_empty() {
+                self.enable_pure(task);
+            } else {
+                wave.extend(records);
+                if wave.len() >= CHUNK {
+                    flush(&mut wave, &mut swept);
+                }
+            }
+        }
+        flush(&mut wave, &mut swept);
         self.recheck_swept(swept);
     }
 
@@ -1182,6 +1447,253 @@ mod tests {
         h.finish(&all_cells);
         h.finish(&unrelated);
         assert_eq!(h.sched.recorded_effects(), 0);
+    }
+
+    #[test]
+    fn batch_submit_is_equivalent_to_sequential_in_both_orders() {
+        // The settle-first regression: a batch pairing a deep concrete
+        // record with a shallower wildcard that overlaps it must serialize
+        // the pair regardless of batch order — without settle-first
+        // processing, the order [deep, wildcard] let both enable.
+        for flip in [false, true] {
+            let h = harness();
+            let deep = task(1, "writes X:Y");
+            let wild = task(2, "writes X:*");
+            let batch = if flip {
+                vec![deep.clone(), wild.clone()]
+            } else {
+                vec![wild.clone(), deep.clone()]
+            };
+            h.sched.submit_batch(batch);
+            let enabled = h.enabled_ids();
+            assert_eq!(
+                enabled.len(),
+                1,
+                "exactly one of the pair may enable (flip={flip})"
+            );
+            let (first, second) = if enabled[0] == 1 {
+                (deep.clone(), wild.clone())
+            } else {
+                (wild.clone(), deep.clone())
+            };
+            assert_eq!(second.status(), TaskStatus::Waiting);
+            h.finish(&first);
+            assert_eq!(second.status(), TaskStatus::Enabled, "flip={flip}");
+            h.finish(&second);
+            assert_eq!(h.sched.recorded_effects(), 0);
+        }
+    }
+
+    #[test]
+    fn batch_submit_disjoint_fanout_enables_all_in_one_round() {
+        let h = harness();
+        let tasks: Vec<_> = (0..256)
+            .map(|i| task(i, &format!("writes Grid:Tier:Data:[{i}]")))
+            .collect();
+        h.sched.submit_batch(tasks.clone());
+        assert_eq!(h.enabled_ids().len(), 256);
+        for t in &tasks {
+            h.finish(t);
+        }
+        assert_eq!(h.sched.recorded_effects(), 0);
+    }
+
+    #[test]
+    fn batch_submit_conflicting_members_keep_fifo_order() {
+        let h = harness();
+        let a = task(1, "writes Hot");
+        let b = task(2, "writes Hot");
+        let c = task(3, "writes Cold");
+        h.sched.submit_batch(vec![a.clone(), b.clone(), c.clone()]);
+        assert_eq!(h.enabled_ids(), vec![1, 3]);
+        assert_eq!(b.status(), TaskStatus::Waiting);
+        h.finish(&a);
+        assert_eq!(b.status(), TaskStatus::Enabled);
+        h.finish(&b);
+        h.finish(&c);
+        assert_eq!(h.sched.recorded_effects(), 0);
+    }
+
+    #[test]
+    fn empty_and_singleton_batches_take_the_plain_submit_path() {
+        let h = harness();
+        h.sched.submit_batch(Vec::new());
+        assert!(h.enabled_ids().is_empty());
+        assert_eq!(h.sched.recorded_effects(), 0);
+        let t = task(1, "writes A, reads B");
+        h.sched.submit_batch(vec![t.clone()]);
+        assert_eq!(h.enabled_ids(), vec![1]);
+        assert_eq!(h.sched.recorded_effects(), 2);
+        // A pure task in a batch enables immediately, like in `submit`.
+        let pure = task(2, "");
+        let busy = task(3, "writes A");
+        h.sched.submit_batch(vec![pure.clone(), busy.clone()]);
+        assert_eq!(pure.status(), TaskStatus::Enabled);
+        assert_eq!(busy.status(), TaskStatus::Waiting);
+        h.finish(&t);
+        h.finish(&pure);
+        h.finish(&busy);
+        assert_eq!(h.sched.recorded_effects(), 0);
+    }
+
+    #[test]
+    fn stale_subtree_blooms_never_hide_later_records() {
+        // Rebuild staleness: a full wildcard walk rewrites the subtree
+        // Blooms (possibly down to zero after churn); records inserted
+        // *after* the rebuild must still be found by the next walk, because
+        // their bits are re-OR'd during the insert descent.
+        let h = harness();
+        let churn: Vec<_> = (0..32)
+            .map(|i| task(i, &format!("writes Zone:[{i}]")))
+            .collect();
+        for t in &churn {
+            h.sched.submit(t.clone());
+        }
+        for t in &churn {
+            h.finish(t);
+        }
+        // Walk 1: rebuilds the Zone subtree's filters to empty (and prunes).
+        let sweep1 = task(100, "writes Zone:*");
+        h.sched.submit(sweep1.clone());
+        assert_eq!(sweep1.status(), TaskStatus::Enabled);
+        h.finish(&sweep1);
+        // Fresh record below Zone, inserted after the rebuild…
+        let worker = task(101, "writes Zone:[7]");
+        h.sched.submit(worker.clone());
+        assert_eq!(worker.status(), TaskStatus::Enabled);
+        // …must block both a trailing-star and a `[?]` walk.
+        let sweep2 = task(102, "writes Zone:*");
+        let qm = task(103, "writes Zone:[?]");
+        h.sched.submit(sweep2.clone());
+        h.sched.submit(qm.clone());
+        assert_eq!(sweep2.status(), TaskStatus::Waiting);
+        assert_eq!(qm.status(), TaskStatus::Waiting);
+        h.finish(&worker);
+        assert_eq!(sweep2.status(), TaskStatus::Enabled);
+        h.finish(&sweep2);
+        assert_eq!(qm.status(), TaskStatus::Enabled);
+        h.finish(&qm);
+        assert_eq!(h.sched.recorded_effects(), 0);
+    }
+
+    #[test]
+    fn read_walks_skip_write_free_subtrees_but_not_writers() {
+        // The write-Bloom skip: a read wildcard over a subtree holding only
+        // read records enables immediately; add one writer below and the
+        // same walk must find it.
+        let h = harness();
+        let readers: Vec<_> = (0..8)
+            .map(|i| task(i, &format!("reads Lib:[{i}]")))
+            .collect();
+        for t in &readers {
+            h.sched.submit(t.clone());
+        }
+        let scan = task(50, "reads Lib:*");
+        h.sched.submit(scan.clone());
+        assert_eq!(scan.status(), TaskStatus::Enabled);
+        h.finish(&scan);
+        for t in &readers {
+            h.finish(t);
+        }
+        // An enabled writer below must block the next read walk (the
+        // write-Bloom bits were re-OR'd during its insert descent).
+        let writer = task(51, "writes Lib:[3]");
+        h.sched.submit(writer.clone());
+        assert_eq!(writer.status(), TaskStatus::Enabled);
+        let scan2 = task(52, "reads Lib:*");
+        h.sched.submit(scan2.clone());
+        assert_eq!(
+            scan2.status(),
+            TaskStatus::Waiting,
+            "writer below must block the read walk"
+        );
+        h.finish(&writer);
+        assert_eq!(scan2.status(), TaskStatus::Enabled);
+        h.finish(&scan2);
+        assert_eq!(h.sched.recorded_effects(), 0);
+    }
+
+    #[test]
+    fn anyindex_bloom_skip_ignores_deeper_records_only() {
+        // `P:[?]` skips index children whose records all settled deeper
+        // (disjoint from `P:[n]`), but must still see records at the child.
+        let h = harness();
+        let deep = task(1, "writes Par:[3]:Sub:Leaf");
+        let shallow = task(2, "writes Par:[4]");
+        h.sched.submit(deep.clone());
+        h.sched.submit(shallow.clone());
+        let qm = task(3, "writes Par:[?]");
+        h.sched.submit(qm.clone());
+        // Only the record settled at the index child [4] blocks it.
+        assert_eq!(qm.status(), TaskStatus::Waiting);
+        h.finish(&shallow);
+        assert_eq!(
+            qm.status(),
+            TaskStatus::Enabled,
+            "deep record is disjoint from Par:[?]"
+        );
+        h.finish(&deep);
+        h.finish(&qm);
+        assert_eq!(h.sched.recorded_effects(), 0);
+    }
+
+    #[test]
+    fn batch_with_wildcards_preserves_isolation_under_drain() {
+        // Mixed batch with wildcard, reader, and index-region tasks:
+        // drain to completion, asserting the enable callback never sees two
+        // conflicting tasks enabled at once.
+        use std::sync::atomic::AtomicUsize;
+        let active: Arc<Mutex<Vec<Arc<TaskRecord>>>> = Arc::new(Mutex::new(Vec::new()));
+        let violations = Arc::new(AtomicUsize::new(0));
+        let (a2, v2) = (active.clone(), violations.clone());
+        let sched = TreeScheduler::new(Box::new(move |t| {
+            let mut act = a2.lock();
+            for other in act.iter() {
+                if !other.is_done() && crate::scheduler::tasks_conflict(other, &t) {
+                    v2.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            act.push(t);
+        }));
+        let mut all = Vec::new();
+        for round in 0..4u64 {
+            let batch: Vec<_> = (0..24u64)
+                .map(|i| {
+                    let id = round * 100 + i;
+                    let eff = match i % 4 {
+                        0 => format!("writes Data:[{}]", i % 6),
+                        1 => "reads Data".to_string(),
+                        2 => "writes Data:*".to_string(),
+                        _ => format!("writes Data:[{}]:Sub", i % 6),
+                    };
+                    TaskRecord::new(id, format!("t{id}"), EffectSet::parse(&eff), false)
+                })
+                .collect();
+            all.extend(batch.iter().cloned());
+            sched.submit_batch(batch);
+        }
+        let mut remaining = all;
+        let mut rounds = 0;
+        while !remaining.is_empty() {
+            rounds += 1;
+            assert!(rounds < 10_000, "stalled with {} tasks", remaining.len());
+            let mut next = Vec::new();
+            for t in remaining {
+                if t.status() == TaskStatus::Enabled {
+                    t.mark_done();
+                    sched.task_done(&t);
+                } else {
+                    next.push(t);
+                }
+            }
+            remaining = next;
+        }
+        assert_eq!(
+            violations.load(Ordering::Relaxed),
+            0,
+            "task isolation violated"
+        );
+        assert_eq!(sched.recorded_effects(), 0);
     }
 
     #[test]

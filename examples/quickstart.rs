@@ -56,6 +56,19 @@ fn main() {
         ctx.execute("bump statistics", EffectSet::parse("writes Stats"), |_| ())
     });
 
+    // A fan-out phase: admit the whole wave as ONE batch. Same scheduling
+    // outcome as per-task `execute_later`, but the scheduler pays one
+    // admission round (one tree descent, one recheck round) for the wave.
+    let shards = rt.submit_all((0..64u64).map(|i| {
+        (
+            format!("shard{i}"),
+            EffectSet::parse(&format!("writes Data:[{i}]")),
+            move |_: &twe::runtime::TaskCtx<'_>| i * i,
+        )
+    }));
+    let sum: u64 = shards.iter().map(|f| f.wait()).sum();
+    println!("batched fan-out  -> 64 shard tasks, sum of squares = {sum}");
+
     // ------------------------------------------------------------------
     // 3. Static covering-effect checking over the task IR.
     // ------------------------------------------------------------------
