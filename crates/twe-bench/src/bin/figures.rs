@@ -1,9 +1,9 @@
 //! Regenerates the tables behind every figure of the TWE evaluation.
 //!
 //! ```text
-//! figures [--fig 6.1|6.2|6.3|6.4|7.1|conflict|submit|all] [--quick]
+//! figures [--fig 6.1|6.2|6.3|6.4|7.1|conflict|submit|intern|all] [--quick]
 //!         [--json out.json] [--conflict-json BENCH_conflict.json]
-//!         [--submit-json BENCH_submit.json]
+//!         [--submit-json BENCH_submit.json] [--intern-json BENCH_intern.json]
 //! ```
 //!
 //! `--quick` shrinks the workloads so the whole sweep finishes in a couple of
@@ -22,10 +22,15 @@
 //! `Scheduler::submit` vs one-round `submit_batch` on disjoint fan-out waves
 //! of 64 / 512 / 4096 tasks, on both schedulers; `--submit-json` writes the
 //! rows as `BENCH_submit.json` (also a CI smoke-job artifact).
+//!
+//! `--fig intern` runs only the first-intern scaling microbenchmark:
+//! cold-start interning of fresh `Data:[i]:[j]` subtrees at 1/2/4/8 threads,
+//! the sharded arena vs a single-lock baseline replica; `--intern-json`
+//! writes the rows as `BENCH_intern.json` (also a CI smoke-job artifact).
 
 use twe_bench::{
-    print_conflict_rows, print_rows, print_submit_rows, run_conflict_bench, run_figures,
-    run_submit_bench,
+    print_conflict_rows, print_intern_rows, print_rows, print_submit_rows, run_conflict_bench,
+    run_figures, run_intern_bench, run_submit_bench,
 };
 
 fn main() {
@@ -35,6 +40,7 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut conflict_json_path: Option<String> = None;
     let mut submit_json_path: Option<String> = None;
+    let mut intern_json_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -58,11 +64,15 @@ fn main() {
                 submit_json_path = args.get(i + 1).cloned();
                 i += 2;
             }
+            "--intern-json" => {
+                intern_json_path = args.get(i + 1).cloned();
+                i += 2;
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--fig 6.1|6.2|6.3|6.4|7.1|conflict|submit|all] [--quick] \
-                     [--json out.json] [--conflict-json BENCH_conflict.json] \
-                     [--submit-json BENCH_submit.json]"
+                    "usage: figures [--fig 6.1|6.2|6.3|6.4|7.1|conflict|submit|intern|all] \
+                     [--quick] [--json out.json] [--conflict-json BENCH_conflict.json] \
+                     [--submit-json BENCH_submit.json] [--intern-json BENCH_intern.json]"
                 );
                 return;
             }
@@ -77,12 +87,13 @@ fn main() {
     // are never silently paid for twice in one invocation.
     let run_conflict = which == "conflict" || conflict_json_path.is_some();
     let run_submit = which == "submit" || submit_json_path.is_some();
-    let micro_only = which == "conflict" || which == "submit";
+    let run_intern = which == "intern" || intern_json_path.is_some();
+    let micro_only = which == "conflict" || which == "submit" || which == "intern";
     if micro_only {
         if json_path.is_some() {
             eprintln!(
                 "# note: --json applies to figure rows and is ignored with --fig {which}; \
-                 use --conflict-json / --submit-json for the microbench records"
+                 use --conflict-json / --submit-json / --intern-json for the microbench records"
             );
         }
     } else {
@@ -124,6 +135,22 @@ fn main() {
         if let Some(path) = submit_json_path {
             let json = serde_json::to_string_pretty(&rows).expect("serialize submit rows");
             std::fs::write(&path, json).expect("write submit JSON output");
+            eprintln!("# wrote {path}");
+        }
+    }
+    if run_intern {
+        eprintln!(
+            "# first-intern scaling microbench ({} mode, host parallelism = {})",
+            if quick { "quick" } else { "full" },
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        );
+        let rows = run_intern_bench(quick);
+        print_intern_rows(&rows);
+        if let Some(path) = intern_json_path {
+            let json = serde_json::to_string_pretty(&rows).expect("serialize intern rows");
+            std::fs::write(&path, json).expect("write intern JSON output");
             eprintln!("# wrote {path}");
         }
     }

@@ -1,0 +1,338 @@
+//! First-intern throughput microbenchmark (`BENCH_intern.json`).
+//!
+//! Measures cold-start interning of fresh `Data:[i]:[j]` subtrees — the
+//! workload a first fan-out sweep over a new partition generates — at
+//! 1/2/4/8 threads, against two implementations:
+//!
+//! * **sharded** — the real arena (`twe_effects::arena`), whose child index
+//!   is split into per-parent lock shards, so threads interning children of
+//!   distinct parents never contend;
+//! * **single-lock** — a local replica of the pre-shard discipline (one
+//!   `RwLock` around one child map, ids allocated under it), the structure
+//!   the arena had before its write side was sharded.
+//!
+//! Each measurement round interns a *fresh* subtree (a new root name per
+//! round), so every timed operation is a genuine first-intern: threads
+//! partition the `[i]` parents among themselves and intern each parent's
+//! `[j]` children through `intern_child` — the incremental shape
+//! `Rpl::child` and the tree scheduler's node-creation path produce.
+//!
+//! Two ratios matter:
+//!
+//! * `sharded_scaling_vs_1t` — multi-core scaling of the sharded write
+//!   path. Only meaningful on hosts with enough CPUs (the record carries
+//!   `host_cpus`; the CI bar applies at `host_cpus >= 4`).
+//! * `sharded_vs_single_lock` — same thread count, sharded vs the
+//!   single-lock replica. Meaningful even on a 1-CPU host: oversubscribed
+//!   threads degrade the single write lock (handoff + parking) while the
+//!   sharded index stays near-flat.
+
+use parking_lot::RwLock;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+use std::time::Instant;
+use twe_effects::arena::store_layout::{locate, BUCKET_COUNT, FIRST_BUCKET_LEN};
+use twe_effects::idhash::IdHasherBuilder;
+use twe_effects::{arena, RplElement};
+
+/// One row of `BENCH_intern.json`: first-intern throughput at one thread
+/// count, sharded arena vs the single-lock baseline replica.
+#[derive(Clone, Debug, Serialize)]
+pub struct InternRow {
+    /// Interning threads used for this row.
+    pub threads: usize,
+    /// Fresh `Data:[i]` parents per round (partitioned among the threads).
+    pub parents: usize,
+    /// Fresh `[j]` children interned under each parent.
+    pub children_per_parent: usize,
+    /// First-interns per second through the sharded arena (best round).
+    pub sharded_interns_per_sec: f64,
+    /// First-interns per second through the single-lock replica (best round).
+    pub single_lock_interns_per_sec: f64,
+    /// Sharded throughput at this thread count over sharded at 1 thread.
+    pub sharded_scaling_vs_1t: f64,
+    /// Single-lock throughput at this thread count over single-lock at
+    /// 1 thread.
+    pub single_lock_scaling_vs_1t: f64,
+    /// `sharded_interns_per_sec / single_lock_interns_per_sec` (same thread
+    /// count).
+    pub sharded_vs_single_lock: f64,
+    /// `std::thread::available_parallelism()` of the measuring host. Scaling
+    /// ratios cannot exceed this; CI enforcement is gated on it.
+    pub host_cpus: usize,
+}
+
+/// Thread counts the intern bench sweeps.
+pub const INTERN_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Fresh-subtree round counter: every measurement round interns below a
+/// brand-new root name so all of its interns are first-interns.
+static FRESH_ROOT: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_root_elem() -> RplElement {
+    let n = FRESH_ROOT.fetch_add(1, Ordering::Relaxed);
+    RplElement::name(&format!("InternBench{n}"))
+}
+
+/// A faithful replica of the arena's *pre-shard* write side: the same
+/// append-only chunked store of `OnceLock` slots (identical bucket layout
+/// and publication protocol), with one single `RwLock` over the one child
+/// map — ids allocated and entries published under that single write lock
+/// (double-checked, like the original). Entry construction does the same
+/// per-intern work as the real arena (element path + id path built and
+/// leaked, slot release-published), and the child map uses the same
+/// multiply-rotate id hasher as the real arena's shard maps, so the
+/// sharded-vs-single-lock ratio isolates the locking discipline alone —
+/// not the entry bookkeeping and not the hash function.
+struct SingleLockArena {
+    buckets: [std::sync::OnceLock<Box<[std::sync::OnceLock<SingleLockEntry>]>>; BUCKET_COUNT],
+    children: RwLock<HashMap<(u32, RplElement), u32, IdHasherBuilder>>,
+    len: AtomicUsize,
+}
+
+#[derive(Clone, Copy)]
+struct SingleLockEntry {
+    #[allow(dead_code)]
+    parent: u32,
+    path: &'static [RplElement],
+    id_path: &'static [u32],
+}
+
+fn new_bucket(bucket: usize) -> Box<[std::sync::OnceLock<SingleLockEntry>]> {
+    (0..FIRST_BUCKET_LEN << bucket)
+        .map(|_| std::sync::OnceLock::new())
+        .collect()
+}
+
+/// The process-global replica instance (mirrors the real arena's
+/// process-global lifetime; its leaks are bounded by the bench workload).
+fn single_lock_arena() -> &'static SingleLockArena {
+    static BASELINE: std::sync::OnceLock<SingleLockArena> = std::sync::OnceLock::new();
+    BASELINE.get_or_init(|| {
+        let a = SingleLockArena {
+            buckets: [const { std::sync::OnceLock::new() }; BUCKET_COUNT],
+            children: RwLock::new(HashMap::default()),
+            len: AtomicUsize::new(1),
+        };
+        let bucket0 = a.buckets[0].get_or_init(|| new_bucket(0));
+        let root = SingleLockEntry {
+            parent: 0,
+            path: &[],
+            id_path: Box::leak(vec![0u32].into_boxed_slice()),
+        };
+        assert!(bucket0[0].set(root).is_ok());
+        a
+    })
+}
+
+impl SingleLockArena {
+    fn entry(&self, id: u32) -> &SingleLockEntry {
+        let (bucket, offset) = locate(id as usize);
+        self.buckets[bucket]
+            .get()
+            .and_then(|slots| slots[offset].get())
+            .expect("baseline id used before publication")
+    }
+
+    fn intern_child(&self, parent: u32, elem: RplElement) -> u32 {
+        if let Some(&id) = self.children.read().get(&(parent, elem)) {
+            return id;
+        }
+        let mut children = self.children.write();
+        if let Some(&id) = children.get(&(parent, elem)) {
+            return id;
+        }
+        // Only this thread (holding the single write lock) appends — the
+        // pre-shard discipline the sharded arena replaced.
+        let index = self.len.load(Ordering::Relaxed);
+        let id = u32::try_from(index).expect("baseline arena overflow");
+        let parent_entry = self.entry(parent);
+        let mut path = parent_entry.path.to_vec();
+        path.push(elem);
+        let mut id_path = parent_entry.id_path.to_vec();
+        id_path.push(id);
+        let (bucket, offset) = locate(index);
+        let slots = self.buckets[bucket].get_or_init(|| new_bucket(bucket));
+        let published = slots[offset]
+            .set(SingleLockEntry {
+                parent,
+                path: Box::leak(path.into_boxed_slice()),
+                id_path: Box::leak(id_path.into_boxed_slice()),
+            })
+            .is_ok();
+        assert!(published, "baseline slot {index} published twice");
+        self.len.store(index + 1, Ordering::Release);
+        children.insert((parent, elem), id);
+        id
+    }
+}
+
+/// Runs `work(thread_index)` on `threads` threads released together by a
+/// barrier, and returns the wall-clock span `max(end) − min(start)` over
+/// the workers' *own* timestamps. Timing inside the workers keeps the span
+/// honest even on an oversubscribed host, where the coordinating thread may
+/// not be rescheduled until the workers have already finished (spawn cost
+/// stays excluded: clocks start after the barrier).
+fn timed_parallel(threads: usize, work: impl Fn(usize) + Sync) -> f64 {
+    let barrier = Barrier::new(threads);
+    let spans = parking_lot::Mutex::new(Vec::with_capacity(threads));
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let barrier = &barrier;
+            let work = &work;
+            let spans = &spans;
+            scope.spawn(move || {
+                barrier.wait();
+                let start = Instant::now();
+                work(t);
+                let end = Instant::now();
+                spans.lock().push((start, end));
+            });
+        }
+    });
+    let spans = spans.into_inner();
+    let first = spans.iter().map(|(s, _)| *s).min().expect("no workers");
+    let last = spans.iter().map(|(_, e)| *e).max().expect("no workers");
+    last.duration_since(first).as_secs_f64()
+}
+
+/// Best-of-`rounds` first-intern throughput (interns/second) of the real
+/// sharded arena for a `parents` × `children` fresh subtree split across
+/// `threads` threads.
+fn sharded_round(threads: usize, parents: usize, children: usize, rounds: usize) -> f64 {
+    let per_round_ops = (parents * (children + 1)) as f64;
+    let mut best = f64::MAX;
+    for _ in 0..rounds {
+        let root = arena::intern_child(arena::RplId::ROOT, fresh_root_elem());
+        let secs = timed_parallel(threads, |t| {
+            let mut i = t;
+            while i < parents {
+                let parent = arena::intern_child(root, RplElement::Index(i as i64));
+                for j in 0..children {
+                    arena::intern_child(parent, RplElement::Index(j as i64));
+                }
+                i += threads;
+            }
+        });
+        best = best.min(secs);
+    }
+    per_round_ops / best.max(1e-12)
+}
+
+/// Best-of-`rounds` throughput of the single-lock replica on the identical
+/// workload. The replica is the same process-global append-only instance
+/// across all rounds and thread counts (exactly like the real arena on the
+/// sharded side); freshness comes from a new subtree root per round.
+fn single_lock_round(threads: usize, parents: usize, children: usize, rounds: usize) -> f64 {
+    let per_round_ops = (parents * (children + 1)) as f64;
+    let replica = single_lock_arena();
+    let mut best = f64::MAX;
+    for _ in 0..rounds {
+        // A fresh subtree per round: a new child of the replica's root keeps
+        // every timed intern a first-intern, exactly like the sharded side.
+        let root = replica.intern_child(0, fresh_root_elem());
+        let secs = timed_parallel(threads, |t| {
+            let mut i = t;
+            while i < parents {
+                let parent = replica.intern_child(root, RplElement::Index(i as i64));
+                for j in 0..children {
+                    replica.intern_child(parent, RplElement::Index(j as i64));
+                }
+                i += threads;
+            }
+        });
+        best = best.min(secs);
+    }
+    per_round_ops / best.max(1e-12)
+}
+
+/// Runs the first-intern scaling sweep: one [`InternRow`] per thread count
+/// in [`INTERN_THREADS`], sharded arena vs single-lock replica on identical
+/// fresh `Data:[i]:[j]` workloads.
+pub fn run_intern_bench(quick: bool) -> Vec<InternRow> {
+    let (parents, children, rounds) = if quick { (64, 48, 3) } else { (128, 128, 5) };
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // One untimed warm-up round per implementation at the widest thread
+    // count: pays the allocator, page-fault and map-growth cold costs up
+    // front so they do not land on whichever configuration happens to run
+    // first (the 1-thread rows every scaling ratio divides by).
+    let widest = *INTERN_THREADS.last().unwrap();
+    let _ = sharded_round(widest, parents, children, 1);
+    let _ = single_lock_round(widest, parents, children, 1);
+    let mut rows = Vec::new();
+    let mut sharded_1t = 0.0f64;
+    let mut single_1t = 0.0f64;
+    for threads in INTERN_THREADS {
+        let sharded = sharded_round(threads, parents, children, rounds);
+        let single = single_lock_round(threads, parents, children, rounds);
+        if threads == 1 {
+            sharded_1t = sharded;
+            single_1t = single;
+        }
+        rows.push(InternRow {
+            threads,
+            parents,
+            children_per_parent: children,
+            sharded_interns_per_sec: sharded,
+            single_lock_interns_per_sec: single,
+            sharded_scaling_vs_1t: sharded / sharded_1t.max(1e-12),
+            single_lock_scaling_vs_1t: single / single_1t.max(1e-12),
+            sharded_vs_single_lock: sharded / single.max(1e-12),
+            host_cpus,
+        });
+    }
+    rows
+}
+
+/// Pretty-prints the intern microbenchmark rows.
+pub fn print_intern_rows(rows: &[InternRow]) {
+    println!(
+        "{:<8} {:>16} {:>18} {:>12} {:>14} {:>12}",
+        "threads", "sharded ops/s", "single-lock ops/s", "scaling", "1-lock scaling", "vs 1-lock"
+    );
+    for r in rows {
+        println!(
+            "{:<8} {:>16.0} {:>18.0} {:>11.2}x {:>13.2}x {:>11.2}x",
+            r.threads,
+            r.sharded_interns_per_sec,
+            r.single_lock_interns_per_sec,
+            r.sharded_scaling_vs_1t,
+            r.single_lock_scaling_vs_1t,
+            r.sharded_vs_single_lock
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_lock_replica_interns_canonically() {
+        let a = single_lock_arena();
+        let p = a.intern_child(0, fresh_root_elem());
+        let c1 = a.intern_child(p, RplElement::Index(7));
+        let c2 = a.intern_child(p, RplElement::Index(7));
+        assert_eq!(c1, c2);
+        assert!(p < c1, "parent id must precede child id");
+        assert_eq!(a.entry(c1).path.len(), 2);
+        assert_eq!(a.entry(c1).id_path.len(), 3);
+    }
+
+    #[test]
+    fn intern_rows_have_consistent_ratios() {
+        let rows = run_intern_bench(true);
+        assert_eq!(rows.len(), INTERN_THREADS.len());
+        assert!((rows[0].sharded_scaling_vs_1t - 1.0).abs() < 1e-9);
+        assert!((rows[0].single_lock_scaling_vs_1t - 1.0).abs() < 1e-9);
+        for r in &rows {
+            assert!(r.sharded_interns_per_sec > 0.0);
+            assert!(r.single_lock_interns_per_sec > 0.0);
+            assert!(r.host_cpus >= 1);
+        }
+    }
+}

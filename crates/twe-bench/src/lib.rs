@@ -14,6 +14,10 @@
 
 #![warn(missing_docs)]
 
+pub mod intern;
+
+pub use intern::{print_intern_rows, run_intern_bench, InternRow, INTERN_THREADS};
+
 use serde::Serialize;
 use std::sync::Arc;
 use std::time::Instant;

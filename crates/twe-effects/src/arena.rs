@@ -23,7 +23,8 @@
 //! [`id_path`], [`is_ancestor_or_self`], [`is_index_child_of`]) is a pair of
 //! plain atomic loads — bucket pointer, then slot — with **no lock of any
 //! kind**. Only the write path (the *first* intern of a given child) takes a
-//! lock, and that lock is never touched by reads.
+//! lock — the child-index shard of the parent, see below — and no
+//! conflict-plane read ever touches it.
 //!
 //! **Publication invariant:** an entry is fully initialized — parent, depth,
 //! element, and both leaked path slices written and released via its slot's
@@ -32,6 +33,42 @@
 //! can legitimately hold therefore always resolves without blocking, and the
 //! accessors treat an unpublished slot as a logic error (panic), not a state
 //! to wait on.
+//!
+//! # Write-path concurrency: the sharded child index
+//!
+//! The child index `(parent, elem) → id` is split into 64 lock shards
+//! (`CHILD_SHARD_COUNT`) **keyed by the parent id** (a multiplicative hash
+//! of the raw index picks the shard). Consequences:
+//!
+//! * **First-interns of different parents' children never contend.** A
+//!   cold-start burst over a fresh `Data:[i]:[j]` partition — one thread per
+//!   `Data:[i]` subtree — takes one *distinct* shard write lock per thread.
+//!   The only cross-shard write-path serialization is a single relaxed
+//!   `fetch_add` on the id allocator.
+//! * **One winner per `(parent, elem)` race.** Two threads first-interning
+//!   the *same* child hash to the same shard and serialize on its write
+//!   lock; the loser's double-check under the lock finds the winner's entry
+//!   and returns the winner's id. Ids are allocated *after* the double-check
+//!   fails, under the shard lock, so a lost race never burns an id and ids
+//!   stay canonical.
+//! * **Parent-before-child id ordering survives sharding.** A child's id is
+//!   allocated by a `fetch_add` that the interning thread performs while
+//!   already *holding* the parent's id, and the parent's id was handed out
+//!   only after the parent's own (earlier) allocation — so every child's
+//!   index is strictly greater than its parent's even when the two interns
+//!   happen on different shards.
+//! * **Reads are untouched.** Conflict-plane queries resolve ids through the
+//!   chunked store only and never touch any shard lock; a repeat intern of
+//!   an existing child takes just its shard's *read* lock (shared,
+//!   uncontended in steady state).
+//!
+//! The per-slot `OnceLock` publication protocol is unchanged and is what
+//! keeps reads safe during a racing first-intern: the winner fully writes
+//! the entry and releases it through the slot's `OnceLock` *before* the id
+//! escapes the shard lock, so no thread can ever observe a half-initialized
+//! entry — any thread holding the id acquired it via a release/acquire edge
+//! (the `OnceLock` slot, or the shard lock's own ordering) that happens
+//! after the slot was fully published.
 //!
 //! # Invariants
 //!
@@ -52,9 +89,9 @@
 //!   for the dynamic reference regions of chapter 7 (`DynCell` in
 //!   `twe-runtime`); statically-declared regions must not use that name.
 
+use crate::idhash::IdHashMap;
 use crate::rpl::RplElement;
 use parking_lot::RwLock;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
@@ -95,19 +132,63 @@ struct Entry {
     id_path: &'static [RplId],
 }
 
-/// Bucket layout of the chunked store: bucket `b` holds
+/// The chunked store's bucket layout: bucket `b` holds
 /// `FIRST_BUCKET_LEN << b` slots, so 27 buckets cover the whole `u32` id
 /// space while an id resolves to its slot with a handful of ALU ops.
-const BUCKET_COUNT: usize = 27;
-const FIRST_BUCKET_BITS: u32 = 6;
-const FIRST_BUCKET_LEN: usize = 1 << FIRST_BUCKET_BITS;
+///
+/// `#[doc(hidden)] pub` — not a supported API — solely so the intern
+/// microbench's single-lock baseline replica (`twe-bench`) can build its
+/// entry store with the *identical* layout the real arena uses, keeping
+/// the sharded-vs-single-lock comparison a pure locking-discipline
+/// measurement with no copied constants to drift.
+#[doc(hidden)]
+pub mod store_layout {
+    /// Number of exponentially-sized buckets covering the `u32` id space.
+    pub const BUCKET_COUNT: usize = 27;
+    /// log2 of the first bucket's slot count.
+    pub const FIRST_BUCKET_BITS: u32 = 6;
+    /// Slot count of the first bucket.
+    pub const FIRST_BUCKET_LEN: usize = 1 << FIRST_BUCKET_BITS;
 
-/// Bucket index and offset of an entry index.
-fn locate(index: usize) -> (usize, usize) {
-    let v = (index >> FIRST_BUCKET_BITS) + 1;
-    let bucket = (usize::BITS - 1 - v.leading_zeros()) as usize;
-    let bucket_start = ((1usize << bucket) - 1) << FIRST_BUCKET_BITS;
-    (bucket, index - bucket_start)
+    /// Bucket index and offset of an entry index.
+    pub fn locate(index: usize) -> (usize, usize) {
+        let v = (index >> FIRST_BUCKET_BITS) + 1;
+        let bucket = (usize::BITS - 1 - v.leading_zeros()) as usize;
+        let bucket_start = ((1usize << bucket) - 1) << FIRST_BUCKET_BITS;
+        (bucket, index - bucket_start)
+    }
+}
+
+use store_layout::{locate, BUCKET_COUNT, FIRST_BUCKET_LEN};
+
+/// Number of child-index lock shards (a power of two). 64 shards make
+/// write-write collisions between unrelated parents rare at any plausible
+/// core count while keeping the idle footprint trivial (one `RwLock` +
+/// empty map per shard).
+const CHILD_SHARD_COUNT: usize = 64;
+
+/// The shard holding `parent`'s children: a Fibonacci multiplicative hash
+/// of the raw parent index (sequential parent ids — the common case for a
+/// freshly-interned partition — spread across shards instead of clustering).
+/// The shift is derived from `CHILD_SHARD_COUNT`, so retuning the shard
+/// count keeps using the hash's top bits.
+fn child_shard(parent: RplId) -> usize {
+    let shift = 32 - CHILD_SHARD_COUNT.trailing_zeros();
+    (parent.0.wrapping_mul(0x9E37_79B9) >> shift) as usize & (CHILD_SHARD_COUNT - 1)
+}
+
+/// One shard of the child index. Padded to a cache line so two shards'
+/// lock words never share one (first-interns on different shards must not
+/// false-share).
+#[repr(align(64))]
+struct ChildShard {
+    /// `(parent, elem) → id` for every parent hashing to this shard.
+    /// Repeat interns take the read lock; the write lock is the
+    /// first-intern mutex for this shard's parents only. Conflict-plane
+    /// queries never touch it. Keyed with the multiply-rotate id hasher
+    /// (`crate::idhash`): SipHash on a 12-byte id key costs more than the
+    /// probe it guards.
+    index: RwLock<IdHashMap<(RplId, RplElement), RplId>>,
 }
 
 struct Arena {
@@ -116,14 +197,13 @@ struct Arena {
     /// individually. Neither is ever moved afterwards, so reads are plain
     /// loads.
     buckets: [OnceLock<Box<[OnceLock<Entry>]>>; BUCKET_COUNT],
-    /// Number of published entries (diagnostics; store-released after each
-    /// publication).
-    len: AtomicUsize,
-    /// Child index `(parent, elem) → id`. Reads (repeat interns) take the
-    /// read lock; the write lock doubles as the first-intern mutex and is
-    /// the only lock on the write path. Conflict-plane queries never touch
-    /// it.
-    children: RwLock<HashMap<(RplId, RplElement), RplId>>,
+    /// The id allocator: next unallocated entry index. `fetch_add` here is
+    /// the only write-path synchronization shared across shards (and the
+    /// source of the `len` diagnostic).
+    next: AtomicUsize,
+    /// The sharded child index (see the module docs, "Write-path
+    /// concurrency").
+    shards: [ChildShard; CHILD_SHARD_COUNT],
 }
 
 static ARENA: OnceLock<Arena> = OnceLock::new();
@@ -132,8 +212,10 @@ fn arena() -> &'static Arena {
     ARENA.get_or_init(|| {
         let a = Arena {
             buckets: [const { OnceLock::new() }; BUCKET_COUNT],
-            len: AtomicUsize::new(1),
-            children: RwLock::new(HashMap::new()),
+            next: AtomicUsize::new(1),
+            shards: std::array::from_fn(|_| ChildShard {
+                index: RwLock::new(IdHashMap::default()),
+            }),
         };
         let bucket0 = a.buckets[0].get_or_init(|| new_bucket(0));
         let root = Entry {
@@ -167,10 +249,14 @@ fn entry(id: RplId) -> &'static Entry {
 
 /// Interns the child region `parent : elem`, returning its id. Idempotent.
 ///
-/// Repeat lookups take the child-index read lock; the write lock is taken
-/// only the first time a given child is seen, and the new entry is fully
-/// published into the chunked store *before* its id is inserted into the
-/// index or returned (see the module docs for the publication invariant).
+/// Repeat lookups take only the read lock of the parent's child-index
+/// *shard*; the shard's write lock is taken the first time a given child is
+/// seen, so first-interns under different parents (different shards) run
+/// fully in parallel — their only shared write is one relaxed `fetch_add`
+/// on the id allocator. The new entry is fully published into the chunked
+/// store *before* its id is inserted into the index or returned (see the
+/// module docs for the publication invariant and the one-winner race
+/// resolution).
 ///
 /// # Panics
 ///
@@ -182,16 +268,23 @@ pub fn intern_child(parent: RplId, elem: RplElement) -> RplId {
         "only wildcard-free elements may be interned in the RPL arena"
     );
     let a = arena();
-    if let Some(&id) = a.children.read().get(&(parent, elem)) {
+    let shard = &a.shards[child_shard(parent)];
+    if let Some(&id) = shard.index.read().get(&(parent, elem)) {
         return id;
     }
-    let mut children = a.children.write();
-    if let Some(&id) = children.get(&(parent, elem)) {
+    let mut index_map = shard.index.write();
+    if let Some(&id) = index_map.get(&(parent, elem)) {
+        // Lost the first-intern race: the winner (a previous holder of this
+        // shard lock) already published the entry and inserted its id.
         return id;
     }
-    // Only this thread (holding the write lock) appends, so the relaxed
-    // load reads the value this same lock's previous holder stored.
-    let index = a.len.load(Ordering::Relaxed);
+    // This thread holds the shard write lock for (parent, elem), so it is
+    // the unique winner for this child: it alone allocates the id. The
+    // allocator is shared across shards, so ids stay globally unique, and
+    // parent-before-child ordering holds because this fetch_add happens
+    // strictly after the one that produced `parent` (whose id this thread
+    // already holds).
+    let index = a.next.fetch_add(1, Ordering::Relaxed);
     let id = RplId(u32::try_from(index).expect("RPL arena overflow (u32 ids)"));
     let parent_entry = entry(parent);
     let mut path = parent_entry.path.to_vec();
@@ -210,8 +303,7 @@ pub fn intern_child(parent: RplId, elem: RplElement) -> RplId {
         })
         .is_ok();
     assert!(published, "arena slot {index} published twice");
-    a.len.store(index + 1, Ordering::Release);
-    children.insert((parent, elem), id);
+    index_map.insert((parent, elem), id);
     id
 }
 
@@ -284,9 +376,14 @@ pub fn dyn_region_root() -> RplId {
     *DYN_ROOT.get_or_init(|| intern_child(RplId::ROOT, RplElement::name("__DynRegion")))
 }
 
-/// Number of interned prefixes, including the root (diagnostic).
+/// Number of *allocated* interned-prefix ids, including the root
+/// (diagnostic only). With first-interns in flight on other threads this
+/// can transiently exceed the number of fully published entries by the
+/// in-flight count; every id the caller can actually *hold* is always
+/// published (the publication invariant), so the discrepancy is never
+/// observable through an accessor.
 pub fn len() -> usize {
-    arena().len.load(Ordering::Acquire)
+    arena().next.load(Ordering::Acquire)
 }
 
 #[cfg(test)]
@@ -410,6 +507,80 @@ mod tests {
     #[should_panic(expected = "wildcard-free")]
     fn interning_a_wildcard_panics() {
         intern_child(RplId::ROOT, RplElement::Star);
+    }
+
+    #[test]
+    fn shard_hash_spreads_sequential_parents() {
+        // Sequential parent ids — the shape a fresh `Data:[i]` partition
+        // produces — must not pile onto a handful of shards.
+        let mut hit = [false; CHILD_SHARD_COUNT];
+        for raw in 0..256u32 {
+            hit[child_shard(RplId(raw))] = true;
+        }
+        let distinct = hit.iter().filter(|&&h| h).count();
+        assert!(
+            distinct > CHILD_SHARD_COUNT / 2,
+            "256 sequential parents landed on only {distinct} shards"
+        );
+    }
+
+    #[test]
+    fn racing_first_interns_of_the_same_child_elect_one_winner() {
+        // All threads hammer the *same* fresh (parent, elem) pairs, so every
+        // intern is a genuine same-shard race; each pair must still resolve
+        // to exactly one id everywhere, and ids must stay parent-ordered.
+        let parent = intern_path(&[name("Arena"), name("Race")]);
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    (0..128)
+                        .map(|i| intern_child(parent, RplElement::Index(i)))
+                        .collect::<Vec<RplId>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<RplId>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in &results[1..] {
+            assert_eq!(r, &results[0], "same (parent, elem) must yield one id");
+        }
+        for &id in &results[0] {
+            assert!(parent < id, "child id must exceed its parent's");
+            assert_eq!(super::parent(id), parent);
+        }
+    }
+
+    #[test]
+    fn cross_shard_first_interns_stay_canonical_and_ordered() {
+        // Writers fan out over distinct parents (distinct shards) while all
+        // racing the shared id allocator; every published id must resolve,
+        // be unique, and stay strictly greater than its parent's.
+        let base = intern_path(&[name("Arena"), name("XShard")]);
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let parent = intern_child(base, RplElement::Index(t));
+                    (0..128)
+                        .map(|j| {
+                            let id = intern_child(parent, RplElement::Index(j));
+                            assert!(parent < id);
+                            assert_eq!(depth(id), 4);
+                            id
+                        })
+                        .collect::<Vec<RplId>>()
+                })
+            })
+            .collect();
+        let mut all: Vec<RplId> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        let count = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), count, "ids across shards must be unique");
     }
 
     #[test]

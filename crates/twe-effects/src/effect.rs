@@ -28,6 +28,13 @@
 //! O(set) — one Bloom AND plus at most one sorted merge — before falling
 //! back to the pairwise loop, which is what keeps the schedulers' rescan
 //! filters linear instead of quadratic in set size.
+//!
+//! Summary construction sits on the conflict plane's *read* side: anchors
+//! come from already-interned prefix id paths ([`Rpl::prefix_id_path`] is a
+//! wait-free arena load), so `push`/`union`/`union_all` never intern, never
+//! take an arena shard lock, and can run concurrently with any number of
+//! cold-start first-interns on other threads. All interning happened when
+//! the `Rpl`s themselves were built (parse/`child`/`from_elements`).
 
 use crate::arena::RplId;
 use crate::rpl::Rpl;

@@ -42,11 +42,18 @@
 //! Arena entries live in an append-only **chunked store** with wait-free
 //! reads: every read-side query (`depth`/`id_path`/element resolution/
 //! ancestor and `P:[?]` shape tests) is a pair of plain atomic loads with no
-//! lock of any kind, and the write path takes a lock only for the *first*
-//! intern of a path. The **publication invariant** — an entry is fully
-//! initialized before its id is handed out — is what makes the lock-free
-//! reads safe; see the [`arena`] module docs for it and for the id-ordering
-//! and parent/depth invariants. The arena also reserves the root-level
+//! lock of any kind. The write side is **sharded**: the child index is
+//! split into lock shards keyed by parent id, so a cold-start burst of
+//! first-interns (a fresh `Data:[i]:[j]` partition, one parent per thread)
+//! scales with cores instead of serializing on one write lock, and a
+//! repeat intern takes only its shard's read lock. The **publication
+//! invariant** — an entry is fully initialized before its id is handed
+//! out — is what makes the lock-free reads safe even while first-interns
+//! race; see the [`arena`] module docs for it, for the
+//! one-winner-per-`(parent, element)` race resolution, and for the
+//! id-ordering and parent/depth invariants. Wildcard relation results are
+//! memoized in sharded fixed-capacity id-pair tables with wait-free
+//! lookups (see [`rpl`]). The arena also reserves the root-level
 //! region `__DynRegion` ([`arena::dyn_region_root`]) for the dynamic
 //! reference regions of chapter 7, so dynamic claims share the same id
 //! space and fast paths as static effects.
@@ -79,6 +86,8 @@
 pub mod arena;
 pub mod compound;
 pub mod effect;
+#[doc(hidden)]
+pub mod idhash;
 pub mod intern;
 mod leak;
 pub mod rpl;

@@ -26,11 +26,12 @@
 //! bounded id-pair cache.
 
 use crate::arena::{self, RplId};
+use crate::idhash::IdHashMap;
 use crate::intern::{intern, Symbol};
 use crate::leak::LeakInterner;
-use parking_lot::RwLock;
-use std::collections::HashMap;
+use parking_lot::{Mutex, RwLock};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 /// One element of a Region Path List.
@@ -164,72 +165,200 @@ fn anyindex_suffix() -> SuffixId {
 // Memoized wildcard relations and full-path materialisation.
 // ---------------------------------------------------------------------------
 
-/// Hard cap on each relation cache: beyond it, results are still computed
-/// correctly but no longer inserted (the caches are a performance aid, never
-/// a correctness requirement).
-const RELATION_CACHE_CAP: usize = 1 << 20;
+type FullPathTable = OnceLock<RwLock<IdHashMap<(RplId, u32), &'static [RplElement]>>>;
 
-/// Multiply-rotate hasher for the small fixed-width interned-id keys of the
-/// relation caches. The default SipHash costs more than the short element
-/// scan it memoizes away (the PR-2 wildcard rows sat below 1×); a
-/// Fibonacci-style mix over the four `u32` ids is plenty for cache keys
-/// whose quality requirement is only bucket spread.
-#[derive(Default, Clone, Copy)]
-struct IdHasher(u64);
+static FULL_PATHS: FullPathTable = OnceLock::new();
 
-impl std::hash::Hasher for IdHasher {
-    fn finish(&self) -> u64 {
-        // Final avalanche so low-entropy ids spread across high bits too.
-        let mut h = self.0;
-        h ^= h >> 33;
-        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
-        h ^= h >> 33;
-        h
-    }
+// ---------------------------------------------------------------------------
+// The sharded relation memo caches.
+//
+// A relation cache memoizes one boolean relation (`overlaps` / `includes`)
+// per ordered pair of interned `Rpl`s. The caches are a performance aid and
+// never a correctness requirement: a miss (or a refused insert) just
+// recomputes through the element-wise oracle. They used to be single
+// `RwLock<HashMap>`s, which made a cold-start burst of wildcard relations
+// serialize on one write lock; they are now fixed-capacity open-addressed
+// id-pair tables, sharded by the pair hash, with **lock-free reads** and a
+// tiny per-shard insert mutex that lookups never touch.
+//
+// Slot protocol (write-once). Each slot is two `AtomicU64` words:
+//
+//   k0 = VALID(bit 63) | suffix_a(bits 32..63) | prefix_a(bits 0..32)
+//   k1 = RESULT(bit 63) | suffix_b(bits 32..63) | prefix_b(bits 0..32)
+//
+// A writer (holding the shard's insert mutex) stores `k1` first, then
+// publishes the slot by storing `k0` with a release ordering; slots are
+// never overwritten or cleared afterwards. A reader that observes a
+// published `k0` (acquire) therefore sees the matching `k1` — it can never
+// read a torn or half-initialized pair — and `k0 == 0` means "empty",
+// which is unambiguous because every published `k0` has the VALID bit set.
+// Racing inserts of the same key are idempotent (the relation is a pure
+// function of the pair), so a duplicate insert attempt under the mutex
+// finds the key and returns.
+//
+// Capacity / eviction rule: nothing is ever evicted. Each shard refuses
+// inserts beyond a fixed load (and a bounded probe window), after which
+// new pairs are computed without being memoized — the same "bounded
+// memoization" semantics the capped HashMap had, now also bounding probe
+// work per lookup. Suffix ids ≥ 2^31 cannot be packed into the slot words
+// and bypass the cache entirely (compute-only); real workloads intern a
+// handful of distinct wildcard suffixes, so this path is theoretical.
+// ---------------------------------------------------------------------------
 
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+/// Number of shards per relation cache (a power of two).
+const CACHE_SHARD_COUNT: usize = 16;
+/// Slots per shard (a power of two). Total capacity per cache is
+/// `CACHE_SHARD_COUNT * CACHE_SHARD_SLOTS` = 2^18 pairs (4 MiB per
+/// materialized cache), allocated lazily per shard on first insert.
+const CACHE_SHARD_SLOTS: usize = 1 << 14;
+/// Linear-probe window for both lookups and inserts: bounds read-side work
+/// (lookups are wait-free) and implicitly bounds clustering.
+const CACHE_PROBE_LIMIT: usize = 16;
+/// Per-shard insert cap (7/8 load) so late inserts cannot degrade every
+/// lookup into a full probe window scan.
+const CACHE_SHARD_MAX_LOAD: usize = CACHE_SHARD_SLOTS - CACHE_SHARD_SLOTS / 8;
+
+/// Marks `k0` as published. Any published `k0` is nonzero.
+const SLOT_VALID: u64 = 1 << 63;
+/// Carries the memoized boolean in `k1`.
+const SLOT_RESULT: u64 = 1 << 63;
+
+/// One write-once id-pair slot (see the protocol comment above).
+#[derive(Default)]
+struct PairSlot {
+    k0: AtomicU64,
+    k1: AtomicU64,
+}
+
+/// One shard of a relation cache. Padded to a cache line so two shards'
+/// insert-mutex words never share one (inserts on different shards must
+/// not false-share, same rule as the arena's child-index shards).
+#[repr(align(64))]
+struct CacheShard {
+    /// The slot array, allocated on the shard's first insert.
+    slots: OnceLock<Box<[PairSlot]>>,
+    /// Serializes inserts and tracks the occupied-slot count. Lookups never
+    /// touch it.
+    inserted: Mutex<usize>,
+}
+
+/// A sharded fixed-capacity memo cache for one RPL relation.
+struct PairCache {
+    shards: [CacheShard; CACHE_SHARD_COUNT],
+}
+
+static OVERLAPS_CACHE: PairCache = PairCache::new();
+static INCLUDES_CACHE: PairCache = PairCache::new();
+
+/// Packs one `Rpl` of a cache key into its slot half, or `None` if the
+/// suffix id does not fit the 31 packable bits (bypass the cache).
+fn pack_rpl(r: Rpl) -> Option<u64> {
+    (r.suffix.0 < (1 << 31)).then(|| u64::from(r.prefix.index()) | (u64::from(r.suffix.0) << 32))
+}
+
+/// Hash of a packed key pair: multiply-rotate mix of the two halves, same
+/// family as `crate::idhash::IdHasher`. Low bits pick the slot, bits above
+/// the slot mask pick the shard, so the shard choice and the in-shard
+/// position are independent.
+fn pair_hash(ka: u64, kb: u64) -> u64 {
+    let mut h = ka.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h = (h.rotate_left(26) ^ kb).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 33;
+    h
+}
+
+impl PairCache {
+    const fn new() -> Self {
+        PairCache {
+            shards: [const {
+                CacheShard {
+                    slots: OnceLock::new(),
+                    inserted: Mutex::new(0),
+                }
+            }; CACHE_SHARD_COUNT],
         }
     }
 
-    fn write_u32(&mut self, v: u32) {
-        self.0 = (self.0.rotate_left(26) ^ u64::from(v)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    fn shard_and_slot(h: u64) -> (usize, usize) {
+        let slot = h as usize & (CACHE_SHARD_SLOTS - 1);
+        let shard = (h as usize >> CACHE_SHARD_SLOTS.trailing_zeros()) & (CACHE_SHARD_COUNT - 1);
+        (shard, slot)
+    }
+
+    /// Wait-free lookup: at most [`CACHE_PROBE_LIMIT`] slot probes, each a
+    /// pair of plain atomic loads; no lock of any kind.
+    fn lookup(&self, ka: u64, kb: u64) -> Option<bool> {
+        let h = pair_hash(ka, kb);
+        let (shard, start) = Self::shard_and_slot(h);
+        let slots = self.shards[shard].slots.get()?;
+        for i in 0..CACHE_PROBE_LIMIT {
+            let s = &slots[(start + i) & (CACHE_SHARD_SLOTS - 1)];
+            let k0 = s.k0.load(Ordering::Acquire);
+            if k0 == 0 {
+                // Writers fill a probe sequence front-to-empty, so an empty
+                // slot proves the key is not cached (yet).
+                return None;
+            }
+            if k0 == ka | SLOT_VALID {
+                // k1 was stored before k0's release store, so this relaxed
+                // load is ordered by the acquire above.
+                let k1 = s.k1.load(Ordering::Relaxed);
+                if k1 & !SLOT_RESULT == kb {
+                    return Some(k1 & SLOT_RESULT != 0);
+                }
+                // Same first half, different partner: keep probing.
+            }
+        }
+        None
+    }
+
+    /// Inserts a computed result (idempotent; refused beyond the shard's
+    /// load cap or probe window — the caller already has the value).
+    fn insert(&self, ka: u64, kb: u64, result: bool) {
+        let h = pair_hash(ka, kb);
+        let (shard, start) = Self::shard_and_slot(h);
+        let shard = &self.shards[shard];
+        let mut inserted = shard.inserted.lock();
+        if *inserted >= CACHE_SHARD_MAX_LOAD {
+            return;
+        }
+        let slots = shard.slots.get_or_init(|| {
+            (0..CACHE_SHARD_SLOTS)
+                .map(|_| PairSlot::default())
+                .collect()
+        });
+        for i in 0..CACHE_PROBE_LIMIT {
+            let s = &slots[(start + i) & (CACHE_SHARD_SLOTS - 1)];
+            let k0 = s.k0.load(Ordering::Relaxed);
+            if k0 == 0 {
+                // Publish: partner-and-result word first, then the key word
+                // with release so a reader that sees k0 sees k1 too.
+                s.k1.store(kb | if result { SLOT_RESULT } else { 0 }, Ordering::Relaxed);
+                s.k0.store(ka | SLOT_VALID, Ordering::Release);
+                *inserted += 1;
+                return;
+            }
+            if k0 == ka | SLOT_VALID && s.k1.load(Ordering::Relaxed) & !SLOT_RESULT == kb {
+                return; // another thread memoized the same pair first
+            }
+        }
+        // Probe window exhausted: leave the pair unmemoized.
     }
 }
-
-#[derive(Default, Clone, Copy)]
-struct IdHasherBuilder;
-
-impl std::hash::BuildHasher for IdHasherBuilder {
-    type Hasher = IdHasher;
-    fn build_hasher(&self) -> IdHasher {
-        IdHasher::default()
-    }
-}
-
-type IdHashMap<K, V> = HashMap<K, V, IdHasherBuilder>;
-type RelationCache = OnceLock<RwLock<IdHashMap<(Rpl, Rpl), bool>>>;
-type FullPathTable = OnceLock<RwLock<IdHashMap<(RplId, u32), &'static [RplElement]>>>;
-
-static OVERLAPS_CACHE: RelationCache = OnceLock::new();
-static INCLUDES_CACHE: RelationCache = OnceLock::new();
-static FULL_PATHS: FullPathTable = OnceLock::new();
 
 fn cached_relation(
-    cache: &'static RelationCache,
+    cache: &'static PairCache,
     key: (Rpl, Rpl),
     compute: impl FnOnce() -> bool,
 ) -> bool {
-    let cache = cache.get_or_init(|| RwLock::new(IdHashMap::default()));
-    if let Some(&v) = cache.read().get(&key) {
+    let (Some(ka), Some(kb)) = (pack_rpl(key.0), pack_rpl(key.1)) else {
+        return compute();
+    };
+    if let Some(v) = cache.lookup(ka, kb) {
         return v;
     }
     let v = compute();
-    let mut guard = cache.write();
-    if guard.len() < RELATION_CACHE_CAP {
-        guard.insert(key, v);
-    }
+    cache.insert(ka, kb, v);
     v
 }
 
@@ -844,6 +973,61 @@ mod tests {
         assert!(!rpl("A:*:X").disjoint(&rpl("A:X")));
         assert!(rpl("A:*:[1]").disjoint(&rpl("A:B:[2]")));
         assert!(!rpl("A:*:[1]").disjoint(&rpl("A:B:[1]")));
+    }
+
+    #[test]
+    fn relation_cache_stays_exact_under_collision_pressure() {
+        // Hammer one cache neighborhood with many distinct wildcard pairs
+        // (most land in a few shards, exercising probe-continue on matching
+        // first halves and refused inserts past the probe window), then
+        // re-query everything: a memo hit must never return another pair's
+        // answer.
+        let pairs: Vec<(Rpl, Rpl)> = (0..512)
+            .map(|i| {
+                let a = rpl(&format!("CachePress:[{}]:*:X", i % 29));
+                let b = rpl(&format!("CachePress:[{}]:Y{}:X", i % 29, i));
+                (a, b)
+            })
+            .collect();
+        let expected: Vec<bool> = pairs
+            .iter()
+            .map(|(a, b)| oracle::overlaps(a.elements(), b.elements()))
+            .collect();
+        for round in 0..3 {
+            for ((a, b), want) in pairs.iter().zip(&expected) {
+                assert_eq!(
+                    a.overlaps(b),
+                    *want,
+                    "round {round}: cached answer diverged for {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relation_cache_reads_race_inserts_consistently() {
+        // Readers and first-computers race on a shared family of wildcard
+        // pairs across cache shards; every thread must observe the oracle's
+        // answer whether it hit the memo or computed it.
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for i in 0..256 {
+                        let k = (i + t * 31) % 64;
+                        let a = rpl(&format!("CacheRace:[{k}]:*:T"));
+                        let b = rpl(&format!("CacheRace:[{}]:M:T", k % 8));
+                        assert_eq!(
+                            a.overlaps(&b),
+                            oracle::overlaps(a.elements(), b.elements()),
+                            "{a} vs {b}"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 
     #[test]

@@ -199,6 +199,54 @@ proptest! {
     }
 }
 
+/// Cross-shard canonical-interning differential proptest: every thread
+/// interning the same randomized element paths — whose wildcard-free
+/// prefixes spread over many parents and hence many child-index shards —
+/// must observe identical ids for identical paths (one winner per
+/// `(parent, element)` race, shard boundaries notwithstanding), and the ids
+/// must resolve to the interned elements.
+#[test]
+fn concurrent_interning_across_shards_is_canonical() {
+    use proptest::test_runner::TestRng;
+
+    let mut rng = TestRng::deterministic("concurrent_interning_across_shards_is_canonical");
+    // A modest number of cases: each case spawns a fresh thread pack.
+    for case in 0..16 {
+        let paths: Vec<Vec<RplElement>> = (0..48)
+            .map(|_| arb_elements().sample(&mut rng))
+            .map(|mut els| {
+                // A distinct top-level region per case keeps every case a
+                // cold start (all first-interns), like a fresh partition.
+                els.insert(0, RplElement::name(&format!("XShardCase{case}")));
+                els
+            })
+            .collect();
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let paths = paths.clone();
+                std::thread::spawn(move || {
+                    paths
+                        .iter()
+                        .map(|els| {
+                            let r = Rpl::new(els.clone());
+                            (r.prefix_id(), r)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<(arena::RplId, Rpl)>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in &results[1..] {
+            assert_eq!(r, &results[0], "same element path must give one id");
+        }
+        for ((id, r), els) in results[0].iter().zip(&paths) {
+            assert_eq!(r.elements(), &els[..], "id must resolve to its path");
+            assert_eq!(arena::path(*id), r.max_wildcard_free_prefix());
+        }
+    }
+}
+
 /// Wait-free read stress: reader threads hammer the lock-free arena
 /// accessors (`depth`/`id_path`/`path`/ancestor and `P:[?]` shape tests) on
 /// already-published ids while writer threads race to intern fresh paths.
@@ -232,10 +280,15 @@ fn wait_free_reads_race_first_interns() {
     let stop = Arc::new(AtomicBool::new(false));
 
     // Writers: keep forcing first-interns of brand-new paths (fresh index
-    // tails), growing the store across bucket boundaries while readers run.
-    let writers: Vec<_> = (0..3)
+    // tails under per-writer parents, i.e. across distinct child-index
+    // shards), growing the store across bucket boundaries while readers
+    // run. Each round also re-interns an already-published seed path — the
+    // shard read-lock repeat path — which must keep returning the seed's
+    // canonical id while its shard's write lock churns.
+    let writers: Vec<_> = (0..4)
         .map(|t| {
             let stop = stop.clone();
+            let seed = seed.clone();
             std::thread::spawn(move || {
                 let mut i = 0i64;
                 while !stop.load(Ordering::Relaxed) {
@@ -246,6 +299,12 @@ fn wait_free_reads_race_first_interns() {
                     ];
                     let id = arena::intern_path(&fresh);
                     assert_eq!(arena::depth(id), 3);
+                    let k = (i as usize + t as usize) % seed.len();
+                    assert_eq!(
+                        arena::intern_path(&family(k as i64)),
+                        seed[k].0,
+                        "repeat intern must return the canonical id"
+                    );
                     i += 1;
                 }
             })
