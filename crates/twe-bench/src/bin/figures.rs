@@ -20,7 +20,10 @@
 //!
 //! `--fig submit` runs only the batched-admission microbenchmark: per-task
 //! `Scheduler::submit` vs one-round `submit_batch` on disjoint fan-out waves
-//! of 64 / 512 / 4096 tasks, on both schedulers; `--submit-json` writes the
+//! of 64 / 512 / 4096 tasks, on both schedulers, plus the tree scheduler's
+//! parallel-admission rows (an 8-anchor sharded wave descended inline vs
+//! through a 1/2/4/8-worker admission pool; quick mode keeps one narrow
+//! pooled row as a dispatch-correctness probe); `--submit-json` writes the
 //! rows as `BENCH_submit.json` (also a CI smoke-job artifact).
 //!
 //! `--fig intern` runs only the first-intern scaling microbenchmark:

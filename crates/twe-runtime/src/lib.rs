@@ -129,7 +129,7 @@ pub struct RuntimeStats {
 }
 
 pub(crate) struct RtInner {
-    pub(crate) pool: ThreadPool,
+    pub(crate) pool: Arc<ThreadPool>,
     scheduler: Box<dyn Scheduler>,
     next_task_id: AtomicU64,
     pub(crate) dynamic: DynamicEffectTable,
@@ -383,6 +383,10 @@ impl Runtime {
     /// Creates a runtime with `threads` worker threads and the given
     /// scheduler.
     pub fn new(threads: usize, kind: SchedulerKind) -> Self {
+        // The pool is shared with the tree scheduler (parallel batch
+        // admission dispatches per-group subtree inserts to it), so it is
+        // created up front and handed to both sides.
+        let pool = Arc::new(ThreadPool::new(threads));
         let inner = Arc::new_cyclic(|weak: &Weak<RtInner>| {
             let enable_weak = weak.clone();
             let enable: Box<dyn Fn(Arc<TaskRecord>) + Send + Sync> = Box::new(move |task| {
@@ -392,10 +396,12 @@ impl Runtime {
             });
             let scheduler: Box<dyn Scheduler> = match kind {
                 SchedulerKind::Naive => Box::new(NaiveScheduler::new(enable)),
-                SchedulerKind::Tree => Box::new(TreeScheduler::new(enable)),
+                SchedulerKind::Tree => {
+                    Box::new(TreeScheduler::with_admission(enable, Arc::clone(&pool)))
+                }
             };
             RtInner {
-                pool: ThreadPool::new(threads),
+                pool: Arc::clone(&pool),
                 scheduler,
                 next_task_id: AtomicU64::new(1),
                 dynamic: DynamicEffectTable::new(),
@@ -455,6 +461,19 @@ impl Runtime {
     /// An empty batch returns an empty vector without touching the
     /// scheduler, and a single-element batch takes the plain
     /// `execute_later` path (no extra recheck round).
+    ///
+    /// **Inline vs pooled admission.** On the tree scheduler the admission
+    /// work itself may also be parallelized: when a sub-wave is wide enough
+    /// (≥ 64 records across ≥ 2 first-level groups by default) *and* at
+    /// least one pool worker is idle, the per-group subtree descents run as
+    /// admission jobs on this runtime's own worker pool, overlapping with
+    /// each other and with already-enabled tasks. Otherwise — including
+    /// every call made from *inside* a task on a fully-busy pool, such as a
+    /// [`TaskCtx::execute_all_later`] call on a 1-thread runtime — admission
+    /// runs inline on the calling thread, so `submit_all` never deadlocks
+    /// waiting for a worker that is itself the caller. Either way the
+    /// scheduling outcome is identical; see
+    /// [`scheduler::Scheduler::submit_batch`].
     ///
     /// ```
     /// use twe_runtime::{Runtime, SchedulerKind};

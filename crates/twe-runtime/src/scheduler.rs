@@ -61,6 +61,33 @@ pub trait Scheduler: Send + Sync {
     /// the plain [`Scheduler::submit`] path (no extra recheck round), so
     /// `submit_all` of one task is *exactly* `execute_later`.
     ///
+    /// # Parallel admission
+    ///
+    /// An implementation may execute the admission work itself on multiple
+    /// threads, provided the outcome stays within the contract above — the
+    /// per-task statuses after `submit_batch` returns must equal those of
+    /// some sequential admission of the batch, and isolation must hold at
+    /// every intermediate instant (a concurrent `submit`, `on_await`, or
+    /// `task_done` must never observe a state no sequential admission could
+    /// produce). The tree scheduler does this for wide waves: records that
+    /// settle at the root and the root-level conflict checks of all other
+    /// records run first, inline, under the root lock; the remaining
+    /// records are partitioned by first-level child and each group's
+    /// subtree descent is dispatched to the worker pool. Groups are
+    /// pairwise conflict-free (their level-1 prefixes differ, so their RPLs
+    /// are disjoint), which makes every interleaving of group descents
+    /// equivalent to the inline order. Only the relative order of enable
+    /// *callbacks* across different groups may vary from the inline run —
+    /// within a group, and between any group member and a conflicting
+    /// record outside the batch, ordering is unchanged.
+    ///
+    /// **Threshold semantics.** Parallel dispatch is a pure optimization
+    /// gated on wave width — by default a sub-wave must carry ≥ 64 records
+    /// across ≥ 2 first-level groups (tunable via
+    /// `TreeScheduler::set_admission_thresholds`) *and* an idle pool worker
+    /// must exist; otherwise admission runs inline on the calling thread.
+    /// Callers must not depend on which path a given batch takes.
+    ///
     /// The default implementation is the sequential loop; both bundled
     /// schedulers override it (the tree scheduler inserts the whole batch
     /// under a single root descent, the naive scheduler takes its queue lock

@@ -47,14 +47,36 @@
 //! records that settle there are processed *before* records descending
 //! further, which makes the batch observably equivalent to sequential
 //! submission (see `insert`).
+//!
+//! # Parallel admission
+//!
+//! A wide sub-wave need not descend on the submitting thread: when the
+//! scheduler was built with [`TreeScheduler::with_admission`], a sub-wave
+//! holding enough records over enough first-level groups (see
+//! [`TreeScheduler::set_admission_thresholds`]) is fanned out to the worker
+//! pool — the settle-at-root pass and every root-level conflict check still
+//! run inline under the root lock, then each first-level group's subtree
+//! descent runs as one *admission job* on the pool's priority lane. The
+//! handoff is two-phase (`descend_groups_parallel`): the submitter keeps
+//! the root locked until every group job holds its first-level child's
+//! lock, preserving the publication invariant, and then helps drain
+//! admission jobs (never user jobs, which could re-enter `submit`) until
+//! the wave completes. Waves that are too narrow — or submitted while every
+//! pool worker is busy, e.g. from inside a task on a 1-thread pool — fall
+//! back to the inline descent. The equivalence argument lives in
+//! ARCHITECTURE.md ("Parallel admission").
 
 use crate::scheduler::Scheduler;
 use crate::task::{blocked_on, TaskRecord, TaskStatus};
-use parking_lot::{ArcMutexGuard, Mutex, RawMutex};
+use parking_lot::{ArcMutexGuard, Condvar, Mutex, RawMutex};
+use std::cell::Cell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
+use std::time::Duration;
 use twe_effects::{Effect, EffectKind, Rpl, RplId};
+use twe_pool::ThreadPool;
 
 /// Callback used to hand an enabled task to the execution substrate.
 pub type EnableFn = Box<dyn Fn(Arc<TaskRecord>) + Send + Sync>;
@@ -285,24 +307,108 @@ fn push_waiter(on: &EffectRecord, waiter: &Arc<EffectRecord>) {
     }
 }
 
+/// One per-child group of descending records staged by `insert_stage`:
+/// the records of one sub-wave whose next path component is `key`, plus the
+/// Bloom bits they contribute to the child's subtree filter. Staging and
+/// descent are split so a root sub-wave's groups can descend either inline
+/// or as parallel admission jobs on the worker pool.
+struct Group {
+    key: RplId,
+    child: NodeRef,
+    bloom: u64,
+    write_bloom: u64,
+    records: Vec<Arc<EffectRecord>>,
+}
+
 /// The tree-based scheduler.
+///
+/// Internally an [`Arc`]-shared `TreeInner`: parallel batch admission
+/// (see `descend_groups_parallel`) hands per-group subtree inserts to the
+/// worker pool, and those admission jobs need an owned handle to the tree.
 pub struct TreeScheduler {
+    inner: Arc<TreeInner>,
+}
+
+/// The shared state of a [`TreeScheduler`].
+struct TreeInner {
     root: NodeRef,
     /// Serialises whole-task rechecks (Figure 5.12): only one task at a time
     /// may have its effects rechecked, preventing two conflicting tasks from
     /// repeatedly disabling each other's effects without progress.
     recheck_lock: Mutex<()>,
     enable: EnableFn,
+    /// The worker pool parallel batch admission dispatches group inserts to;
+    /// `None` (the [`TreeScheduler::new`] constructor) keeps every batch
+    /// descent on the submitting thread.
+    admission: Option<Arc<ThreadPool>>,
+    /// Minimum records in a sub-wave before its groups are dispatched.
+    par_min_records: AtomicUsize,
+    /// Minimum first-level groups in a sub-wave before it is dispatched.
+    par_min_groups: AtomicUsize,
+    /// Number of sub-waves admitted through the parallel dispatch path
+    /// (diagnostic; lets tests assert inline fallback / dispatch coverage).
+    par_waves: AtomicUsize,
 }
+
+/// Default for the minimum sub-wave size worth dispatching: below this the
+/// per-group coordination (queue round-trips + two condvar phases) costs
+/// more than the descent it parallelizes.
+const PAR_MIN_RECORDS: usize = 64;
+/// Default for the minimum number of first-level groups: one group has
+/// nothing to overlap with, so dispatching it only adds a handoff.
+const PAR_MIN_GROUPS: usize = 2;
 
 impl TreeScheduler {
     /// Creates a tree scheduler that enables tasks through `enable`.
+    /// Batch admission runs entirely on the submitting thread.
     pub fn new(enable: EnableFn) -> Self {
+        Self::build(enable, None)
+    }
+
+    /// Creates a tree scheduler that additionally parallelizes wide batch
+    /// admission waves over `pool`: after the settle-at-root pass of each
+    /// sub-wave, per-first-level-child groups are dispatched to the pool's
+    /// admission lane and descend concurrently (see
+    /// [`Scheduler::submit_batch`] for the equivalence contract). Narrow
+    /// waves — and waves submitted while no pool worker is idle, e.g. from
+    /// inside a task running on a 1-thread pool — fall back to the inline
+    /// path of [`TreeScheduler::new`].
+    pub fn with_admission(enable: EnableFn, pool: Arc<ThreadPool>) -> Self {
+        Self::build(enable, Some(pool))
+    }
+
+    fn build(enable: EnableFn, admission: Option<Arc<ThreadPool>>) -> Self {
         TreeScheduler {
-            root: new_node(0),
-            recheck_lock: Mutex::new(()),
-            enable,
+            inner: Arc::new(TreeInner {
+                root: new_node(0),
+                recheck_lock: Mutex::new(()),
+                enable,
+                admission,
+                par_min_records: AtomicUsize::new(PAR_MIN_RECORDS),
+                par_min_groups: AtomicUsize::new(PAR_MIN_GROUPS),
+                par_waves: AtomicUsize::new(0),
+            }),
         }
+    }
+
+    /// Overrides the parallel-admission thresholds: a sub-wave is dispatched
+    /// to the pool only when it holds at least `min_records` records across
+    /// at least `min_groups` first-level groups (defaults: 64 and 2). Used
+    /// by tests and benchmarks to force (or suppress) dispatch on small
+    /// waves; a no-op scheduler-wise when no pool was attached.
+    pub fn set_admission_thresholds(&self, min_records: usize, min_groups: usize) {
+        self.inner
+            .par_min_records
+            .store(min_records, Ordering::Relaxed);
+        self.inner
+            .par_min_groups
+            .store(min_groups.max(1), Ordering::Relaxed);
+    }
+
+    /// Number of batch sub-waves admitted through the parallel dispatch path
+    /// so far (diagnostic: 0 means every wave ran inline).
+    pub fn parallel_waves(&self) -> usize {
+        self.inner.par_waves.load(Ordering::Relaxed)
     }
 
     /// Number of effects currently recorded in the tree (diagnostic).
@@ -314,7 +420,7 @@ impl TreeScheduler {
             drop(guard);
             here + children.iter().map(count).sum::<usize>()
         }
-        count(&self.root)
+        count(&self.inner.root)
     }
 
     /// Number of nodes in the scheduling tree, the root included
@@ -326,9 +432,80 @@ impl TreeScheduler {
             drop(guard);
             1 + children.iter().map(count).sum::<usize>()
         }
-        count(&self.root)
+        count(&self.inner.root)
+    }
+}
+
+/// Coordination state of one parallel admission wave (two-phase handoff):
+/// the submitter holds the root lock until every group job has acquired its
+/// first-level child's lock (`locked == total`), then releases the root and
+/// waits for the group descents to finish (`done == total`), collecting
+/// their swept dead records (and at most one panic payload) on the way.
+struct WaveSync {
+    total: usize,
+    state: Mutex<WaveState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct WaveState {
+    locked: usize,
+    done: usize,
+    swept: Vec<Arc<EffectRecord>>,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl WaveSync {
+    fn new(total: usize) -> Self {
+        WaveSync {
+            total,
+            state: Mutex::new(WaveState::default()),
+            cv: Condvar::new(),
+        }
     }
 
+    fn note_locked(&self) {
+        self.state.lock().locked += 1;
+        self.cv.notify_all();
+    }
+
+    fn note_done(&self, result: Result<Vec<Arc<EffectRecord>>, Box<dyn std::any::Any + Send>>) {
+        let mut s = self.state.lock();
+        match result {
+            Ok(mut swept) => s.swept.append(&mut swept),
+            Err(panic) => {
+                // Keep the first panic; the submitter resumes it after the
+                // wave so the batch caller observes it like an inline one.
+                s.panic.get_or_insert(panic);
+            }
+        }
+        s.done += 1;
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    /// Waits until `field(state) == total`, running `help()` (one admission
+    /// job at a time) between checks so the wave progresses even when every
+    /// pool worker is busy; parks briefly when there is nothing to help
+    /// with.
+    fn wait(&self, field: impl Fn(&WaveState) -> usize, mut help: impl FnMut() -> bool) {
+        loop {
+            if field(&self.state.lock()) == self.total {
+                return;
+            }
+            if help() {
+                continue;
+            }
+            let mut s = self.state.lock();
+            if field(&s) == self.total {
+                return;
+            }
+            self.cv.wait_for(&mut s, Duration::from_micros(200));
+        }
+    }
+}
+
+impl TreeInner {
     /// Builds and registers the per-effect tree records of a task being
     /// submitted, setting its disabled-effect count (shared by the single
     /// and batched admission paths).
@@ -534,7 +711,14 @@ impl TreeScheduler {
             return false;
         }
         let any_index_only = e.rpl.is_parent_any_index();
-        let keys: Vec<RplId> = parent_guard.children.keys().copied().collect();
+        // Walk the children in interned-id order, not `HashMap` iteration
+        // order: the walk stops at the *first* conflicting enabled record,
+        // and which record a waiter parks behind must not depend on a map's
+        // per-instance hash seed — the differential tests replay one batch
+        // through two scheduler instances and compare the resulting waiter
+        // graphs step for step.
+        let mut keys: Vec<RplId> = parent_guard.children.keys().copied().collect();
+        keys.sort_unstable();
         for key in keys {
             if any_index_only && !twe_effects::arena::is_index_child_of(key, e.rpl.prefix_id()) {
                 // `P:[?]` only reaches index children of P.
@@ -661,6 +845,26 @@ impl TreeScheduler {
         depth: usize,
         swept: &mut Vec<Arc<EffectRecord>>,
     ) {
+        let below = self.insert_stage(&node, &mut guard, effects, depth, swept);
+        self.descend_groups(guard, below, depth, swept);
+    }
+
+    /// The per-node stage of [`TreeInner::insert`]: settles (and checks) the
+    /// records whose maximal wildcard-free prefix is this node, parks
+    /// descending records stopped by a conflict here, groups the rest per
+    /// child, and publishes each group's Bloom bits into the child's entry —
+    /// all under `guard`, which stays held. Returns the groups still to
+    /// descend; the caller decides whether they descend inline
+    /// ([`TreeInner::descend_groups`]) or on the worker pool
+    /// ([`TreeInner::descend_groups_parallel`]).
+    fn insert_stage(
+        &self,
+        node: &NodeRef,
+        guard: &mut NodeGuard,
+        effects: Vec<Arc<EffectRecord>>,
+        depth: usize,
+        swept: &mut Vec<Arc<EffectRecord>>,
+    ) -> Vec<Group> {
         // Two passes by reference instead of a `partition` (which would
         // allocate two vectors per visited node — at a 4096-wide fork that
         // is thousands of allocations per wave, once per leaf).
@@ -670,11 +874,10 @@ impl TreeScheduler {
                 if e.prefix_depth() != depth {
                     continue;
                 }
-                add_effect(&node, &mut guard, e);
-                let conflicts_here = self.check_at(&mut guard, e, false, swept);
+                add_effect(node, guard, e);
+                let conflicts_here = self.check_at(guard, e, false, swept);
                 if !conflicts_here {
-                    let conflicts_below =
-                        self.check_below(&mut guard, e, &node, None, false, swept);
+                    let conflicts_below = self.check_below(guard, e, node, None, false, swept);
                     if !conflicts_below {
                         self.enable_effect(e);
                     }
@@ -682,7 +885,7 @@ impl TreeScheduler {
             }
         }
         if n_descend == 0 {
-            return;
+            return Vec::new();
         }
         // Group the descending records per child. One wave usually runs
         // long same-child stretches (the whole batch shares a region
@@ -692,13 +895,6 @@ impl TreeScheduler {
         // are accumulated locally and folded into the child's subtree
         // filter *before this node's lock is released* (the publication
         // invariant the skip rules rely on).
-        struct Group {
-            key: RplId,
-            child: NodeRef,
-            bloom: u64,
-            write_bloom: u64,
-            records: Vec<Arc<EffectRecord>>,
-        }
         let mut below: Vec<Group> = Vec::new();
         let mut below_index: HashMap<RplId, usize> = HashMap::new();
         let mut last: Option<(RplId, usize)> = None;
@@ -706,9 +902,9 @@ impl TreeScheduler {
             if e.prefix_depth() == depth {
                 continue;
             }
-            let conflicts_here = self.check_at(&mut guard, e, false, swept);
+            let conflicts_here = self.check_at(guard, e, false, swept);
             if conflicts_here {
-                add_effect(&node, &mut guard, e);
+                add_effect(node, guard, e);
                 continue;
             }
             let next = e.prefix_path[depth + 1];
@@ -744,15 +940,31 @@ impl TreeScheduler {
             group.records.push(e.clone());
         }
         drop(effects);
-        // Publish the accumulated bits, then hand-over-hand: lock the
-        // needed children, release this node, recurse into the children.
-        let locked: Vec<(NodeRef, NodeGuard, Vec<Arc<EffectRecord>>)> = below
+        // Publish the accumulated bits into the children's subtree filters
+        // while this node's lock is still held.
+        for group in &below {
+            if let Some(entry) = guard.children.get_mut(&group.key) {
+                entry.bloom |= group.bloom;
+                entry.write_bloom |= group.write_bloom;
+            }
+        }
+        below
+    }
+
+    /// The inline (sequential) descent of the groups staged by
+    /// [`TreeInner::insert_stage`]: hand-over-hand, lock every needed child,
+    /// release this node, recurse into the children one by one on the
+    /// calling thread.
+    fn descend_groups(
+        &self,
+        guard: NodeGuard,
+        groups: Vec<Group>,
+        depth: usize,
+        swept: &mut Vec<Arc<EffectRecord>>,
+    ) {
+        let locked: Vec<(NodeRef, NodeGuard, Vec<Arc<EffectRecord>>)> = groups
             .into_iter()
             .map(|group| {
-                if let Some(entry) = guard.children.get_mut(&group.key) {
-                    entry.bloom |= group.bloom;
-                    entry.write_bloom |= group.write_bloom;
-                }
                 let child_guard = group.child.lock_arc();
                 (group.child, child_guard, group.records)
             })
@@ -760,6 +972,67 @@ impl TreeScheduler {
         drop(guard);
         for (child, child_guard, effs) in locked {
             self.insert(child, child_guard, effs, depth + 1, swept);
+        }
+    }
+
+    /// The parallel descent of a root sub-wave's first-level groups
+    /// (two-phase handoff; see the module docs and ARCHITECTURE.md for the
+    /// equivalence argument):
+    ///
+    /// 1. With the root guard still held, one admission job per group is
+    ///    pushed onto the pool's admission lane. Each job locks its group's
+    ///    first-level child *on the worker* (the vendored `ArcMutexGuard`
+    ///    is not `Send`, so guards cannot be shipped from here), reports
+    ///    `note_locked`, and only then runs the group's subtree insert.
+    ///    The submitter waits for `locked == total` before releasing the
+    ///    root — the publication invariant: no later submitter or walk can
+    ///    pass the root until every group's child is claimed. While
+    ///    waiting, the submitter helps with *admission jobs only*: running
+    ///    a user job here could re-enter `submit` and self-deadlock on the
+    ///    root this thread still holds.
+    /// 2. Root released, the submitter keeps helping until `done == total`,
+    ///    then merges the groups' swept dead records into `swept` and
+    ///    resumes the first panic, if any, so a panicking admission behaves
+    ///    like an inline one.
+    fn descend_groups_parallel(
+        self: &Arc<Self>,
+        pool: &Arc<ThreadPool>,
+        guard: NodeGuard,
+        groups: Vec<Group>,
+        swept: &mut Vec<Arc<EffectRecord>>,
+    ) {
+        self.par_waves.fetch_add(1, Ordering::Relaxed);
+        let sync = Arc::new(WaveSync::new(groups.len()));
+        for group in groups {
+            let tree = Arc::clone(self);
+            let sync = Arc::clone(&sync);
+            pool.execute_admission(Box::new(move || {
+                // `noted` guards the phase-1 count: if the descent panics,
+                // the submitter must still see `locked` reach the total or
+                // it would hold the root forever.
+                let noted = Cell::new(false);
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    let child_guard = group.child.lock_arc();
+                    sync.note_locked();
+                    noted.set(true);
+                    let mut local_swept = Vec::new();
+                    tree.insert(group.child, child_guard, group.records, 1, &mut local_swept);
+                    local_swept
+                }));
+                if !noted.get() {
+                    sync.note_locked();
+                }
+                sync.note_done(result);
+            }));
+        }
+        sync.wait(|s| s.locked, || pool.run_one_admission_job());
+        drop(guard);
+        sync.wait(|s| s.done, || pool.run_one_admission_job());
+        let mut state = sync.state.lock();
+        swept.append(&mut state.swept);
+        if let Some(panic) = state.panic.take() {
+            drop(state);
+            resume_unwind(panic);
         }
     }
 
@@ -907,14 +1180,48 @@ impl TreeScheduler {
             self.recheck_waiters_of(&dead, &mut swept);
         }
     }
-}
 
-impl Scheduler for TreeScheduler {
-    fn name(&self) -> &'static str {
-        "tree"
+    // ------------------------------------------------------------------
+    // Admission entry points (bodies of the `Scheduler` impl)
+    // ------------------------------------------------------------------
+
+    /// Admits one sub-wave of records under a single root descent. The
+    /// settle-at-root pass and the per-first-level-child grouping always run
+    /// on the calling thread under the root lock (`insert_stage`); the
+    /// groups then descend on the worker pool's admission lane when the
+    /// wave is wide enough (`par_min_records` records over `par_min_groups`
+    /// groups) *and* a pool is attached *and* at least one pool worker is
+    /// idle — the last condition is the 1-thread fallback rule: a worker
+    /// submitting from inside a task sees itself as the only (busy) worker
+    /// and must not queue admission work it would then have to wait on.
+    /// Every other wave descends inline, exactly as in `submit`.
+    fn flush_wave(
+        self: &Arc<Self>,
+        wave: &mut Vec<Arc<EffectRecord>>,
+        swept: &mut Vec<Arc<EffectRecord>>,
+    ) {
+        if wave.is_empty() {
+            return;
+        }
+        let pool = self
+            .admission
+            .as_ref()
+            .filter(|p| {
+                wave.len() >= self.par_min_records.load(Ordering::Relaxed) && p.idle_workers() > 0
+            })
+            .cloned();
+        let root = self.root.clone();
+        let mut guard = root.lock_arc();
+        let groups = self.insert_stage(&root, &mut guard, std::mem::take(wave), 0, swept);
+        match pool {
+            Some(pool) if groups.len() >= self.par_min_groups.load(Ordering::Relaxed) => {
+                self.descend_groups_parallel(&pool, guard, groups, swept);
+            }
+            _ => self.descend_groups(guard, groups, 0, swept),
+        }
     }
 
-    fn submit(&self, task: Arc<TaskRecord>) {
+    fn submit_impl(self: &Arc<Self>, task: Arc<TaskRecord>) {
         let records = self.register_records(&task);
         if records.is_empty() {
             // A pure task can run immediately.
@@ -928,12 +1235,12 @@ impl Scheduler for TreeScheduler {
         self.recheck_swept(swept);
     }
 
-    fn submit_batch(&self, tasks: Vec<Arc<TaskRecord>>) {
+    fn submit_batch_impl(self: &Arc<Self>, tasks: Vec<Arc<TaskRecord>>) {
         if tasks.len() <= 1 {
             // A single-element batch must be *exactly* `submit` — same
             // single descent, same single deferred recheck round.
             if let Some(task) = tasks.into_iter().next() {
-                self.submit(task);
+                self.submit_impl(task);
             }
             return;
         }
@@ -947,18 +1254,12 @@ impl Scheduler for TreeScheduler {
         // while keeping per-task admission overhead amortized. Sub-wave
         // boundaries fall on task boundaries, so the admission order is
         // still sequential-equivalent (a sequence of sequential-equivalent
-        // batches, via `insert`'s settle-first ordering).
+        // batches, via `insert`'s settle-first ordering — `flush_wave`
+        // preserves both properties when it dispatches a wave's groups to
+        // the pool; see `descend_groups_parallel`).
         const CHUNK: usize = 512;
         let mut swept = Vec::new();
         let mut wave: Vec<Arc<EffectRecord>> = Vec::new();
-        let flush = |wave: &mut Vec<Arc<EffectRecord>>, swept: &mut Vec<Arc<EffectRecord>>| {
-            if wave.is_empty() {
-                return;
-            }
-            let root = self.root.clone();
-            let guard = root.lock_arc();
-            self.insert(root, guard, std::mem::take(wave), 0, swept);
-        };
         for task in tasks {
             let records = self.register_records(&task);
             if records.is_empty() {
@@ -966,15 +1267,15 @@ impl Scheduler for TreeScheduler {
             } else {
                 wave.extend(records);
                 if wave.len() >= CHUNK {
-                    flush(&mut wave, &mut swept);
+                    self.flush_wave(&mut wave, &mut swept);
                 }
             }
         }
-        flush(&mut wave, &mut swept);
+        self.flush_wave(&mut wave, &mut swept);
         self.recheck_swept(swept);
     }
 
-    fn on_await(&self, _blocked: Option<&Arc<TaskRecord>>, target: &Arc<TaskRecord>) {
+    fn on_await_impl(&self, target: &Arc<TaskRecord>) {
         if target.is_done() {
             return;
         }
@@ -1002,7 +1303,7 @@ impl Scheduler for TreeScheduler {
         }
     }
 
-    fn task_done(&self, task: &Arc<TaskRecord>) {
+    fn task_done_impl(&self, task: &Arc<TaskRecord>) {
         // The runtime has already set the task's status to Done.
         let records = task.tree_effects.get().cloned().unwrap_or_default();
         for e in &records {
@@ -1017,7 +1318,7 @@ impl Scheduler for TreeScheduler {
         self.recheck_swept(swept);
     }
 
-    fn spawned_child_done(&self, parent: &Arc<TaskRecord>) {
+    fn spawned_child_done_impl(&self, parent: &Arc<TaskRecord>) {
         // A completed spawned child may have been the only thing keeping a
         // conflict alive (Figure 5.8 checks the spawned children of blocked
         // tasks), so recheck the waiters recorded on the parent's effects.
@@ -1027,6 +1328,32 @@ impl Scheduler for TreeScheduler {
             self.recheck_waiters_of(e, &mut swept);
         }
         self.recheck_swept(swept);
+    }
+}
+
+impl Scheduler for TreeScheduler {
+    fn name(&self) -> &'static str {
+        "tree"
+    }
+
+    fn submit(&self, task: Arc<TaskRecord>) {
+        self.inner.submit_impl(task);
+    }
+
+    fn submit_batch(&self, tasks: Vec<Arc<TaskRecord>>) {
+        self.inner.submit_batch_impl(tasks);
+    }
+
+    fn on_await(&self, _blocked: Option<&Arc<TaskRecord>>, target: &Arc<TaskRecord>) {
+        self.inner.on_await_impl(target);
+    }
+
+    fn task_done(&self, task: &Arc<TaskRecord>) {
+        self.inner.task_done_impl(task);
+    }
+
+    fn spawned_child_done(&self, parent: &Arc<TaskRecord>) {
+        self.inner.spawned_child_done_impl(parent);
     }
 }
 
@@ -1782,5 +2109,162 @@ mod tests {
         );
         assert_eq!(enabled_count.load(Ordering::Relaxed), 200);
         assert_eq!(sched.recorded_effects(), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Parallel admission
+    // ------------------------------------------------------------------
+
+    fn pooled_harness(threads: usize) -> Harness {
+        let enabled: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let e2 = enabled.clone();
+        let sched = TreeScheduler::with_admission(
+            Box::new(move |t| e2.lock().push(t.id)),
+            Arc::new(ThreadPool::new(threads)),
+        );
+        Harness { sched, enabled }
+    }
+
+    fn sharded_batch(n: usize, shards: usize) -> Vec<Arc<TaskRecord>> {
+        (0..n)
+            .map(|i| {
+                task(
+                    i as u64 + 1,
+                    &format!("writes Par{}:[{}]", i % shards, i / shards),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn wide_batch_dispatches_to_the_pool_and_matches_inline() {
+        let par = pooled_harness(4);
+        let inline = harness();
+        let batch_par = sharded_batch(128, 8);
+        let batch_inline = sharded_batch(128, 8);
+        par.sched.submit_batch(batch_par.clone());
+        inline.sched.submit_batch(batch_inline.clone());
+        assert!(
+            par.sched.parallel_waves() >= 1,
+            "a 128-record, 8-group batch from an external thread must dispatch"
+        );
+        // All records are pairwise disjoint, so every task enables; the
+        // statuses and the *set* of enabled ids must match the inline run
+        // (cross-group callback order may differ).
+        for (p, i) in batch_par.iter().zip(&batch_inline) {
+            assert_eq!(p.status(), i.status());
+            assert_eq!(p.status(), TaskStatus::Enabled);
+        }
+        let mut par_ids = par.enabled_ids();
+        let mut inline_ids = inline.enabled_ids();
+        par_ids.sort_unstable();
+        inline_ids.sort_unstable();
+        assert_eq!(par_ids, inline_ids);
+    }
+
+    #[test]
+    fn narrow_batch_falls_back_to_inline_descent() {
+        let h = pooled_harness(4);
+        // 16 records < the 64-record default threshold. (The batch handle
+        // stays live: records of dropped tasks are swept, not enabled.)
+        let batch = sharded_batch(16, 4);
+        h.sched.submit_batch(batch.clone());
+        assert_eq!(h.sched.parallel_waves(), 0);
+        assert_eq!(h.enabled_ids().len(), 16);
+    }
+
+    #[test]
+    fn one_thread_pool_worker_submits_inline_without_deadlock() {
+        // The 1-thread fallback rule: a batch submitted from the pool's
+        // only worker sees no idle worker and must admit inline — with a
+        // fire-and-forget dispatch this would deadlock (the worker would
+        // queue admission jobs only it could run, then wait on them).
+        let pool = Arc::new(ThreadPool::new(1));
+        let enabled: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let e2 = enabled.clone();
+        let sched = Arc::new(TreeScheduler::with_admission(
+            Box::new(move |t| e2.lock().push(t.id)),
+            Arc::clone(&pool),
+        ));
+        sched.set_admission_thresholds(1, 2);
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let batch = sharded_batch(64, 8);
+        {
+            let sched = Arc::clone(&sched);
+            let done = Arc::clone(&done);
+            let batch = batch.clone();
+            pool.execute(Box::new(move || {
+                sched.submit_batch(batch);
+                done.store(true, Ordering::Release);
+            }));
+        }
+        pool.help_until(|| done.load(Ordering::Acquire));
+        assert!(done.load(Ordering::Acquire));
+        assert_eq!(
+            sched.parallel_waves(),
+            0,
+            "a busy 1-thread pool must force the inline path"
+        );
+        assert_eq!(enabled.lock().len(), 64);
+    }
+
+    #[test]
+    fn thresholds_can_force_dispatch_of_small_batches() {
+        let h = pooled_harness(2);
+        h.sched.set_admission_thresholds(1, 2);
+        let batch = sharded_batch(8, 4);
+        h.sched.submit_batch(batch.clone());
+        assert!(h.sched.parallel_waves() >= 1);
+        assert_eq!(h.enabled_ids().len(), 8);
+    }
+
+    #[test]
+    fn root_settlers_win_over_dispatched_groups() {
+        // The settle-first invariant must survive parallel dispatch: a
+        // root-settling wildcard in the same wave is admitted (and enabled)
+        // under the root lock before any group job starts, so every
+        // grouped record below it must wait.
+        let h = pooled_harness(4);
+        h.sched.set_admission_thresholds(1, 2);
+        let sweeper = task(1000, "writes Root:*");
+        let mut batch = vec![sweeper.clone()];
+        batch.extend((0..64).map(|i| task(i + 1, &format!("writes Root:[{}]", i % 8))));
+        h.sched.submit_batch(batch.clone());
+        assert_eq!(sweeper.status(), TaskStatus::Enabled);
+        for t in &batch[1..] {
+            assert_eq!(
+                t.status(),
+                TaskStatus::Waiting,
+                "records below an enabled root wildcard must wait"
+            );
+        }
+        h.finish(&sweeper);
+        let unique_index_tasks = 8; // one per Root:[k] runs, the rest queue behind it
+        assert!(h.enabled_ids().len() > unique_index_tasks);
+    }
+
+    #[test]
+    fn panicking_admission_job_propagates_to_the_submitter() {
+        // An enable callback that panics inside a dispatched group must
+        // surface on the submitting thread (like the inline path) and must
+        // not wedge the wave's two-phase handoff.
+        let sched = TreeScheduler::with_admission(
+            Box::new(|t| {
+                if t.id == 13 {
+                    panic!("boom from enable");
+                }
+            }),
+            Arc::new(ThreadPool::new(2)),
+        );
+        sched.set_admission_thresholds(1, 2);
+        let batch = sharded_batch(32, 4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            sched.submit_batch(batch.clone());
+        }));
+        assert!(result.is_err(), "the admission panic must propagate");
+        // The scheduler survives: a later, disjoint batch still admits.
+        let later = task(5000, "writes Elsewhere");
+        sched.submit(later.clone());
+        assert_eq!(later.status(), TaskStatus::Enabled);
     }
 }

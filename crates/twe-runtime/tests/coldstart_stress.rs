@@ -11,7 +11,11 @@
 //! * the sweep/prune walk interaction on freshly-interned subtrees: nodes
 //!   created for brand-new regions must be prunable immediately after their
 //!   records drain, and the walk must stay correct while still racing
-//!   interners.
+//!   interners;
+//! * parallel batch admission racing execution: waves wide enough to
+//!   dispatch their group descents onto the worker pool are admitted while
+//!   the same pool is executing earlier waves' tasks and wildcard sweepers
+//!   claim whole anchors.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -90,6 +94,82 @@ fn cold_start_interning_races_conflict_walks() {
         "every cold-start task must run exactly once"
     );
     assert_eq!(swept.load(Ordering::Relaxed), 12);
+}
+
+/// Parallel batch admission races execution on one shared pool: each wave
+/// is wide enough (128 records over 8 first-level anchors) to dispatch its
+/// group descents to the workers — the same workers that are concurrently
+/// executing earlier waves' tasks — while sweepers repeatedly claim whole
+/// anchors, forcing conflict walks over subtrees mid-admission. Narrow
+/// moments (all workers busy) take the inline fallback instead; either
+/// path, every task must run exactly once and the counters must add up.
+#[test]
+fn parallel_admission_races_execution_and_sweeps() {
+    const SUBMITTERS: usize = 2;
+    const WAVES: usize = 6;
+    const ANCHORS: usize = 8;
+    const PER_ANCHOR: usize = 16; // 128 records/wave ≥ the 64-record dispatch floor
+
+    let rt = Arc::new(Runtime::new(4, SchedulerKind::Tree));
+    let ran = Arc::new(AtomicUsize::new(0));
+    let swept = Arc::new(AtomicUsize::new(0));
+
+    std::thread::scope(|scope| {
+        for s in 0..SUBMITTERS {
+            let rt = rt.clone();
+            let ran = ran.clone();
+            scope.spawn(move || {
+                for w in 0..WAVES {
+                    // One wave: a fresh index partition per (submitter,
+                    // wave) under each of the 8 shared anchors, so the wave
+                    // forks into 8 first-level groups at the root.
+                    let futures = rt.submit_all((0..ANCHORS * PER_ANCHOR).map(|k| {
+                        let ran = ran.clone();
+                        (
+                            format!("mixed-{s}-{w}-{k}"),
+                            EffectSet::parse(&format!(
+                                "writes Mixed{}:[{}]:[{}]",
+                                k % ANCHORS,
+                                s * WAVES + w,
+                                k / ANCHORS
+                            )),
+                            move |_: &twe_runtime::TaskCtx<'_>| {
+                                ran.fetch_add(1, Ordering::Relaxed);
+                            },
+                        )
+                    }));
+                    for f in &futures {
+                        f.wait();
+                    }
+                }
+            });
+        }
+        // Sweepers: whole-anchor wildcard claims that serialize against
+        // every record a concurrent wave admits under that anchor.
+        for a in 0..2 {
+            let rt = rt.clone();
+            let swept = swept.clone();
+            scope.spawn(move || {
+                for _ in 0..4 {
+                    let swept = swept.clone();
+                    rt.run(
+                        "mixed-sweeper",
+                        EffectSet::parse(&format!("writes Mixed{a}:*")),
+                        move |_| {
+                            swept.fetch_add(1, Ordering::Relaxed);
+                        },
+                    );
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        ran.load(Ordering::Relaxed),
+        SUBMITTERS * WAVES * ANCHORS * PER_ANCHOR,
+        "every batched task must run exactly once"
+    );
+    assert_eq!(swept.load(Ordering::Relaxed), 8);
 }
 
 /// Distinct submitters racing the *same* fresh paths must agree on the
