@@ -30,10 +30,17 @@
 //! cold-start interning of fresh `Data:[i]:[j]` subtrees at 1/2/4/8 threads,
 //! the sharded arena vs a single-lock baseline replica; `--intern-json`
 //! writes the rows as `BENCH_intern.json` (also a CI smoke-job artifact).
+//!
+//! `--fig reclaim` runs only the dynamic-region churn microbenchmark:
+//! create/drop churn of `__DynRegion` ids at 1/2/4 churn threads under two
+//! pinned reader threads running relation walks, the epoch reclaimer vs the
+//! leaking baseline (bounded vs unbounded arena footprint);
+//! `--reclaim-json` writes the rows as `BENCH_reclaim.json` (also a CI
+//! smoke-job artifact).
 
 use twe_bench::{
-    print_conflict_rows, print_intern_rows, print_rows, print_submit_rows, run_conflict_bench,
-    run_figures, run_intern_bench, run_submit_bench,
+    print_conflict_rows, print_intern_rows, print_reclaim_rows, print_rows, print_submit_rows,
+    run_conflict_bench, run_figures, run_intern_bench, run_reclaim_bench, run_submit_bench,
 };
 
 fn main() {
@@ -44,6 +51,7 @@ fn main() {
     let mut conflict_json_path: Option<String> = None;
     let mut submit_json_path: Option<String> = None;
     let mut intern_json_path: Option<String> = None;
+    let mut reclaim_json_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -71,11 +79,16 @@ fn main() {
                 intern_json_path = args.get(i + 1).cloned();
                 i += 2;
             }
+            "--reclaim-json" => {
+                reclaim_json_path = args.get(i + 1).cloned();
+                i += 2;
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--fig 6.1|6.2|6.3|6.4|7.1|conflict|submit|intern|all] \
+                    "usage: figures [--fig 6.1|6.2|6.3|6.4|7.1|conflict|submit|intern|reclaim|all] \
                      [--quick] [--json out.json] [--conflict-json BENCH_conflict.json] \
-                     [--submit-json BENCH_submit.json] [--intern-json BENCH_intern.json]"
+                     [--submit-json BENCH_submit.json] [--intern-json BENCH_intern.json] \
+                     [--reclaim-json BENCH_reclaim.json]"
                 );
                 return;
             }
@@ -91,12 +104,15 @@ fn main() {
     let run_conflict = which == "conflict" || conflict_json_path.is_some();
     let run_submit = which == "submit" || submit_json_path.is_some();
     let run_intern = which == "intern" || intern_json_path.is_some();
-    let micro_only = which == "conflict" || which == "submit" || which == "intern";
+    let run_reclaim = which == "reclaim" || reclaim_json_path.is_some();
+    let micro_only =
+        which == "conflict" || which == "submit" || which == "intern" || which == "reclaim";
     if micro_only {
         if json_path.is_some() {
             eprintln!(
                 "# note: --json applies to figure rows and is ignored with --fig {which}; \
-                 use --conflict-json / --submit-json / --intern-json for the microbench records"
+                 use --conflict-json / --submit-json / --intern-json / --reclaim-json \
+                 for the microbench records"
             );
         }
     } else {
@@ -154,6 +170,22 @@ fn main() {
         if let Some(path) = intern_json_path {
             let json = serde_json::to_string_pretty(&rows).expect("serialize intern rows");
             std::fs::write(&path, json).expect("write intern JSON output");
+            eprintln!("# wrote {path}");
+        }
+    }
+    if run_reclaim {
+        eprintln!(
+            "# dynamic-region churn microbench ({} mode, host parallelism = {})",
+            if quick { "quick" } else { "full" },
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        );
+        let rows = run_reclaim_bench(quick);
+        print_reclaim_rows(&rows);
+        if let Some(path) = reclaim_json_path {
+            let json = serde_json::to_string_pretty(&rows).expect("serialize reclaim rows");
+            std::fs::write(&path, json).expect("write reclaim JSON output");
             eprintln!("# wrote {path}");
         }
     }

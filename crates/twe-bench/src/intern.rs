@@ -175,7 +175,7 @@ impl SingleLockArena {
 /// honest even on an oversubscribed host, where the coordinating thread may
 /// not be rescheduled until the workers have already finished (spawn cost
 /// stays excluded: clocks start after the barrier).
-fn timed_parallel(threads: usize, work: impl Fn(usize) + Sync) -> f64 {
+pub(crate) fn timed_parallel(threads: usize, work: impl Fn(usize) + Sync) -> f64 {
     let barrier = Barrier::new(threads);
     let spans = parking_lot::Mutex::new(Vec::with_capacity(threads));
     std::thread::scope(|scope| {

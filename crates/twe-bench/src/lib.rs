@@ -15,8 +15,10 @@
 #![warn(missing_docs)]
 
 pub mod intern;
+pub mod reclaim;
 
 pub use intern::{print_intern_rows, run_intern_bench, InternRow, INTERN_THREADS};
+pub use reclaim::{print_reclaim_rows, run_reclaim_bench, ReclaimRow, RECLAIM_THREADS};
 
 use serde::Serialize;
 use std::sync::Arc;

@@ -90,10 +90,12 @@ pub mod effect;
 pub mod idhash;
 pub mod intern;
 mod leak;
+pub mod reclaim;
 pub mod rpl;
 
 pub use arena::RplId;
 pub use compound::{BitCompound, CompoundEffect, CompoundOp, EffectDomain};
 pub use effect::{bloom_bit, Effect, EffectKind, EffectSet};
 pub use intern::{intern, resolve, Symbol};
+pub use reclaim::{DynRegion, Reclaimer};
 pub use rpl::{Rpl, RplElement};

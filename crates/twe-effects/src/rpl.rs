@@ -346,11 +346,29 @@ impl PairCache {
     }
 }
 
+/// Whether `r` names a dynamic reference region: its prefix lies under the
+/// reserved `__DynRegion` root. O(1) (one `id_path` probe).
+fn names_dyn_region(r: Rpl) -> bool {
+    crate::arena::is_ancestor_or_self(crate::arena::dyn_region_root(), r.prefix)
+}
+
 fn cached_relation(
     cache: &'static PairCache,
     key: (Rpl, Rpl),
     compute: impl FnOnce() -> bool,
 ) -> bool {
+    // Dynamic region ids are recyclable ([`crate::reclaim`]): the same
+    // `__DynRegion:[n]` id names a different cell each era, so a memoized
+    // relation for it could be served across a recycle. The ids stay out
+    // of the memo caches entirely — the caches remain generation-free.
+    // This costs nothing real: a fully-specified dyn-region pair is
+    // decided by the O(1) concrete fast paths before reaching here, so
+    // this bypass only fires for rare wildcard-vs-dyn walks, which fall
+    // through to the element-wise compute exactly like an over-long
+    // suffix does.
+    if names_dyn_region(key.0) || names_dyn_region(key.1) {
+        return compute();
+    }
     let (Some(ka), Some(kb)) = (pack_rpl(key.0), pack_rpl(key.1)) else {
         return compute();
     };
@@ -1087,6 +1105,48 @@ mod tests {
         assert!(rpl("A:B").starts_with(&[]));
     }
 
+    use crate::reclaim::Reclaimer as _;
+
+    /// Both cache orders of a pair, `None` only if neither is memoized.
+    fn memo_probe(cache: &'static PairCache, a: Rpl, b: Rpl) -> Option<bool> {
+        let (ka, kb) = (pack_rpl(a).unwrap(), pack_rpl(b).unwrap());
+        cache.lookup(ka, kb).or_else(|| cache.lookup(kb, ka))
+    }
+
+    #[test]
+    fn dyn_region_pairs_stay_out_of_memo_caches() {
+        // Recyclable ids must not occupy write-once memo slots: the same
+        // wildcard queries that memoize for static prefixes leave no trace
+        // for a `__DynRegion` prefix. The partners carry a mid-path `*` so
+        // the queries fall past the O(1) trailing-wildcard fast paths and
+        // genuinely reach `cached_relation`.
+        let region = crate::reclaim::global().allocate();
+        let dyn_star = region.rpl().under_star();
+        let partner = rpl("A:*:B");
+        assert!(!dyn_star.overlaps(&partner));
+        assert_eq!(memo_probe(&OVERLAPS_CACHE, dyn_star, partner), None);
+        let mut elems = region.rpl().elements().to_vec();
+        elems.extend([RplElement::Star, RplElement::name("B")]);
+        let dyn_wild = Rpl::new(elems);
+        let concrete = rpl("A:B");
+        assert!(!dyn_wild.includes(&concrete));
+        assert_eq!(memo_probe(&INCLUDES_CACHE, dyn_wild, concrete), None);
+        // The equivalent static-prefix queries do memoize, proving the
+        // assertions above test the bypass and not a cold cache.
+        let static_star = rpl("StaticMemoProbe").under_star();
+        assert!(!static_star.overlaps(&partner));
+        assert_eq!(
+            memo_probe(&OVERLAPS_CACHE, static_star, partner),
+            Some(false)
+        );
+        let static_wild = rpl("StaticMemoProbe:*:B");
+        assert!(!static_wild.includes(&concrete));
+        assert_eq!(
+            memo_probe(&INCLUDES_CACHE, static_wild, concrete),
+            Some(false)
+        );
+    }
+
     mod proptests {
         use super::*;
         use proptest::prelude::*;
@@ -1178,6 +1238,51 @@ mod tests {
             fn parse_display_roundtrip(a in arb_rpl()) {
                 let text = format!("{a}");
                 prop_assert_eq!(Rpl::parse(&text), a);
+            }
+
+            /// Exactness under recycle: relations touching dynamic-region
+            /// RPLs always agree with the element-wise oracle, across
+            /// retire/re-allocate cycles of the *same* arena id and across
+            /// repeated queries that would have hit a memo for a static
+            /// prefix (dyn ids bypass the memo caches; see
+            /// `cached_relation`).
+            #[test]
+            fn dyn_region_relations_match_oracle_across_recycles(
+                partners in proptest::collection::vec(arb_rpl(), 1..5),
+                suffix in proptest::collection::vec(arb_element(), 0..3),
+                cycles in 1..4usize,
+            ) {
+                let reclaimer = crate::reclaim::Epoch::new();
+                let mut region = reclaimer.allocate();
+                for _ in 0..cycles {
+                    let mut elems = region.rpl().elements().to_vec();
+                    elems.extend(suffix.iter().cloned());
+                    let d = Rpl::new(elems);
+                    for p in &partners {
+                        for (a, b) in [(d, *p), (*p, d)] {
+                            // Twice each: a second query answered from a
+                            // (wrongly) memoized slot would be the recycle
+                            // aliasing bug this guards against.
+                            for _ in 0..2 {
+                                prop_assert_eq!(
+                                    a.overlaps(&b),
+                                    oracle::overlaps(a.elements(), b.elements())
+                                );
+                                prop_assert_eq!(
+                                    a.includes(&b),
+                                    oracle::includes(a.elements(), b.elements())
+                                );
+                            }
+                        }
+                    }
+                    let prev = region.id();
+                    reclaimer.retire(region);
+                    region = reclaimer.allocate();
+                    // The cycle genuinely reuses the id (idle churn, no
+                    // pinned readers), so era 2 queries the same ids era 1
+                    // did — the aliasing-prone case.
+                    prop_assert_eq!(region.id(), prev);
+                }
             }
 
             /// Interning round-trip: the elements the RPL was built from are

@@ -22,13 +22,24 @@
 //! cell, and a sharded claim table keyed by the region id performs exactly
 //! the conflict check the paper's per-tree-node dynamic effect sets perform
 //! (§7.5), with the same abort-the-requester / retry resolution (§7.2.4).
+//!
+//! Reference regions are **recyclable**: cells allocate their region
+//! through the process-global epoch reclaimer
+//! ([`twe_effects::reclaim::global`]) and [`DynCell`]'s `Drop` retires it,
+//! so a workload churning through millions of short-lived cells keeps a
+//! bounded arena footprint instead of leaking one interned entry per cell.
+//! Dropping also notifies live runtimes (claim-table entry dropped, tree
+//! scheduler node pruned) before the id can start a new era. See the
+//! reclamation contract in `ARCHITECTURE.md` and the pin/generation
+//! discipline on [`DynCell::region_id`].
 
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::Arc;
-use twe_effects::arena::{self, RplId};
-use twe_effects::{Rpl, RplElement};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
+use twe_effects::arena::RplId;
+use twe_effects::reclaim::{self, DynRegion, Reclaimer};
+use twe_effects::Rpl;
 
 /// Error returned when adding a dynamic effect conflicts with another task's
 /// dynamic effects; the requesting task should abort and retry.
@@ -43,19 +54,51 @@ impl std::fmt::Display for Aborted {
 
 impl std::error::Error for Aborted {}
 
-static NEXT_DYN_REGION: AtomicI64 = AtomicI64::new(1);
-
-/// Interns a fresh reference region `Root:__DynRegion:[n]`, returning its
-/// arena id.
+/// Allocates a reference region `Root:__DynRegion:[n]` through the
+/// process-global epoch reclaimer ([`twe_effects::reclaim::global`]).
 ///
-/// Cost note: the arena is append-only, so every cell ever created leaves
-/// one permanently-interned entry (~100 bytes) behind — the price of giving
-/// dynamic regions the same O(1) conflict fast paths as static ones.
-/// Workloads that churn through millions of short-lived cells should pool
-/// and reuse them (or see the arena-reclamation item in ROADMAP.md).
-fn fresh_dyn_region() -> RplId {
-    let n = NEXT_DYN_REGION.fetch_add(1, Ordering::Relaxed);
-    arena::intern_child(arena::dyn_region_root(), RplElement::Index(n))
+/// The arena stays append-only, but the *logical* region is recyclable:
+/// when the owning cell drops, [`DynCell`]'s `Drop` retires the region and
+/// — once the epoch grace period has passed — a later cell reuses the same
+/// interned id under a bumped generation. Steady-state arena footprint is
+/// therefore bounded by the live-cell window, not by the total number of
+/// cells ever created; `BENCH_reclaim.json` tracks this against the
+/// pre-reclamation leak baseline.
+fn fresh_dyn_region() -> DynRegion {
+    reclaim::global().allocate()
+}
+
+/// A consumer of region-retired notifications (the runtime: it drops the
+/// claim table's per-region state and lets the scheduler prune the
+/// region's tree node). Registered weakly so dropped runtimes unregister
+/// themselves.
+pub(crate) trait RegionRetireSink: Send + Sync {
+    /// `region` has been retired: no task's effect set can still name it.
+    fn region_retired(&self, region: RplId);
+}
+
+fn retire_sinks() -> &'static Mutex<Vec<Weak<dyn RegionRetireSink>>> {
+    static SINKS: OnceLock<Mutex<Vec<Weak<dyn RegionRetireSink>>>> = OnceLock::new();
+    SINKS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Registers a runtime for retire notifications (process-global, weak).
+pub(crate) fn register_retire_sink(sink: Weak<dyn RegionRetireSink>) {
+    let mut sinks = retire_sinks().lock();
+    sinks.retain(|s| s.strong_count() > 0);
+    sinks.push(sink);
+}
+
+/// Notifies every live runtime that `region` is retired. The sink list is
+/// snapshotted first: sinks take scheduler locks, so none are held here.
+fn notify_region_retired(region: RplId) {
+    let live: Vec<Arc<dyn RegionRetireSink>> = {
+        let sinks = retire_sinks().lock();
+        sinks.iter().filter_map(Weak::upgrade).collect()
+    };
+    for sink in live {
+        sink.region_retired(region);
+    }
 }
 
 /// A shared object with its own unique *reference region*.
@@ -71,7 +114,7 @@ fn fresh_dyn_region() -> RplId {
 /// [`DynCell::rpl`] can also be used to declare a *static* effect on the
 /// cell and route it through the effect-aware schedulers.
 pub struct DynCell<T> {
-    region: RplId,
+    region: DynRegion,
     data: RwLock<T>,
 }
 
@@ -85,8 +128,23 @@ impl<T> DynCell<T> {
     }
 
     /// The interned id of this cell's reference region.
+    ///
+    /// The id is stable and arena-resolvable forever, but it names *this*
+    /// cell only while the cell is alive: after the cell drops, the epoch
+    /// reclaimer may recycle the id for a new cell under a bumped
+    /// generation ([`DynCell::generation`]). Code holding the cell's `Arc`
+    /// may use the id freely; code stashing raw ids across the cell's
+    /// lifetime must pin ([`twe_effects::reclaim::Reclaimer::pin`]) and
+    /// generation-check instead.
     pub fn region_id(&self) -> RplId {
-        self.region
+        self.region.id()
+    }
+
+    /// The era of this cell's region: recycling the id for a later cell
+    /// bumps it, so `(region_id, generation)` is unique across the whole
+    /// process lifetime even though `region_id` alone is not.
+    pub fn generation(&self) -> u32 {
+        self.region.generation()
     }
 
     /// The cell's reference region as an ordinary fully-specified RPL
@@ -102,7 +160,7 @@ impl<T> DynCell<T> {
     /// vice versa; mixing the disciplines on one cell forfeits isolation
     /// for it. Cross-plane coordination is a ROADMAP item.
     pub fn rpl(&self) -> Rpl {
-        Rpl::from_prefix_id(self.region)
+        Rpl::from_prefix_id(self.region.id())
     }
 
     /// Read access to the data (the caller should hold a read or write claim).
@@ -116,12 +174,29 @@ impl<T> DynCell<T> {
     }
 }
 
+impl<T> Drop for DynCell<T> {
+    fn drop(&mut self) {
+        // Reaching drop proves quiescence: under the one-discipline
+        // contract every task naming this region — through a claim
+        // (`acquire_*` holds the `Arc` via `TaskCtx`) or a static effect
+        // on `rpl()` (the effect set names an id obtained from a live
+        // cell the caller keeps alive across the task) — holds the cell,
+        // so no live task's effect set can still name the region. Clear
+        // the runtime state keyed on the id first (claim-table entry,
+        // scheduler tree node), then hand the id to the epoch reclaimer;
+        // only after the grace period can a new cell reuse it.
+        notify_region_retired(self.region.id());
+        reclaim::global().retire(self.region);
+    }
+}
+
 impl<T: std::fmt::Debug> std::fmt::Debug for DynCell<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "DynCell#{}({:?})",
-            self.region.index(),
+            "DynCell#{}g{}({:?})",
+            self.region.id().index(),
+            self.region.generation(),
             &*self.data.read()
         )
     }
@@ -179,7 +254,14 @@ impl DynamicEffectTable {
     /// Adds a dynamic *read* effect on `region` for `task`.
     ///
     /// Fails (and counts a conflict) if another task holds a write claim.
+    ///
+    /// The op runs under an epoch pin: callers reach here holding the
+    /// cell's `Arc` (via `TaskCtx`), which already blocks retirement, but
+    /// the pin makes the table robust on its own terms — the region
+    /// cannot be recycled mid-operation even for a caller that passed a
+    /// raw id, so the entry this claim lands in is never a new era's.
     pub fn acquire_read(&self, task: u64, region: RplId) -> Result<(), Aborted> {
+        let _pin = reclaim::global().pin();
         let mut shard = self.shard(region).lock();
         let entry = shard.entry(region).or_default();
         match entry.writer {
@@ -200,7 +282,10 @@ impl DynamicEffectTable {
     /// Adds a dynamic *write* effect on `region` for `task`.
     ///
     /// Fails (and counts a conflict) if another task holds any claim on it.
+    ///
+    /// Runs under an epoch pin, like [`DynamicEffectTable::acquire_read`].
     pub fn acquire_write(&self, task: u64, region: RplId) -> Result<(), Aborted> {
+        let _pin = reclaim::global().pin();
         let mut shard = self.shard(region).lock();
         let entry = shard.entry(region).or_default();
         let other_writer = matches!(entry.writer, Some(owner) if owner != task);
@@ -241,6 +326,18 @@ impl DynamicEffectTable {
         }
     }
 
+    /// Drops all per-region state for a retired region.
+    ///
+    /// Called when the owning [`DynCell`] drops; at that point the
+    /// one-discipline contract guarantees no task still holds a claim on
+    /// it, so the entry (if any) records only stale bookkeeping. Removing
+    /// it keeps the table's footprint proportional to *live* claimed
+    /// regions even under cell churn, and guarantees a recycled id starts
+    /// its next era with a clean entry.
+    pub fn forget_region(&self, region: RplId) {
+        self.shard(region).lock().remove(&region);
+    }
+
     /// Activity counters.
     pub fn stats(&self) -> DynamicStats {
         DynamicStats {
@@ -253,9 +350,18 @@ impl DynamicEffectTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use twe_effects::arena;
 
+    /// A stable test region per tag, allocated through the real
+    /// [`fresh_dyn_region`] path — the same allocator (and recycler)
+    /// production cells use — instead of hand-minting `Index(1_000_000 +
+    /// tag)` arena children behind the reclaimer's back. The handles are
+    /// kept (never retired), so the ids can never be recycled out from
+    /// under the claims these tests record.
     fn region(tag: i64) -> RplId {
-        arena::intern_child(arena::dyn_region_root(), RplElement::Index(1_000_000 + tag))
+        static REGIONS: OnceLock<Mutex<HashMap<i64, DynRegion>>> = OnceLock::new();
+        let mut map = REGIONS.get_or_init(|| Mutex::new(HashMap::new())).lock();
+        map.entry(tag).or_insert_with(fresh_dyn_region).id()
     }
 
     #[test]
@@ -322,8 +428,37 @@ mod tests {
         assert!(!a.rpl().disjoint(&a.rpl()));
         assert!(a.rpl().disjoint(&Rpl::parse("Data:[3]")));
         // A `__DynRegion:[?]` wildcard claim overlaps every cell.
-        let any_cell = Rpl::from_prefix_id(arena::dyn_region_root()).child(RplElement::AnyIndex);
+        let any_cell =
+            Rpl::from_prefix_id(arena::dyn_region_root()).child(twe_effects::RplElement::AnyIndex);
         assert!(!any_cell.disjoint(&a.rpl()));
+    }
+
+    #[test]
+    fn dropping_a_cell_retires_its_region() {
+        let cell: Arc<DynCell<i32>> = DynCell::new(7);
+        let id = cell.region_id();
+        let generation = cell.generation();
+        assert_eq!(reclaim::global().generation_of(id), Some(generation));
+        drop(cell);
+        // Retire bumps the generation immediately; the id may since have
+        // been recycled (and re-retired) by concurrent tests, so the era
+        // is strictly past ours rather than exactly ours + 1.
+        let now = reclaim::global()
+            .generation_of(id)
+            .expect("cell regions are reclaimer-tracked");
+        assert!(now > generation, "drop must end the cell's era");
+    }
+
+    #[test]
+    fn forget_region_clears_claims() {
+        let table = DynamicEffectTable::new();
+        let r = region(9_000);
+        assert!(table.acquire_write(1, r).is_ok());
+        assert!(table.holds(1, r));
+        table.forget_region(r);
+        assert!(!table.holds(1, r));
+        // A recycled id starts its next era unclaimed.
+        assert!(table.acquire_write(2, r).is_ok());
     }
 
     #[test]

@@ -295,6 +295,16 @@ impl RtInner {
     }
 }
 
+impl dynamics::RegionRetireSink for RtInner {
+    fn region_retired(&self, region: twe_effects::RplId) {
+        // Ordering: the cell's drop runs this *before* the id is handed to
+        // the epoch reclaimer, so both cleanups finish before the id can
+        // open a new era.
+        self.dynamic.forget_region(region);
+        self.scheduler.region_retired(region);
+    }
+}
+
 /// Common completion path for both job kinds: implicit join of spawned
 /// children, result publication, scheduler notification.
 fn finish_task<T: Send + 'static>(
@@ -410,6 +420,12 @@ impl Runtime {
                 task_retries: AtomicU64::new(0),
             }
         });
+        // Register for region-retired notifications (DynCell drops): the
+        // runtime drops the claim table's per-region state and lets the
+        // scheduler prune the region's node. Weak, so a dropped runtime
+        // unregisters itself.
+        let sink: Weak<dyn dynamics::RegionRetireSink> = Arc::downgrade(&inner) as _;
+        dynamics::register_retire_sink(sink);
         Runtime { inner }
     }
 

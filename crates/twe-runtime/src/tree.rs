@@ -178,6 +178,21 @@ struct ChildEntry {
     bloom: u64,
     /// The same filter restricted to write records.
     write_bloom: u64,
+    /// Stale **upper bound** on the records below whose task is alive and
+    /// not done — the records that can still conflict, need enabling, or
+    /// need moving up. Maintained with the same discipline as the Blooms:
+    /// incremented under the parent lock whenever a record enters the
+    /// subtree ([`ChildEntry::absorb`] / group publication), never
+    /// decremented in place, rewritten fresh by a full walk
+    /// ([`NodeInner::fresh_summary`]). Zero is therefore definitive while
+    /// the parent lock is held: nothing below is live, so trailing-star
+    /// *write* walks — which have no Bloom skip of their own, a write
+    /// overlaps everything under its wildcard — may skip the subtree.
+    /// (This subsumes an "enabled writers below" count: a write walk must
+    /// also visit live *waiting* records to move them up, and live
+    /// *readers* to conflict with, so live-records-below is the weakest
+    /// count that is still a sound skip.)
+    live_below: u32,
 }
 
 impl ChildEntry {
@@ -186,6 +201,7 @@ impl ChildEntry {
             node: new_node(depth),
             bloom: 0,
             write_bloom: 0,
+            live_below: 0,
         }
     }
 
@@ -199,6 +215,7 @@ impl ChildEntry {
         if e.write {
             self.write_bloom |= bit;
         }
+        self.live_below = self.live_below.saturating_add(1);
     }
 }
 
@@ -239,25 +256,31 @@ impl NodeInner {
         e
     }
 
-    /// The node's true subtree Blooms as far as this node can know them:
-    /// exact bits for its own records, the (superset) child entries for
-    /// everything deeper. Used to rewrite this node's entry in its parent
-    /// after a full walk.
-    fn fresh_blooms(&self) -> (u64, u64) {
+    /// The node's true subtree summary as far as this node can know it:
+    /// exact Bloom bits and an exact liveness count for its own records, the
+    /// (superset) child entries for everything deeper. Used to rewrite this
+    /// node's entry in its parent after a full walk. Returns
+    /// `(bloom, write_bloom, live_below)`.
+    fn fresh_summary(&self) -> (u64, u64, u32) {
         let mut bloom = 0u64;
         let mut write_bloom = 0u64;
+        let mut live = 0u32;
         for e in &self.effects {
             let bit = record_bit(e);
             bloom |= bit;
             if e.write {
                 write_bloom |= bit;
             }
+            if e.task.upgrade().is_some_and(|t| !t.is_done()) {
+                live = live.saturating_add(1);
+            }
         }
         for entry in self.children.values() {
             bloom |= entry.bloom;
             write_bloom |= entry.write_bloom;
+            live = live.saturating_add(entry.live_below);
         }
-        (bloom, write_bloom)
+        (bloom, write_bloom, live)
     }
 }
 
@@ -735,6 +758,18 @@ impl TreeInner {
                 // cannot conflict with anything down there.
                 continue;
             }
+            if e.write && entry.live_below == 0 {
+                // No live record anywhere in the subtree: nothing below can
+                // conflict (`conflicts` ignores dead and done tasks),
+                // nothing needs enabling, and nothing needs moving up, so a
+                // trailing-star *write* walk — for which the Blooms never
+                // help, a write overlaps everything under its wildcard — may
+                // skip the subtree wholesale. Sound because `live_below` is
+                // a superset count under the parent lock, exactly like the
+                // Blooms. Restricted to write walks so read walks keep
+                // today's sweep behavior over write-bearing subtrees.
+                continue;
+            }
             if any_index_only && entry.bloom & twe_effects::bloom_bit(key) == 0 {
                 // `P:[?]` denotes only the regions `P:[n]`, so it can
                 // conflict only with records settled *at* this index child
@@ -795,10 +830,11 @@ impl TreeInner {
                 // the node's freshest knowledge (exact bits for its own
                 // records, superset entries for everything deeper). This is
                 // where the sweep/prune walks shrink the Blooms back down.
-                let (bloom, write_bloom) = cg.fresh_blooms();
+                let (bloom, write_bloom, live_below) = cg.fresh_summary();
                 if let Some(entry) = parent_guard.children.get_mut(&key) {
                     entry.bloom = bloom;
                     entry.write_bloom = write_bloom;
+                    entry.live_below = live_below;
                 }
             }
             let prune = cg.effects.is_empty() && cg.children.is_empty();
@@ -946,6 +982,7 @@ impl TreeInner {
             if let Some(entry) = guard.children.get_mut(&group.key) {
                 entry.bloom |= group.bloom;
                 entry.write_bloom |= group.write_bloom;
+                entry.live_below = entry.live_below.saturating_add(group.records.len() as u32);
             }
         }
         below
@@ -1303,13 +1340,99 @@ impl TreeInner {
         }
     }
 
+    /// Eagerly prunes the tree along one root-to-node id path: every node on
+    /// the path that is (or becomes) empty is unlinked from its parent, and
+    /// the surviving deepest node's entry is rewritten with a fresh summary.
+    /// Dead records met along the way are swept exactly as a conflict walk
+    /// would sweep them.
+    ///
+    /// This is how quiescent state leaves the tree without waiting for a
+    /// wildcard walk to stumble over it: `task_done` calls it for each node a
+    /// finished task emptied, and `region_retired` calls it with the retired
+    /// region's interned path so a recycled `__DynRegion` id never greets its
+    /// next era with the previous era's node.
+    ///
+    /// Locking: the guard chain is acquired strictly root-downward (the same
+    /// order as every insert/walk descent), so it cannot deadlock with
+    /// concurrent walks. The unwind pops the deepest guard first; each
+    /// parent-entry rewrite/removal happens while that parent's guard is
+    /// still held, which is exactly the discipline `check_below`'s rebuild
+    /// and prune steps follow (node additions require the parent lock, so an
+    /// entry written from a summary computed under the child lock stays a
+    /// superset).
+    fn prune_quiescent_path(&self, path: &[RplId]) {
+        if path.len() < 2 {
+            // `path[0]` is ROOT; the root node itself is never removed.
+            return;
+        }
+        let mut guards: Vec<NodeGuard> = vec![self.root.lock_arc()];
+        for key in &path[1..] {
+            let child = match guards.last().unwrap().children.get(key) {
+                Some(entry) => entry.node.clone(),
+                None => break,
+            };
+            guards.push(child.lock_arc());
+        }
+        let mut swept = Vec::new();
+        while guards.len() > 1 {
+            let mut guard = guards.pop().unwrap();
+            let mut i = 0;
+            while i < guard.effects.len() {
+                if guard.effects[i].task.strong_count() == 0 {
+                    swept.push(guard.remove_record_at(i));
+                    continue;
+                }
+                i += 1;
+            }
+            let empty = guard.effects.is_empty() && guard.children.is_empty();
+            let summary = if empty {
+                None
+            } else {
+                Some(guard.fresh_summary())
+            };
+            drop(guard);
+            let key = path[guards.len()];
+            let parent = guards.last_mut().unwrap();
+            match summary {
+                None => {
+                    parent.children.remove(&key);
+                    // Keep unwinding: removing this node may have emptied
+                    // the parent too.
+                }
+                Some((bloom, write_bloom, live_below)) => {
+                    if let Some(entry) = parent.children.get_mut(&key) {
+                        entry.bloom = bloom;
+                        entry.write_bloom = write_bloom;
+                        entry.live_below = live_below;
+                    }
+                    break;
+                }
+            }
+        }
+        drop(guards);
+        self.recheck_swept(swept);
+    }
+
     fn task_done_impl(&self, task: &Arc<TaskRecord>) {
         // The runtime has already set the task's status to Done.
         let records = task.tree_effects.get().cloned().unwrap_or_default();
+        let mut quiescent_paths: Vec<&[RplId]> = Vec::new();
         for e in &records {
             let (_node, mut guard) = self.lock_containing_node(e);
             remove_effect(&mut guard, e);
+            if guard.depth > 0 && guard.effects.is_empty() && guard.children.is_empty() {
+                // The finished task emptied this node: prune it eagerly
+                // instead of leaving it for the next wildcard walk, so
+                // index-region traffic (`Data:[i]`) keeps the tree flat even
+                // when no wildcard effect ever visits it.
+                quiescent_paths.push(&e.prefix_path[..=guard.depth]);
+            }
             drop(guard);
+        }
+        for path in quiescent_paths {
+            // Idempotent (a path already pruned by an earlier iteration or a
+            // concurrent walk just stops at the missing child), so no dedup.
+            self.prune_quiescent_path(path);
         }
         let mut swept = Vec::new();
         for e in &records {
@@ -1354,6 +1477,20 @@ impl Scheduler for TreeScheduler {
 
     fn spawned_child_done(&self, parent: &Arc<TaskRecord>) {
         self.inner.spawned_child_done_impl(parent);
+    }
+
+    fn region_retired(&self, region: RplId) {
+        // No live task can still name the region (retire runs from
+        // `DynCell::drop`, and live effects keep the cell alive through
+        // their task), so everything at the region's node is dead or done
+        // and the node can be pruned before the epoch reclaimer hands the
+        // id to a new cell. Production cell effects are fully specified
+        // (`cell.rpl()` has no wildcard), so they settle exactly at the
+        // region's own node — pruning the interned path covers them; any
+        // deeper records under manually-built sub-region RPLs are left to
+        // the normal sweep walks.
+        self.inner
+            .prune_quiescent_path(twe_effects::arena::id_path(region));
     }
 }
 
@@ -1679,28 +1816,34 @@ mod tests {
     #[test]
     fn empty_leaf_nodes_are_pruned_after_index_churn() {
         let h = harness();
+        // Finished tasks are pruned eagerly by `task_done` (see
+        // `task_done_prunes_quiescent_subtrees_without_wildcard_walks`);
+        // *dropped* tasks leave dead records behind and still rely on the
+        // lazy wildcard-walk sweep exercised here.
         let tasks: Vec<_> = (0..64)
             .map(|i| task(i, &format!("writes Churn:[{i}]")))
             .collect();
         for t in &tasks {
             h.sched.submit(t.clone());
         }
-        for t in &tasks {
-            h.finish(t);
-        }
-        assert_eq!(h.sched.recorded_effects(), 0);
-        // Index churn left one empty leaf per distinct region.
+        drop(tasks);
+        // Dropped-task churn left one leaf per distinct region, each holding
+        // a dead record.
         let before = h.sched.tree_nodes();
         assert!(
             before >= 66,
             "expected root + Churn + 64 leaves, got {before}"
         );
-        // A wildcard walk over the subtree prunes the empty leaves.
+        // A wildcard walk over the subtree sweeps the dead records and
+        // prunes the emptied leaves.
         let sweeper = task(100, "writes Churn:*");
         h.sched.submit(sweeper.clone());
+        assert_eq!(sweeper.status(), TaskStatus::Enabled);
         let after = h.sched.tree_nodes();
         assert_eq!(after, 2, "only root and the Churn node may remain");
         h.finish(&sweeper);
+        assert_eq!(h.sched.recorded_effects(), 0);
+        assert_eq!(h.sched.tree_nodes(), 1, "the sweeper's own node pruned");
     }
 
     #[test]
@@ -2266,5 +2409,93 @@ mod tests {
         let later = task(5000, "writes Elsewhere");
         sched.submit(later.clone());
         assert_eq!(later.status(), TaskStatus::Enabled);
+    }
+
+    #[test]
+    fn task_done_prunes_quiescent_subtrees_without_wildcard_walks() {
+        // Pure index-region traffic, no wildcard effect ever submitted: the
+        // eager task_done prune alone must keep the tree flat (before PR 7,
+        // only wildcard walks pruned, so this pattern grew one leaf chain
+        // per distinct index forever).
+        let h = harness();
+        for i in 0..32u64 {
+            let t = task(i + 1, &format!("writes Data:[{i}]:Sub"));
+            h.sched.submit(t.clone());
+            assert_eq!(t.status(), TaskStatus::Enabled);
+            h.finish(&t);
+            assert_eq!(
+                h.sched.tree_nodes(),
+                1,
+                "iteration {i}: finished task's emptied chain must be pruned"
+            );
+        }
+        assert_eq!(h.sched.recorded_effects(), 0);
+    }
+
+    #[test]
+    fn region_retired_prunes_the_region_node() {
+        let h = harness();
+        let cell = crate::DynCell::new(0u32);
+        let t = task(1, &format!("writes {}", cell.rpl()));
+        h.sched.submit(t.clone());
+        assert_eq!(t.status(), TaskStatus::Enabled);
+        assert!(h.sched.tree_nodes() > 1);
+        // The task record is dropped without completing (its effects become
+        // dead records), then the region is retired: the prune must sweep
+        // the dead record and unlink the region's node.
+        drop(t);
+        h.sched.region_retired(cell.region_id());
+        assert_eq!(h.sched.tree_nodes(), 1);
+        assert_eq!(h.sched.recorded_effects(), 0);
+    }
+
+    #[test]
+    fn write_walk_skip_is_sound_with_waiting_records() {
+        // A subtree holding only a *waiting* record must not be skipped by
+        // the live-below write skip: the trailing-star walk has to find t2
+        // and park behind the subtree's conflict chain.
+        let h = harness();
+        let t1 = task(1, "writes X:[1]");
+        let t2 = task(2, "writes X:[1]");
+        let t3 = task(3, "writes X:*");
+        h.sched.submit(t1.clone());
+        h.sched.submit(t2.clone()); // parks behind t1
+        h.sched.submit(t3.clone()); // must park, not enable
+        assert_eq!(t1.status(), TaskStatus::Enabled);
+        assert_eq!(t2.status(), TaskStatus::Waiting);
+        assert_eq!(t3.status(), TaskStatus::Waiting);
+        h.finish(&t1);
+        assert_eq!(t2.status(), TaskStatus::Enabled);
+        assert_eq!(
+            t3.status(),
+            TaskStatus::Waiting,
+            "t3 overlaps t2 and must keep waiting"
+        );
+        h.finish(&t2);
+        assert_eq!(t3.status(), TaskStatus::Enabled);
+        assert_eq!(h.enabled_ids(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn live_below_counts_follow_absorb_and_rebuild() {
+        let h = harness();
+        let x = twe_effects::Rpl::parse("X:[1]").prefix_id_path()[1];
+        let t1 = task(1, "writes X:[1]");
+        h.sched.submit(t1.clone());
+        {
+            let root = h.sched.inner.root.lock();
+            let entry = root.children.get(&x).expect("X child exists");
+            assert_eq!(entry.live_below, 1, "absorb counted t1's record");
+        }
+        // t2's trailing-star walk visits the X subtree (live_below == 1, no
+        // skip), finds no conflict deeper than X:[1]'s record... t2 parks
+        // behind t1, and the walk's rebuild rewrites the entry.
+        let t2 = task(2, "writes X:*");
+        h.sched.submit(t2.clone());
+        assert_eq!(t2.status(), TaskStatus::Waiting);
+        h.finish(&t1);
+        assert_eq!(t2.status(), TaskStatus::Enabled);
+        h.finish(&t2);
+        assert_eq!(h.sched.tree_nodes(), 1, "everything pruned after t2");
     }
 }
