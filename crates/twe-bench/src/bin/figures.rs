@@ -23,8 +23,11 @@
 //! of 64 / 512 / 4096 tasks, on both schedulers, plus the tree scheduler's
 //! parallel-admission rows (an 8-anchor sharded wave descended inline vs
 //! through a 1/2/4/8-worker admission pool; quick mode keeps one narrow
-//! pooled row as a dispatch-correctness probe); `--submit-json` writes the
-//! rows as `BENCH_submit.json` (also a CI smoke-job artifact).
+//! pooled row as a dispatch-correctness probe) and the root-plane sharding
+//! rows (tenant-disjoint per-task submit traffic from 1/2/4/8 concurrent
+//! submitting threads, sharded root plane vs the single-root baseline;
+//! quick mode keeps one 4-thread correctness row); `--submit-json` writes
+//! the rows as `BENCH_submit.json` (also a CI smoke-job artifact).
 //!
 //! `--fig intern` runs only the first-intern scaling microbenchmark:
 //! cold-start interning of fresh `Data:[i]:[j]` subtrees at 1/2/4/8 threads,

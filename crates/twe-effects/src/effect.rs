@@ -16,18 +16,26 @@
 //! # Set summaries
 //!
 //! Every `EffectSet` carries a precomputed **summary** maintained on
-//! `push`/`union`: the sorted, deduplicated array of each effect's *anchor*
-//! (the depth-1 ancestor id of its RPL's wildcard-free prefix — the
-//! top-level region it lives under), a 64-bit Bloom filter over those
-//! anchors, and flags for *root-level wildcard* effects (`*…`/`[?]…`, which
-//! relate to every anchor). Two effects can only interfere when one is a
-//! write and their RPLs overlap, and overlap forces equal anchors (or a
-//! root-level wildcard); likewise inclusion forces the covering effect onto
-//! the covered effect's anchor. [`EffectSet::non_interfering`] and
-//! [`EffectSet::included_in`] therefore reject anchor-disjoint sets in
+//! `push`/`union`: the sorted, deduplicated array of each effect's *anchor
+//! pair* — the (depth-1, depth-2) ancestor ids of its RPL's wildcard-free
+//! prefix — a 64-bit Bloom filter over the depth-1 halves, and flags for
+//! *root-level wildcard* effects (`*…`/`[?]…`, which relate to every
+//! anchor). The depth-2 half uses two reserved encodings: the RPL's own
+//! depth-1 id again for a fully specified depth-≤1 region (`Data`,
+//! `Root:[5]` — the region *is* its anchor, covering nothing below), and
+//! [`RplId::ROOT`] as a *below-anchor wildcard* sentinel for RPLs whose
+//! wildcard starts at depth 2 (`Data:*`, `Tenant:[i]:[?]` — they may relate
+//! to anything under their depth-1 anchor). Two effects can only interfere
+//! when one is a write and their RPLs overlap, and overlap forces matching
+//! anchor pairs (equal pairs, or a sentinel on either side, or a root-level
+//! wildcard); likewise inclusion forces the covering effect onto a pair
+//! covering the covered effect's. [`EffectSet::non_interfering`] and
+//! [`EffectSet::included_in`] therefore reject pair-disjoint sets in
 //! O(set) — one Bloom AND plus at most one sorted merge — before falling
-//! back to the pairwise loop, which is what keeps the schedulers' rescan
-//! filters linear instead of quadratic in set size.
+//! back to the pairwise loop. Anchoring at the *pair* rather than depth 1
+//! alone is what lets workloads living under one shared top-level region
+//! (`Data:X:*` vs `Data:Y:*`, tenant scans `Tenant:[i]:*`) still get
+//! summary rejection instead of degrading to the pairwise loop.
 //!
 //! Summary construction sits on the conflict plane's *read* side: anchors
 //! come from already-interned prefix id paths ([`Rpl::prefix_id_path`] is a
@@ -141,15 +149,16 @@ impl fmt::Debug for Effect {
 /// equality and hashing.
 #[derive(Clone, Debug, Default)]
 struct SetSummary {
-    /// Sorted, deduped anchors of all effects. The anchor of an effect is
-    /// the depth-1 ancestor of its RPL's wildcard-free prefix, or
-    /// [`RplId::ROOT`] for the concrete `Root` RPL itself.
-    anchors_all: Vec<RplId>,
-    /// Sorted, deduped anchors of the write effects.
-    anchors_write: Vec<RplId>,
-    /// 64-bit Bloom filter over `anchors_all` (one hashed bit per anchor).
+    /// Sorted, deduped (depth-1, depth-2) anchor pairs of all effects (see
+    /// [`anchor_pair`] for the encoding of the depth-2 half).
+    anchors_all: Vec<(RplId, RplId)>,
+    /// Sorted, deduped anchor pairs of the write effects.
+    anchors_write: Vec<(RplId, RplId)>,
+    /// 64-bit Bloom filter over the depth-1 halves of `anchors_all` (one
+    /// hashed bit per anchor; pairs only match on equal depth-1 ids, so the
+    /// depth-1 filter is a sound superset of pair intersection).
     bloom_all: u64,
-    /// 64-bit Bloom filter over `anchors_write`.
+    /// 64-bit Bloom filter over the depth-1 halves of `anchors_write`.
     bloom_write: u64,
     /// Set if some read effect's RPL starts with a wildcard (`*…`/`[?]…`):
     /// such an effect has no anchor and may relate to any region.
@@ -158,16 +167,46 @@ struct SetSummary {
     universal_write: bool,
 }
 
-/// The anchor of an RPL, or `None` for root-level wildcards (see
-/// [`SetSummary::anchors_all`]).
-fn anchor_of(rpl: &Rpl) -> Option<RplId> {
-    if rpl.prefix_depth() >= 1 {
-        Some(rpl.prefix_id_path()[1])
-    } else if rpl.is_fully_specified() {
-        Some(RplId::ROOT) // the concrete `Root` region itself
-    } else {
-        None
+/// The (depth-1, depth-2) anchor pair of an RPL, or `None` for root-level
+/// wildcards (see the module docs).
+///
+/// The first half is the depth-1 ancestor id of the RPL's wildcard-free
+/// prefix ([`RplId::ROOT`] only for the concrete `Root` region itself). The
+/// second half is:
+///
+/// * the prefix's depth-2 ancestor id when the prefix reaches depth 2 —
+///   a child id is always distinct from its parent's and from `ROOT`, so
+///   neither reserved encoding below can collide with it;
+/// * the depth-1 id again (`a2 == a1`) for a fully specified depth-≤1 RPL:
+///   the region *is* its own anchor and relates to no deeper region;
+/// * [`RplId::ROOT`] as the **below-anchor wildcard sentinel** when the
+///   wildcard starts at depth 2 (`A:*`, `A:[?]`): the effect may relate to
+///   anything sharing its depth-1 anchor. `ROOT` has the smallest index, so
+///   sentinel pairs sort first within their depth-1 group, which the merge
+///   walks below exploit. The one pair whose second half is legitimately
+///   `ROOT` — the concrete `Root` region's `(ROOT, ROOT)` — is unambiguous:
+///   no anchored RPL with depth-1 half `ROOT` reaches depth 2 (those are
+///   root-level wildcards and carry no pair), so within the `ROOT` group
+///   the sentinel reading and the exact-match reading coincide.
+fn anchor_pair(rpl: &Rpl) -> Option<(RplId, RplId)> {
+    let depth = rpl.prefix_depth();
+    if depth == 0 {
+        return if rpl.is_fully_specified() {
+            Some((RplId::ROOT, RplId::ROOT)) // the concrete `Root` region itself
+        } else {
+            None // root-level wildcard: relates to every anchor
+        };
     }
+    let path = rpl.prefix_id_path();
+    let a1 = path[1];
+    let a2 = if depth >= 2 {
+        path[2]
+    } else if rpl.is_fully_specified() {
+        a1 // the depth-1 region itself
+    } else {
+        RplId::ROOT // wildcard from depth 2 down: anything under `a1`
+    };
+    Some((a1, a2))
 }
 
 /// The hashed Bloom bit for an arena id (Fibonacci multiplicative hash on
@@ -181,55 +220,107 @@ pub fn bloom_bit(id: RplId) -> u64 {
     1u64 << (id.index().wrapping_mul(0x9E37_79B9) >> 26)
 }
 
-/// Inserts `id` into a small sorted deduped vec.
-fn insort(v: &mut Vec<RplId>, id: RplId) {
-    if let Err(pos) = v.binary_search(&id) {
-        v.insert(pos, id);
+/// Inserts a pair into a small sorted deduped vec.
+fn insort(v: &mut Vec<(RplId, RplId)>, pair: (RplId, RplId)) {
+    if let Err(pos) = v.binary_search(&pair) {
+        v.insert(pos, pair);
     }
 }
 
-/// Do two sorted id arrays share an element? O(n + m) merge walk.
-fn sorted_intersect(a: &[RplId], b: &[RplId]) -> bool {
+/// One past the end of the run of pairs sharing `v[start]`'s depth-1 id.
+fn pair_group_end(v: &[(RplId, RplId)], start: usize) -> usize {
+    let a1 = v[start].0;
+    let mut end = start + 1;
+    while end < v.len() && v[end].0 == a1 {
+        end += 1;
+    }
+    end
+}
+
+/// Could a pair of `a` *match* a pair of `b` — equal pairs, or a
+/// below-anchor wildcard sentinel on either side of a shared depth-1 group?
+/// O(n + m) merge walk over the sorted pair arrays.
+fn pairs_intersect(a: &[(RplId, RplId)], b: &[(RplId, RplId)]) -> bool {
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => return true,
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i = pair_group_end(a, i),
+            std::cmp::Ordering::Greater => j = pair_group_end(b, j),
+            std::cmp::Ordering::Equal => {
+                // Sentinels sort first in a group; either one matches the
+                // whole (non-empty) opposing group. Within the `ROOT` group
+                // both sides can only hold `(ROOT, ROOT)`, so the sentinel
+                // reading is exact there too.
+                if a[i].1 == RplId::ROOT || b[j].1 == RplId::ROOT {
+                    return true;
+                }
+                let (ae, be) = (pair_group_end(a, i), pair_group_end(b, j));
+                let (mut x, mut y) = (i, j);
+                while x < ae && y < be {
+                    match a[x].1.cmp(&b[y].1) {
+                        std::cmp::Ordering::Less => x += 1,
+                        std::cmp::Ordering::Greater => y += 1,
+                        std::cmp::Ordering::Equal => return true,
+                    }
+                }
+                i = ae;
+                j = be;
+            }
         }
     }
     false
 }
 
-/// Is sorted `a` a subset of sorted `b`? O(n + m) merge walk.
-fn sorted_subset(a: &[RplId], b: &[RplId]) -> bool {
-    let mut j = 0;
-    'outer: for &x in a {
-        while j < b.len() {
-            match b[j].cmp(&x) {
-                std::cmp::Ordering::Less => j += 1,
-                std::cmp::Ordering::Equal => {
-                    j += 1;
-                    continue 'outer;
+/// Is every pair of `a` *covered* by some pair of `b` — the same pair, or
+/// `b` holding the below-anchor wildcard sentinel for that depth-1 group?
+/// (A sentinel in `a` needs a sentinel cover.) O(n + m) merge walk.
+fn pairs_subset(a: &[(RplId, RplId)], b: &[(RplId, RplId)]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() {
+        let a1 = a[i].0;
+        while j < b.len() && b[j].0 < a1 {
+            j = pair_group_end(b, j);
+        }
+        if j >= b.len() || b[j].0 != a1 {
+            return false;
+        }
+        let (ae, be) = (pair_group_end(a, i), pair_group_end(b, j));
+        if b[j].1 != RplId::ROOT {
+            if a[i].1 == RplId::ROOT {
+                return false; // `a`'s sentinel has no sentinel cover in `b`
+            }
+            // Column-wise subset over the depth-2 halves of the two groups.
+            let mut y = j;
+            'outer: for &(_, a2) in &a[i..ae] {
+                while y < be {
+                    match b[y].1.cmp(&a2) {
+                        std::cmp::Ordering::Less => y += 1,
+                        std::cmp::Ordering::Equal => {
+                            y += 1;
+                            continue 'outer;
+                        }
+                        std::cmp::Ordering::Greater => return false,
+                    }
                 }
-                std::cmp::Ordering::Greater => return false,
+                return false;
             }
         }
-        return false;
+        i = ae;
+        j = be;
     }
     true
 }
 
 impl SetSummary {
     fn add(&mut self, e: &Effect) {
-        match anchor_of(&e.rpl) {
-            Some(a) => {
-                let bit = bloom_bit(a);
+        match anchor_pair(&e.rpl) {
+            Some(pair) => {
+                let bit = bloom_bit(pair.0);
                 self.bloom_all |= bit;
-                insort(&mut self.anchors_all, a);
+                insort(&mut self.anchors_all, pair);
                 if e.is_write() {
                     self.bloom_write |= bit;
-                    insort(&mut self.anchors_write, a);
+                    insort(&mut self.anchors_write, pair);
                 }
             }
             None => {
@@ -261,11 +352,11 @@ impl SetSummary {
         {
             return true;
         }
-        // Otherwise interference needs a write and a same-anchor partner.
+        // Otherwise interference needs a write and a matching-anchor partner.
         (self.bloom_write & other.bloom_all != 0
-            && sorted_intersect(&self.anchors_write, &other.anchors_all))
+            && pairs_intersect(&self.anchors_write, &other.anchors_all))
             || (other.bloom_write & self.bloom_all != 0
-                && sorted_intersect(&other.anchors_write, &self.anchors_all))
+                && pairs_intersect(&other.anchors_write, &self.anchors_all))
     }
 }
 
@@ -394,21 +485,23 @@ impl EffectSet {
         union
     }
 
-    /// The sorted, deduplicated depth-1 anchor ids of all effects in the set
-    /// (see the module docs; root-level wildcard effects carry no anchor and
-    /// are reported by [`EffectSet::has_root_wildcard`] instead).
-    pub fn anchors(&self) -> &[RplId] {
+    /// The sorted, deduplicated (depth-1, depth-2) anchor pairs of all
+    /// effects in the set (see the module docs for the depth-2 encoding;
+    /// root-level wildcard effects carry no pair and are reported by
+    /// [`EffectSet::has_root_wildcard`] instead).
+    pub fn anchors(&self) -> &[(RplId, RplId)] {
         &self.summary.anchors_all
     }
 
-    /// The sorted, deduplicated anchor ids of the *write* effects only.
-    pub fn write_anchors(&self) -> &[RplId] {
+    /// The sorted, deduplicated anchor pairs of the *write* effects only.
+    pub fn write_anchors(&self) -> &[(RplId, RplId)] {
         &self.summary.anchors_write
     }
 
-    /// The 64-bit Bloom filter over [`EffectSet::anchors`]. Bits are hashed
-    /// with [`bloom_bit`], the same hash the tree scheduler's subtree
-    /// summaries use, so the two filter layers can be intersected directly.
+    /// The 64-bit Bloom filter over the depth-1 halves of
+    /// [`EffectSet::anchors`]. Bits are hashed with [`bloom_bit`], the same
+    /// hash the tree scheduler's subtree summaries use, so the two filter
+    /// layers can be intersected directly.
     pub fn anchor_bloom(&self) -> u64 {
         self.summary.bloom_all
     }
@@ -470,12 +563,12 @@ impl EffectSet {
         if s.universal_read && !(o.universal_read || o.universal_write) {
             return false;
         }
-        // Each write needs a write cover on its own anchor…
-        if !o.universal_write && !sorted_subset(&s.anchors_write, &o.anchors_write) {
+        // Each write needs a write cover on its own anchor pair…
+        if !o.universal_write && !pairs_subset(&s.anchors_write, &o.anchors_write) {
             return false;
         }
-        // …and each effect needs some cover on its own anchor.
-        if !(o.universal_write || o.universal_read || sorted_subset(&s.anchors_all, &o.anchors_all))
+        // …and each effect needs some cover on its own anchor pair.
+        if !(o.universal_write || o.universal_read || pairs_subset(&s.anchors_all, &o.anchors_all))
         {
             return false;
         }
@@ -646,11 +739,11 @@ mod tests {
         let expected = sets.iter().fold(EffectSet::pure(), |acc, s| acc.union(s));
         assert_eq!(combined, expected);
         assert_eq!(combined.len(), 4, "duplicates must collapse: {combined}");
-        // The exported summary covers every member set's anchors…
+        // The exported summary covers every member set's anchor pairs…
         for set in &sets {
-            for anchor in set.anchors() {
-                assert!(combined.anchors().contains(anchor));
-                assert_ne!(combined.anchor_bloom() & bloom_bit(*anchor), 0);
+            for pair in set.anchors() {
+                assert!(combined.anchors().contains(pair));
+                assert_ne!(combined.anchor_bloom() & bloom_bit(pair.0), 0);
             }
             assert!(set.included_in(&combined));
         }
@@ -676,6 +769,35 @@ mod tests {
         let wa = EffectSet::parse("writes A:[1]");
         assert!(!wa.certainly_non_interfering(&a));
         assert!(wa.interferes(&a));
+    }
+
+    #[test]
+    fn pair_anchors_reject_siblings_under_a_shared_root() {
+        // Everything lives under one top-level region: depth-1 anchoring
+        // alone cannot separate these, the depth-2 half must.
+        let x = EffectSet::parse("writes Data:X:*, writes Data:X:[1]");
+        let y = EffectSet::parse("writes Data:Y:*, reads Data:Y");
+        assert!(x.certainly_non_interfering(&y));
+        // Tenant scans on distinct tenants — the service-scenario shape.
+        let t1 = EffectSet::parse("writes Tenant:[1]:*");
+        let t2 = EffectSet::parse("writes Tenant:[2]:*");
+        assert!(t1.certainly_non_interfering(&t2));
+        assert!(!t1.certainly_non_interfering(&t1.clone()));
+        // The depth-1 region itself is its own anchor and relates to no
+        // deeper sibling region…
+        let data = EffectSet::parse("writes Data");
+        assert!(data.certainly_non_interfering(&x));
+        // …while a depth-2 wildcard under the same anchor is a sentinel that
+        // must fall through to the pairwise loop against both.
+        let scan = EffectSet::parse("writes Data:*");
+        assert!(!scan.certainly_non_interfering(&x));
+        assert!(scan.interferes(&x));
+        assert!(!scan.certainly_non_interfering(&data));
+        // Subset side: a concrete pair is covered by its sentinel, a
+        // sentinel is not covered by a concrete pair.
+        assert!(x.included_in(&EffectSet::parse("writes Data:X:*, writes Data:*")));
+        assert!(!EffectSet::parse("writes Data:*").included_in(&x));
+        assert!(!x.included_in(&y));
     }
 
     #[test]
@@ -811,6 +933,28 @@ mod tests {
             fn write_self_interferes(rpl in arb_rpl()) {
                 let w = Effect::write(rpl);
                 prop_assert!(w.interferes(&w));
+            }
+
+            /// The summary is only ever a sound rejector: set-level
+            /// `non_interfering` and `included_in` must agree exactly with
+            /// the pairwise loops (the pair-anchor prechecks may never
+            /// reject a real cover or hide a real conflict).
+            #[test]
+            fn summary_agrees_with_pairwise(
+                a in proptest::collection::vec(arb_effect(), 0..4),
+                b in proptest::collection::vec(arb_effect(), 0..4),
+            ) {
+                let (a, b) = (EffectSet::from_effects(a), EffectSet::from_effects(b));
+                let pairwise_ni = a
+                    .effects()
+                    .iter()
+                    .all(|x| b.effects().iter().all(|y| x.non_interfering(y)));
+                prop_assert_eq!(a.non_interfering(&b), pairwise_ni);
+                let pairwise_inc = a
+                    .effects()
+                    .iter()
+                    .all(|x| b.effects().iter().any(|y| x.included_in(y)));
+                prop_assert_eq!(a.included_in(&b), pairwise_inc);
             }
 
             /// Set inclusion soundness lifted to sets.

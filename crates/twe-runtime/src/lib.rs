@@ -468,8 +468,10 @@ impl Runtime {
     /// overhead, which dominates wide
     /// fan-out phases (one task per array partition, image block, or
     /// cluster): the tree scheduler inserts all the batch's effect records
-    /// under a *single* root descent — a shared region prefix is locked and
-    /// conflict-checked once per batch instead of once per task — and runs
+    /// in one admission round — records are grouped per first-level child,
+    /// each group claims its root-plane shard once, and a shared region
+    /// prefix is locked and conflict-checked once per batch instead of
+    /// once per task — and runs
     /// one deferred recheck round; the naive scheduler takes its queue lock
     /// once and prefilters the existing queue with the batch's combined
     /// effect-set summary ([`EffectSet::union_all`]).

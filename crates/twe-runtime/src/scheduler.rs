@@ -70,16 +70,18 @@ pub trait Scheduler: Send + Sync {
     /// every intermediate instant (a concurrent `submit`, `on_await`, or
     /// `task_done` must never observe a state no sequential admission could
     /// produce). The tree scheduler does this for wide waves: records that
-    /// settle at the root and the root-level conflict checks of all other
-    /// records run first, inline, under the root lock; the remaining
-    /// records are partitioned by first-level child and each group's
-    /// subtree descent is dispatched to the worker pool. Groups are
-    /// pairwise conflict-free (their level-1 prefixes differ, so their RPLs
-    /// are disjoint), which makes every interleaving of group descents
-    /// equivalent to the inline order. Only the relative order of enable
-    /// *callbacks* across different groups may vary from the inline run —
-    /// within a group, and between any group member and a conflicting
-    /// record outside the batch, ordering is unchanged.
+    /// settle at root level are admitted first, inline, in the root-records
+    /// domain of its sharded root plane; the remaining records are
+    /// partitioned by first-level child and each group's admission — the
+    /// claim of that child's root-plane shard plus the subtree descent —
+    /// is dispatched to the worker pool. Groups are pairwise conflict-free
+    /// (their level-1 prefixes differ, so their RPLs are disjoint) and each
+    /// group's shard is its own lock domain, which makes every interleaving
+    /// of group admissions equivalent to the inline order. Only the
+    /// relative order of enable *callbacks* across different groups may
+    /// vary from the inline run — within a group, and between any group
+    /// member and a conflicting record outside the batch, ordering is
+    /// unchanged.
     ///
     /// **Threshold semantics.** Parallel dispatch is a pure optimization
     /// gated on wave width — by default a sub-wave must carry ≥ 64 records

@@ -48,31 +48,66 @@
 //! further, which makes the batch observably equivalent to sequential
 //! submission (see `insert`).
 //!
+//! # Root-plane sharding
+//!
+//! There is no single root node (and no root lock). The root plane is:
+//!
+//! * a **lock-free routing table** mapping each first-level child id to its
+//!   `RootShard` — fixed bucket array of CAS-appended chains, same
+//!   multiply-rotate bucket hash and one-winner publication discipline as
+//!   the interning arena's sharded child index. Routes are never removed
+//!   (the table is bounded by the number of *distinct* first-level names
+//!   ever used; recycled `__DynRegion` ids reuse one route), so lookups are
+//!   plain pointer chases with no reclamation problem;
+//! * one **slot lock per shard** (`RootShard::slot`), guarding the shard's
+//!   `ChildEntry` — subtree Bloom, write Bloom, `live_below` — and
+//!   playing the old root lock's role for exactly that first-level subtree:
+//!   bits are published and the child node locked *before* the slot is
+//!   released, so the monotone-superset reading of the entry is preserved
+//!   per shard;
+//! * a small **root-records domain** (`root_records`, a depth-0 node):
+//!   effects that genuinely settle at the root (`*`, `Root:[?]`,
+//!   `reads/writes Root`) live here, as do descending records stopped at
+//!   root level by a conflict. A gauge (`root_live`) counts its records.
+//!
+//! Tenant-disjoint traffic (`Tenant:[i]:…`) routes to its shard, checks
+//! `root_live == 0`, and admits entirely under that shard's locks — no
+//! shared lock with any other tenant. Only when the gauge is non-zero (a
+//! root settler is present) does admission detour through the root-records
+//! domain first, which restores exactly the old total order: park behind
+//! enabled root settlers, then descend. Cross-shard walks (a settler's
+//! `check_below`) hold the root-records lock throughout and visit shards in
+//! sorted interned-id order — the same deterministic first-conflict order
+//! as a single node's sorted child walk. The fast-path soundness argument
+//! (why a shard admission and a concurrent settler can never miss each
+//! other, resting on the slot-lock handoff plus SeqCst ordering between the
+//! gauge and the routing table) lives in ARCHITECTURE.md ("Root-plane
+//! sharding"). Lock order everywhere: root-records → slot (sorted order
+//! across shards) → nodes strictly downward.
+//!
 //! # Parallel admission
 //!
 //! A wide sub-wave need not descend on the submitting thread: when the
 //! scheduler was built with [`TreeScheduler::with_admission`], a sub-wave
 //! holding enough records over enough first-level groups (see
 //! [`TreeScheduler::set_admission_thresholds`]) is fanned out to the worker
-//! pool — the settle-at-root pass and every root-level conflict check still
-//! run inline under the root lock, then each first-level group's subtree
-//! descent runs as one *admission job* on the pool's priority lane. The
-//! handoff is two-phase (`descend_groups_parallel`): the submitter keeps
-//! the root locked until every group job holds its first-level child's
-//! lock, preserving the publication invariant, and then helps drain
-//! admission jobs (never user jobs, which could re-enter `submit`) until
-//! the wave completes. Waves that are too narrow — or submitted while every
-//! pool worker is busy, e.g. from inside a task on a 1-thread pool — fall
-//! back to the inline descent. The equivalence argument lives in
-//! ARCHITECTURE.md ("Parallel admission").
+//! pool — root settlers are still admitted inline first, then each
+//! first-level group's admission (shard claim + subtree descent) runs as
+//! one *admission job* on the pool's priority lane. Since every group
+//! claims its own shard's slot lock and publishes under it, there is no
+//! global guard to hand over: the submitter just dispatches the jobs and
+//! helps drain admission jobs (never user jobs, which could re-enter
+//! `submit`) until the wave completes. Waves that are too narrow — or
+//! submitted while every pool worker is busy, e.g. from inside a task on a
+//! 1-thread pool — fall back to the inline descent. The equivalence
+//! argument lives in ARCHITECTURE.md ("Parallel admission").
 
 use crate::scheduler::Scheduler;
 use crate::task::{blocked_on, TaskRecord, TaskStatus};
 use parking_lot::{ArcMutexGuard, Condvar, Mutex, RawMutex};
-use std::cell::Cell;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 use twe_effects::{Effect, EffectKind, Rpl, RplId};
@@ -238,10 +273,20 @@ pub struct NodeInner {
     children: HashMap<RplId, ChildEntry>,
     /// Number of entries of `effects` that are write records.
     write_records: usize,
+    /// Atomic mirror of `effects.len()`, set only on the root-records node
+    /// of the sharded root plane (`RootPlane::root_live`): every record
+    /// entering or leaving the node funnels through
+    /// `push_record`/`remove_record_at`, so the gauge is the single choke
+    /// point shard fast paths read without taking this node's lock. SeqCst
+    /// on both sides — see `RootPlane` for the ordering argument.
+    live_gauge: Option<Arc<AtomicUsize>>,
 }
 
 impl NodeInner {
     fn push_record(&mut self, e: Arc<EffectRecord>) {
+        if let Some(gauge) = &self.live_gauge {
+            gauge.fetch_add(1, Ordering::SeqCst);
+        }
         if e.write {
             self.write_records += 1;
         }
@@ -249,6 +294,9 @@ impl NodeInner {
     }
 
     fn remove_record_at(&mut self, i: usize) -> Arc<EffectRecord> {
+        if let Some(gauge) = &self.live_gauge {
+            gauge.fetch_sub(1, Ordering::SeqCst);
+        }
         let e = self.effects.remove(i);
         if e.write {
             self.write_records -= 1;
@@ -294,6 +342,7 @@ fn new_node(depth: usize) -> NodeRef {
         effects: Vec::new(),
         children: HashMap::new(),
         write_records: 0,
+        live_gauge: None,
     }))
 }
 
@@ -330,6 +379,183 @@ fn push_waiter(on: &EffectRecord, waiter: &Arc<EffectRecord>) {
     }
 }
 
+/// Number of head pointers in the root routing table. Collisions only cost
+/// a short chain walk on route *lookup* (shard locks are per-entry, not
+/// per-bucket), so this does not need to scale with shard count.
+const ROUTE_BUCKETS: usize = 64;
+
+/// One first-level lock domain of the sharded root plane: the slot mutex
+/// guards the shard's [`ChildEntry`] (subtree Bloom + write Bloom +
+/// `live_below` + the first-level node handle) with exactly the discipline
+/// the old root lock gave every first-level child — bits are published and
+/// the child node locked before the slot is released, so a later slot
+/// holder always reads a superset of the subtree's records.
+struct RootShard {
+    slot: Mutex<ChildEntry>,
+}
+
+/// One published entry of the root routing table: an interned first-level
+/// id, its shard, and the chain link. Entries are heap-allocated, published
+/// by a single CAS winner, and never freed before the plane itself drops.
+struct RouteEntry {
+    key: RplId,
+    shard: RootShard,
+    next: AtomicPtr<RouteEntry>,
+}
+
+/// The sharded root plane replacing the old single root node (module docs,
+/// "Root-plane sharding").
+///
+/// # Why the fast path cannot miss a settler (and vice versa)
+///
+/// A shard admission holds its slot lock when it reads `root_live`; a
+/// settler bumps the gauge (by entering `root_records` — the gauge is
+/// maintained inside `push_record`/`remove_record_at`) *before* it walks
+/// any shard, and holds the root-records lock for the whole walk. For a
+/// shard the settler's walk already visited, the admission's slot acquire
+/// synchronizes with the walk's slot release, making the earlier gauge
+/// bump visible — the admission detours through root-records and blocks
+/// behind the settler. For a shard the walk has not reached yet, the
+/// admission publishes its bits and locks the child before releasing the
+/// slot, so the walk finds the records. The one remaining race is a shard
+/// *created* concurrently with the walk's table snapshot: the gauge ops,
+/// the snapshot's bucket loads, and the route-publish CAS are all SeqCst,
+/// so in the single total order either the walk's snapshot sees the new
+/// route, or the new shard's gauge read sees the settler's bump — both
+/// sides reading stale is impossible.
+struct RootPlane {
+    /// Lock-free routing table: bucket heads of CAS-appended chains.
+    buckets: Vec<AtomicPtr<RouteEntry>>,
+    /// The depth-0 domain: root settlers and conflict-parked records.
+    root_records: NodeRef,
+    /// Gauge over `root_records`' record list (see `NodeInner::live_gauge`).
+    root_live: Arc<AtomicUsize>,
+    /// Force every shard admission through the root-records detour — one
+    /// lock domain total, the faithful single-root baseline the benches and
+    /// differential tests compare against.
+    single_lock: bool,
+}
+
+impl RootPlane {
+    fn new(single_lock: bool) -> Self {
+        let root_live = Arc::new(AtomicUsize::new(0));
+        let root_records = Arc::new(Mutex::new(NodeInner {
+            depth: 0,
+            effects: Vec::new(),
+            children: HashMap::new(),
+            write_records: 0,
+            live_gauge: Some(Arc::clone(&root_live)),
+        }));
+        RootPlane {
+            buckets: (0..ROUTE_BUCKETS)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+            root_records,
+            root_live,
+            single_lock,
+        }
+    }
+
+    /// The bucket for `key`: same multiply-rotate bucket hash as the
+    /// arena's sharded child index (top bits of a Fibonacci product).
+    fn bucket(&self, key: RplId) -> &AtomicPtr<RouteEntry> {
+        &self.buckets[(key.index().wrapping_mul(0x9E37_79B9) >> 26) as usize % ROUTE_BUCKETS]
+    }
+
+    /// Wait-free route lookup. `None` only before the first admission under
+    /// `key` — callers that merely *observe* (prune, diagnostics) treat a
+    /// missing route as an empty subtree.
+    fn find(&self, key: RplId) -> Option<&RouteEntry> {
+        // SAFETY: entries are published with a fully-initialized box and
+        // never freed while `&self` is alive (only `Drop` reclaims them).
+        let mut p = self.bucket(key).load(Ordering::SeqCst);
+        while !p.is_null() {
+            let entry = unsafe { &*p };
+            if entry.key == key {
+                return Some(entry);
+            }
+            p = entry.next.load(Ordering::Relaxed);
+        }
+        None
+    }
+
+    /// Route lookup, creating the shard on first use. One-winner
+    /// publication: racing creators allocate, CAS the bucket head, and the
+    /// losers free their candidate and adopt the winner's entry.
+    fn route(&self, key: RplId) -> &RouteEntry {
+        if let Some(entry) = self.find(key) {
+            return entry;
+        }
+        let head = self.bucket(key);
+        let candidate = Box::into_raw(Box::new(RouteEntry {
+            key,
+            shard: RootShard {
+                slot: Mutex::new(ChildEntry::new(1)),
+            },
+            next: AtomicPtr::new(std::ptr::null_mut()),
+        }));
+        loop {
+            let old = head.load(Ordering::SeqCst);
+            // Re-walk the chain: a racing creator may have won since the
+            // last look (the chain only ever grows from the head, so the
+            // full current chain is reachable from `old`).
+            let mut p = old;
+            while !p.is_null() {
+                // SAFETY: as in `find`; `candidate` is still unpublished
+                // and exclusively ours to free.
+                let entry = unsafe { &*p };
+                if entry.key == key {
+                    drop(unsafe { Box::from_raw(candidate) });
+                    return entry;
+                }
+                p = entry.next.load(Ordering::Relaxed);
+            }
+            // SAFETY: `candidate` is unpublished, so the store is unshared.
+            unsafe { &*candidate }.next.store(old, Ordering::Relaxed);
+            if head
+                .compare_exchange(old, candidate, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                // SAFETY: now published; shared references only from here on.
+                return unsafe { &*candidate };
+            }
+        }
+    }
+
+    /// Every published route, sorted by interned id — the deterministic
+    /// cross-shard walk order (and the diagnostics' iteration order). The
+    /// bucket loads are SeqCst; see the type docs for why that closes the
+    /// new-shard race against the gauge.
+    fn snapshot_sorted(&self) -> Vec<&RouteEntry> {
+        let mut routes = Vec::new();
+        for bucket in &self.buckets {
+            let mut p = bucket.load(Ordering::SeqCst);
+            while !p.is_null() {
+                // SAFETY: as in `find`.
+                let entry = unsafe { &*p };
+                routes.push(entry);
+                p = entry.next.load(Ordering::Relaxed);
+            }
+        }
+        routes.sort_unstable_by_key(|entry| entry.key);
+        routes
+    }
+}
+
+impl Drop for RootPlane {
+    fn drop(&mut self) {
+        for bucket in &mut self.buckets {
+            let mut p = *bucket.get_mut();
+            while !p.is_null() {
+                // SAFETY: `&mut self` means no concurrent readers; each
+                // entry was allocated by `Box::into_raw` and is freed once.
+                let entry = unsafe { Box::from_raw(p) };
+                p = entry.next.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
 /// One per-child group of descending records staged by `insert_stage`:
 /// the records of one sub-wave whose next path component is `key`, plus the
 /// Bloom bits they contribute to the child's subtree filter. Staging and
@@ -346,7 +572,7 @@ struct Group {
 /// The tree-based scheduler.
 ///
 /// Internally an [`Arc`]-shared `TreeInner`: parallel batch admission
-/// (see `descend_groups_parallel`) hands per-group subtree inserts to the
+/// (see `admit_groups_parallel`) hands per-group shard admissions to the
 /// worker pool, and those admission jobs need an owned handle to the tree.
 pub struct TreeScheduler {
     inner: Arc<TreeInner>,
@@ -354,7 +580,8 @@ pub struct TreeScheduler {
 
 /// The shared state of a [`TreeScheduler`].
 struct TreeInner {
-    root: NodeRef,
+    /// The sharded root plane (module docs, "Root-plane sharding").
+    plane: RootPlane,
     /// Serialises whole-task rechecks (Figure 5.12): only one task at a time
     /// may have its effects rechecked, preventing two conflicting tasks from
     /// repeatedly disabling each other's effects without progress.
@@ -385,7 +612,7 @@ impl TreeScheduler {
     /// Creates a tree scheduler that enables tasks through `enable`.
     /// Batch admission runs entirely on the submitting thread.
     pub fn new(enable: EnableFn) -> Self {
-        Self::build(enable, None)
+        Self::build(enable, None, false)
     }
 
     /// Creates a tree scheduler that additionally parallelizes wide batch
@@ -397,13 +624,22 @@ impl TreeScheduler {
     /// inside a task running on a 1-thread pool — fall back to the inline
     /// path of [`TreeScheduler::new`].
     pub fn with_admission(enable: EnableFn, pool: Arc<ThreadPool>) -> Self {
-        Self::build(enable, Some(pool))
+        Self::build(enable, Some(pool), false)
     }
 
-    fn build(enable: EnableFn, admission: Option<Arc<ThreadPool>>) -> Self {
+    /// Creates a tree scheduler whose root plane is forced into a single
+    /// lock domain: every shard admission detours through the root-records
+    /// lock, faithfully replicating the pre-sharding one-root-mutex
+    /// behaviour. Baseline for the sharded-vs-single-root benches and the
+    /// differential tests; not meant for production use.
+    pub fn new_single_root(enable: EnableFn) -> Self {
+        Self::build(enable, None, true)
+    }
+
+    fn build(enable: EnableFn, admission: Option<Arc<ThreadPool>>, single_lock: bool) -> Self {
         TreeScheduler {
             inner: Arc::new(TreeInner {
-                root: new_node(0),
+                plane: RootPlane::new(single_lock),
                 recheck_lock: Mutex::new(()),
                 enable,
                 admission,
@@ -435,6 +671,11 @@ impl TreeScheduler {
     }
 
     /// Number of effects currently recorded in the tree (diagnostic).
+    ///
+    /// Sums shard by shard — root records, then each route's subtree —
+    /// holding only one shard's locks at a time, so the count never
+    /// reintroduces a global serialization point (it is a racy snapshot
+    /// under concurrent traffic, exact when the tree is quiescent).
     pub fn recorded_effects(&self) -> usize {
         fn count(node: &NodeRef) -> usize {
             let guard = node.lock();
@@ -443,11 +684,21 @@ impl TreeScheduler {
             drop(guard);
             here + children.iter().map(count).sum::<usize>()
         }
-        count(&self.inner.root)
+        let mut total = self.inner.plane.root_records.lock().effects.len();
+        for route in self.inner.plane.snapshot_sorted() {
+            let child = route.shard.slot.lock().node.clone();
+            total += count(&child);
+        }
+        total
     }
 
-    /// Number of nodes in the scheduling tree, the root included
-    /// (diagnostic; exercised by the empty-leaf pruning tests).
+    /// Number of nodes in the scheduling tree, the root plane counted as
+    /// one (diagnostic; exercised by the empty-leaf pruning tests). A
+    /// shard whose first-level node is empty and childless counts as zero:
+    /// routes are never unpublished, so a pruned-away subtree leaves an
+    /// empty shard behind, and counting it would make the node count
+    /// depend on which first-level ids were *ever* touched. Per-shard
+    /// locking as in [`recorded_effects`](Self::recorded_effects).
     pub fn tree_nodes(&self) -> usize {
         fn count(node: &NodeRef) -> usize {
             let guard = node.lock();
@@ -455,15 +706,26 @@ impl TreeScheduler {
             drop(guard);
             1 + children.iter().map(count).sum::<usize>()
         }
-        count(&self.inner.root)
+        let mut total = 1;
+        for route in self.inner.plane.snapshot_sorted() {
+            let child = route.shard.slot.lock().node.clone();
+            let guard = child.lock();
+            if guard.effects.is_empty() && guard.children.is_empty() {
+                continue;
+            }
+            let children: Vec<NodeRef> = guard.children.values().map(|c| c.node.clone()).collect();
+            drop(guard);
+            total += 1 + children.iter().map(count).sum::<usize>();
+        }
+        total
     }
 }
 
-/// Coordination state of one parallel admission wave (two-phase handoff):
-/// the submitter holds the root lock until every group job has acquired its
-/// first-level child's lock (`locked == total`), then releases the root and
-/// waits for the group descents to finish (`done == total`), collecting
-/// their swept dead records (and at most one panic payload) on the way.
+/// Coordination state of one parallel admission wave: each group job claims
+/// its own shard (there is no global root guard to hand over any more, so
+/// the old two-phase `locked` count is gone), and the submitter waits for
+/// the group admissions to finish (`done == total`), collecting their swept
+/// dead records (and at most one panic payload) on the way.
 struct WaveSync {
     total: usize,
     state: Mutex<WaveState>,
@@ -472,7 +734,6 @@ struct WaveSync {
 
 #[derive(Default)]
 struct WaveState {
-    locked: usize,
     done: usize,
     swept: Vec<Arc<EffectRecord>>,
     panic: Option<Box<dyn std::any::Any + Send>>,
@@ -485,11 +746,6 @@ impl WaveSync {
             state: Mutex::new(WaveState::default()),
             cv: Condvar::new(),
         }
-    }
-
-    fn note_locked(&self) {
-        self.state.lock().locked += 1;
-        self.cv.notify_all();
     }
 
     fn note_done(&self, result: Result<Vec<Arc<EffectRecord>>, Box<dyn std::any::Any + Send>>) {
@@ -507,20 +763,20 @@ impl WaveSync {
         self.cv.notify_all();
     }
 
-    /// Waits until `field(state) == total`, running `help()` (one admission
+    /// Waits until every group job is done, running `help()` (one admission
     /// job at a time) between checks so the wave progresses even when every
     /// pool worker is busy; parks briefly when there is nothing to help
     /// with.
-    fn wait(&self, field: impl Fn(&WaveState) -> usize, mut help: impl FnMut() -> bool) {
+    fn wait_done(&self, mut help: impl FnMut() -> bool) {
         loop {
-            if field(&self.state.lock()) == self.total {
+            if self.state.lock().done == self.total {
                 return;
             }
             if help() {
                 continue;
             }
             let mut s = self.state.lock();
-            if field(&s) == self.total {
+            if s.done == self.total {
                 return;
             }
             self.cv.wait_for(&mut s, Duration::from_micros(200));
@@ -781,49 +1037,13 @@ impl TreeInner {
             }
             let child = entry.node.clone();
             let mut cg = child.lock_arc();
-            let mut conflict_found = false;
-            if e.write || cg.write_records > 0 {
-                let mut i = 0;
-                while i < cg.effects.len() {
-                    let existing = cg.effects[i].clone();
-                    if existing.task.strong_count() == 0 {
-                        swept.push(cg.remove_record_at(i)); // dead-record sweep
-                        continue;
-                    }
-                    if self.conflicts(&existing, e) {
-                        if !existing.enabled.load(Ordering::Acquire)
-                            || (prio && self.try_disable(&existing))
-                        {
-                            // Move the (disabled) conflicting effect up to ne
-                            // so that rechecking it later starts from a node
-                            // where it will encounter `e`.
-                            push_waiter(e, &existing);
-                            cg.remove_record_at(i);
-                            let target: &mut NodeGuard = match ne_guard {
-                                Some(ref mut g) => g,
-                                None => parent_guard,
-                            };
-                            target.push_record(existing.clone());
-                            *existing.node.lock() = Some(ne.clone());
-                            continue;
-                        } else {
-                            push_waiter(&existing, e);
-                            conflict_found = true;
-                            break;
-                        }
-                    }
-                    i += 1;
-                }
-            }
-            if !conflict_found && !any_index_only {
-                // A `P:[?]` effect cannot overlap anything deeper than the
-                // index children of P; every other wildcard shape descends.
-                let ne_for_child: &mut NodeGuard = match ne_guard {
+            let conflict_found = {
+                let target: &mut NodeGuard = match ne_guard {
                     Some(ref mut g) => g,
                     None => parent_guard,
                 };
-                conflict_found = self.check_below(&mut cg, e, ne, Some(ne_for_child), prio, swept);
-            }
+                self.check_child(&mut cg, e, ne, target, any_index_only, prio, swept)
+            };
             if !conflict_found {
                 // Lazy rebuild: the child was examined without an early
                 // conflict exit, so rewrite its stale superset filter with
@@ -845,6 +1065,124 @@ impl TreeInner {
                 // empty node, and the NodeRef itself is refcounted.
                 parent_guard.children.remove(&key);
             }
+            if conflict_found {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The per-child body shared by [`check_below`](Self::check_below) and
+    /// [`check_below_root`](Self::check_below_root): scans the locked child
+    /// `cg` for conflicts with `e` (sweeping dead records, moving disabled
+    /// conflicting records up into `target`, which is the guard of `ne` —
+    /// the node holding `e`), then recurses below the child unless `e` is a
+    /// `P:[?]` shape (which cannot overlap anything deeper than the index
+    /// children of P). Returns true at the first blocking conflict.
+    #[allow(clippy::too_many_arguments)]
+    fn check_child(
+        &self,
+        cg: &mut NodeGuard,
+        e: &Arc<EffectRecord>,
+        ne: &NodeRef,
+        target: &mut NodeGuard,
+        any_index_only: bool,
+        prio: bool,
+        swept: &mut Vec<Arc<EffectRecord>>,
+    ) -> bool {
+        if e.write || cg.write_records > 0 {
+            let mut i = 0;
+            while i < cg.effects.len() {
+                let existing = cg.effects[i].clone();
+                if existing.task.strong_count() == 0 {
+                    swept.push(cg.remove_record_at(i)); // dead-record sweep
+                    continue;
+                }
+                if self.conflicts(&existing, e) {
+                    if !existing.enabled.load(Ordering::Acquire)
+                        || (prio && self.try_disable(&existing))
+                    {
+                        // Move the (disabled) conflicting effect up to ne
+                        // so that rechecking it later starts from a node
+                        // where it will encounter `e`.
+                        push_waiter(e, &existing);
+                        cg.remove_record_at(i);
+                        target.push_record(existing.clone());
+                        *existing.node.lock() = Some(ne.clone());
+                        continue;
+                    } else {
+                        push_waiter(&existing, e);
+                        return true;
+                    }
+                }
+                i += 1;
+            }
+        }
+        if !any_index_only {
+            return self.check_below(cg, e, ne, Some(target), prio, swept);
+        }
+        false
+    }
+
+    /// [`check_below`](Self::check_below) for a root-settling effect: walks
+    /// the shards of the root plane instead of a children map. `rr_guard`
+    /// is the held root-records guard — `e` lives (or is being settled)
+    /// there, and conflicting disabled records are moved up into it.
+    ///
+    /// Shards are visited in sorted interned-id order (the same
+    /// deterministic first-conflict order `check_below` guarantees), each
+    /// one's slot lock held across its whole subtree walk: the slot is
+    /// acquired before the first-level node and released after the walk
+    /// leaves the subtree, so the walk and a shard admission exclude each
+    /// other per shard exactly as they excluded each other globally under
+    /// the old root mutex. The slot's summary gives the same three skip
+    /// rules `check_below` applies to child entries; a fully walked shard
+    /// has its stale summary rewritten fresh (an emptied shard becomes a
+    /// zeroed summary — routes are never unpublished).
+    fn check_below_root(
+        &self,
+        rr_guard: &mut NodeGuard,
+        e: &Arc<EffectRecord>,
+        prio: bool,
+        swept: &mut Vec<Arc<EffectRecord>>,
+    ) -> bool {
+        if !e.rpl.has_wildcard() {
+            // A wildcard-free root effect is the concrete `Root` region,
+            // which is disjoint from every longer wildcard-free prefix.
+            return false;
+        }
+        let any_index_only = e.rpl.is_parent_any_index();
+        let rr = self.plane.root_records.clone();
+        for route in self.plane.snapshot_sorted() {
+            if any_index_only
+                && !twe_effects::arena::is_index_child_of(route.key, e.rpl.prefix_id())
+            {
+                // `Root:[?]` only reaches index children of the root.
+                continue;
+            }
+            let mut slot = route.shard.slot.lock();
+            // The three `check_below` skip rules, off the slot's summary.
+            if !e.write && slot.write_bloom == 0 {
+                continue;
+            }
+            if e.write && slot.live_below == 0 {
+                continue;
+            }
+            if any_index_only && slot.bloom & twe_effects::bloom_bit(route.key) == 0 {
+                continue;
+            }
+            let child = slot.node.clone();
+            let mut cg = child.lock_arc();
+            let conflict_found =
+                self.check_child(&mut cg, e, &rr, rr_guard, any_index_only, prio, swept);
+            if !conflict_found {
+                let (bloom, write_bloom, live_below) = cg.fresh_summary();
+                slot.bloom = bloom;
+                slot.write_bloom = write_bloom;
+                slot.live_below = live_below;
+            }
+            drop(cg);
+            drop(slot);
             if conflict_found {
                 return true;
             }
@@ -890,9 +1228,9 @@ impl TreeInner {
     /// descending records stopped by a conflict here, groups the rest per
     /// child, and publishes each group's Bloom bits into the child's entry —
     /// all under `guard`, which stays held. Returns the groups still to
-    /// descend; the caller decides whether they descend inline
-    /// ([`TreeInner::descend_groups`]) or on the worker pool
-    /// ([`TreeInner::descend_groups_parallel`]).
+    /// descend inline ([`TreeInner::descend_groups`]). Runs only at depth
+    /// ≥ 1: the root-level analogue is `stage_wave` + `admit_root_settlers`
+    /// + per-shard `admit_group`.
     fn insert_stage(
         &self,
         node: &NodeRef,
@@ -1012,59 +1350,39 @@ impl TreeInner {
         }
     }
 
-    /// The parallel descent of a root sub-wave's first-level groups
-    /// (two-phase handoff; see the module docs and ARCHITECTURE.md for the
-    /// equivalence argument):
-    ///
-    /// 1. With the root guard still held, one admission job per group is
-    ///    pushed onto the pool's admission lane. Each job locks its group's
-    ///    first-level child *on the worker* (the vendored `ArcMutexGuard`
-    ///    is not `Send`, so guards cannot be shipped from here), reports
-    ///    `note_locked`, and only then runs the group's subtree insert.
-    ///    The submitter waits for `locked == total` before releasing the
-    ///    root — the publication invariant: no later submitter or walk can
-    ///    pass the root until every group's child is claimed. While
-    ///    waiting, the submitter helps with *admission jobs only*: running
-    ///    a user job here could re-enter `submit` and self-deadlock on the
-    ///    root this thread still holds.
-    /// 2. Root released, the submitter keeps helping until `done == total`,
-    ///    then merges the groups' swept dead records into `swept` and
-    ///    resumes the first panic, if any, so a panicking admission behaves
-    ///    like an inline one.
-    fn descend_groups_parallel(
+    /// The parallel admission of a root sub-wave's first-level groups: one
+    /// admission job per group on the pool's admission lane, each claiming
+    /// its own shard through [`admit_group`](Self::admit_group) — there is
+    /// no global root guard to hand over, so the old two-phase
+    /// `note_locked` protocol is gone (see the module docs and
+    /// ARCHITECTURE.md for the equivalence argument; cross-group
+    /// disjointness at the first level is what makes the groups' relative
+    /// order immaterial). The submitter helps with *admission jobs only*
+    /// while waiting — running a user job here could re-enter `submit` and
+    /// deadlock on scheduler state this wave still holds — then merges the
+    /// groups' swept dead records into `swept` and resumes the first
+    /// panic, if any, so a panicking admission behaves like an inline one.
+    fn admit_groups_parallel(
         self: &Arc<Self>,
         pool: &Arc<ThreadPool>,
-        guard: NodeGuard,
-        groups: Vec<Group>,
+        groups: Vec<(RplId, Vec<Arc<EffectRecord>>)>,
         swept: &mut Vec<Arc<EffectRecord>>,
     ) {
         self.par_waves.fetch_add(1, Ordering::Relaxed);
         let sync = Arc::new(WaveSync::new(groups.len()));
-        for group in groups {
+        for (key, records) in groups {
             let tree = Arc::clone(self);
             let sync = Arc::clone(&sync);
             pool.execute_admission(Box::new(move || {
-                // `noted` guards the phase-1 count: if the descent panics,
-                // the submitter must still see `locked` reach the total or
-                // it would hold the root forever.
-                let noted = Cell::new(false);
                 let result = catch_unwind(AssertUnwindSafe(|| {
-                    let child_guard = group.child.lock_arc();
-                    sync.note_locked();
-                    noted.set(true);
                     let mut local_swept = Vec::new();
-                    tree.insert(group.child, child_guard, group.records, 1, &mut local_swept);
+                    tree.admit_group(key, records, &mut local_swept);
                     local_swept
                 }));
-                if !noted.get() {
-                    sync.note_locked();
-                }
                 sync.note_done(result);
             }));
         }
-        sync.wait(|s| s.locked, || pool.run_one_admission_job());
-        drop(guard);
-        sync.wait(|s| s.done, || pool.run_one_admission_job());
+        sync.wait_done(|| pool.run_one_admission_job());
         let mut state = sync.state.lock();
         swept.append(&mut state.swept);
         if let Some(panic) = state.panic.take() {
@@ -1119,7 +1437,13 @@ impl TreeInner {
             }
             let d = guard.depth;
             if e.prefix_depth() == d {
-                let conflicts_below = self.check_below(&mut guard, e, &node, None, prio, swept);
+                let conflicts_below = if d == 0 {
+                    // Depth 0 is the root-records domain: the subtrees hang
+                    // off the root plane's shards, not a children map.
+                    self.check_below_root(&mut guard, e, prio, swept)
+                } else {
+                    self.check_below(&mut guard, e, &node, None, prio, swept)
+                };
                 if !conflicts_below {
                     self.enable_effect(e);
                 }
@@ -1130,6 +1454,24 @@ impl TreeInner {
             // prefix: move the effect down one level and continue from there.
             remove_effect(&mut guard, e);
             let next = e.prefix_path[d + 1];
+            if d == 0 {
+                // Leaving the root-records domain (where a conflict once
+                // parked this record) into its first-level shard: publish
+                // into the slot summary and hand over under the slot lock,
+                // the shard analogue of the entry absorb below. Lock order
+                // root-records → slot → child holds throughout.
+                let route = self.plane.route(next);
+                let mut slot = route.shard.slot.lock();
+                slot.absorb(e);
+                let child = slot.node.clone();
+                let mut child_guard = child.lock_arc();
+                add_effect(&child, &mut child_guard, e);
+                drop(slot);
+                drop(guard);
+                node = child;
+                guard = child_guard;
+                continue;
+            }
             let child_depth = d + 1;
             let entry = guard
                 .children
@@ -1222,16 +1564,147 @@ impl TreeInner {
     // Admission entry points (bodies of the `Scheduler` impl)
     // ------------------------------------------------------------------
 
-    /// Admits one sub-wave of records under a single root descent. The
-    /// settle-at-root pass and the per-first-level-child grouping always run
-    /// on the calling thread under the root lock (`insert_stage`); the
-    /// groups then descend on the worker pool's admission lane when the
-    /// wave is wide enough (`par_min_records` records over `par_min_groups`
-    /// groups) *and* a pool is attached *and* at least one pool worker is
-    /// idle — the last condition is the 1-thread fallback rule: a worker
+    /// The root-plane analogue of `insert_stage`'s partitioning, without a
+    /// lock: splits a sub-wave into root-settling records (prefix depth 0)
+    /// and per-first-level-child groups, the groups in first-appearance
+    /// order. First-appearance order (not sorted) preserves the enable
+    /// order a sequential submission would produce when the wave runs
+    /// inline — across groups the records are disjoint at the first level,
+    /// so only the order *within* a group (preserved) and the settle-first
+    /// rule (the settlers are admitted before any group) are semantically
+    /// load-bearing. The per-record fast path is a single id compare
+    /// against the previous record's child, as in `insert_stage`.
+    #[allow(clippy::type_complexity)]
+    fn stage_wave(
+        &self,
+        wave: Vec<Arc<EffectRecord>>,
+    ) -> (Vec<Arc<EffectRecord>>, Vec<(RplId, Vec<Arc<EffectRecord>>)>) {
+        let mut settlers: Vec<Arc<EffectRecord>> = Vec::new();
+        let mut groups: Vec<(RplId, Vec<Arc<EffectRecord>>)> = Vec::new();
+        let mut index: HashMap<RplId, usize> = HashMap::new();
+        let mut last: Option<(RplId, usize)> = None;
+        for e in wave {
+            if e.prefix_depth() == 0 {
+                settlers.push(e);
+                continue;
+            }
+            let next = e.prefix_path[1];
+            let slot = match last {
+                Some((key, slot)) if key == next => slot,
+                _ => {
+                    let slot = *index.entry(next).or_insert_with(|| {
+                        groups.push((next, Vec::new()));
+                        groups.len() - 1
+                    });
+                    last = Some((next, slot));
+                    slot
+                }
+            };
+            groups[slot].1.push(e);
+        }
+        (settlers, groups)
+    }
+
+    /// Admits the root-settling records of one sub-wave, in wave order,
+    /// under the root-records lock. Settling adds the record to the
+    /// root-records node *before* walking the shards — the gauge bump
+    /// inside `push_record` is what diverts concurrent shard admissions
+    /// onto the slow path for the whole duration of the walk (see
+    /// `RootPlane`).
+    fn admit_root_settlers(
+        &self,
+        settlers: Vec<Arc<EffectRecord>>,
+        swept: &mut Vec<Arc<EffectRecord>>,
+    ) {
+        let rr = self.plane.root_records.clone();
+        let mut guard = rr.lock_arc();
+        for e in settlers {
+            add_effect(&rr, &mut guard, &e);
+            if !self.check_at(&mut guard, &e, false, swept)
+                && !self.check_below_root(&mut guard, &e, false, swept)
+            {
+                self.enable_effect(&e);
+            }
+        }
+    }
+
+    /// Admits one first-level group of a sub-wave into its shard — the
+    /// per-shard replacement for the root-level stretch of the old single
+    /// root descent.
+    ///
+    /// **Fast path** (no live root record, gauge read under the slot
+    /// lock): publish the group's bits into the slot summary, lock the
+    /// first-level child, release the slot, insert at depth 1 — tenant-
+    /// disjoint groups touch nothing shared.
+    ///
+    /// **Slow path** (`root_live != 0`, or a single-root-baseline tree):
+    /// re-acquire in root-records → slot order and check each record
+    /// against the root-settled records first, exactly as the old descent
+    /// checked them on its way past the root; a conflicting record parks
+    /// *at* root-records (where the settler's completion walk rechecks
+    /// it), survivors are published and descend as on the fast path. The
+    /// root-records lock is held until the first-level child is locked so
+    /// a settler admitted meanwhile cannot miss the survivors.
+    fn admit_group(
+        &self,
+        key: RplId,
+        records: Vec<Arc<EffectRecord>>,
+        swept: &mut Vec<Arc<EffectRecord>>,
+    ) {
+        fn publish(slot: &mut ChildEntry, records: &[Arc<EffectRecord>]) {
+            for e in records {
+                let bit = record_bit(e);
+                slot.bloom |= bit;
+                if e.write {
+                    slot.write_bloom |= bit;
+                }
+            }
+            slot.live_below = slot.live_below.saturating_add(records.len() as u32);
+        }
+        let route = self.plane.route(key);
+        let mut slot = route.shard.slot.lock();
+        if self.plane.single_lock || self.plane.root_live.load(Ordering::SeqCst) != 0 {
+            // Lock order is root-records before slot: release and re-acquire.
+            drop(slot);
+            let rr = self.plane.root_records.clone();
+            let mut rr_guard = rr.lock_arc();
+            let mut survivors: Vec<Arc<EffectRecord>> = Vec::with_capacity(records.len());
+            for e in records {
+                if self.check_at(&mut rr_guard, &e, false, swept) {
+                    add_effect(&rr, &mut rr_guard, &e);
+                } else {
+                    survivors.push(e);
+                }
+            }
+            if survivors.is_empty() {
+                return;
+            }
+            let mut slot = route.shard.slot.lock();
+            publish(&mut slot, &survivors);
+            let child = slot.node.clone();
+            let cg = child.lock_arc();
+            drop(slot);
+            drop(rr_guard);
+            self.insert(child, cg, survivors, 1, swept);
+            return;
+        }
+        publish(&mut slot, &records);
+        let child = slot.node.clone();
+        let cg = child.lock_arc();
+        drop(slot);
+        self.insert(child, cg, records, 1, swept);
+    }
+
+    /// Admits one sub-wave of records. The settle-at-root pass and the
+    /// per-first-level-child grouping always run on the calling thread
+    /// (`stage_wave` + `admit_root_settlers`); the groups then claim their
+    /// shards on the worker pool's admission lane when the wave is wide
+    /// enough (`par_min_records` records over `par_min_groups` groups)
+    /// *and* a pool is attached *and* at least one pool worker is idle —
+    /// the last condition is the 1-thread fallback rule: a worker
     /// submitting from inside a task sees itself as the only (busy) worker
     /// and must not queue admission work it would then have to wait on.
-    /// Every other wave descends inline, exactly as in `submit`.
+    /// Every other wave admits its groups inline, exactly as in `submit`.
     fn flush_wave(
         self: &Arc<Self>,
         wave: &mut Vec<Arc<EffectRecord>>,
@@ -1247,14 +1720,19 @@ impl TreeInner {
                 wave.len() >= self.par_min_records.load(Ordering::Relaxed) && p.idle_workers() > 0
             })
             .cloned();
-        let root = self.root.clone();
-        let mut guard = root.lock_arc();
-        let groups = self.insert_stage(&root, &mut guard, std::mem::take(wave), 0, swept);
+        let (settlers, groups) = self.stage_wave(std::mem::take(wave));
+        if !settlers.is_empty() {
+            self.admit_root_settlers(settlers, swept);
+        }
         match pool {
             Some(pool) if groups.len() >= self.par_min_groups.load(Ordering::Relaxed) => {
-                self.descend_groups_parallel(&pool, guard, groups, swept);
+                self.admit_groups_parallel(&pool, groups, swept);
             }
-            _ => self.descend_groups(guard, groups, 0, swept),
+            _ => {
+                for (key, records) in groups {
+                    self.admit_group(key, records, swept);
+                }
+            }
         }
     }
 
@@ -1265,10 +1743,14 @@ impl TreeInner {
             self.enable_pure(task);
             return;
         }
-        let root = self.root.clone();
-        let guard = root.lock_arc();
         let mut swept = Vec::new();
-        self.insert(root, guard, records, 0, &mut swept);
+        let (settlers, groups) = self.stage_wave(records);
+        if !settlers.is_empty() {
+            self.admit_root_settlers(settlers, &mut swept);
+        }
+        for (key, group) in groups {
+            self.admit_group(key, group, &mut swept);
+        }
         self.recheck_swept(swept);
     }
 
@@ -1282,18 +1764,18 @@ impl TreeInner {
             return;
         }
         // Register every task's records first, then admit the batch in
-        // sub-waves of up to `CHUNK` records, each under one root descent:
-        // shared region prefixes are locked and checked once per sub-wave
-        // (instead of once per task), and the deferred dead-record recheck
-        // round runs once at the end. The chunking bounds the working set a
-        // single descent streams through — one huge wave touches every
-        // record once per level and falls out of cache between levels —
-        // while keeping per-task admission overhead amortized. Sub-wave
-        // boundaries fall on task boundaries, so the admission order is
-        // still sequential-equivalent (a sequence of sequential-equivalent
-        // batches, via `insert`'s settle-first ordering — `flush_wave`
-        // preserves both properties when it dispatches a wave's groups to
-        // the pool; see `descend_groups_parallel`).
+        // sub-waves of up to `CHUNK` records, each staged once over the
+        // root plane: shared region prefixes are locked and checked once
+        // per sub-wave (instead of once per task), and the deferred
+        // dead-record recheck round runs once at the end. The chunking
+        // bounds the working set a single wave streams through — one huge
+        // wave touches every record once per level and falls out of cache
+        // between levels — while keeping per-task admission overhead
+        // amortized. Sub-wave boundaries fall on task boundaries, so the
+        // admission order is still sequential-equivalent (a sequence of
+        // sequential-equivalent waves, via the settle-first ordering of
+        // `flush_wave` and `insert` — preserved when a wave's groups go to
+        // the pool; see `admit_groups_parallel`).
         const CHUNK: usize = 512;
         let mut swept = Vec::new();
         let mut wave: Vec<Arc<EffectRecord>> = Vec::new();
@@ -1352,21 +1834,31 @@ impl TreeInner {
     /// region's interned path so a recycled `__DynRegion` id never greets its
     /// next era with the previous era's node.
     ///
-    /// Locking: the guard chain is acquired strictly root-downward (the same
-    /// order as every insert/walk descent), so it cannot deadlock with
-    /// concurrent walks. The unwind pops the deepest guard first; each
-    /// parent-entry rewrite/removal happens while that parent's guard is
-    /// still held, which is exactly the discipline `check_below`'s rebuild
-    /// and prune steps follow (node additions require the parent lock, so an
-    /// entry written from a summary computed under the child lock stays a
-    /// superset).
+    /// Locking: the shard's slot lock is taken first and held for the whole
+    /// prune, then the guard chain is acquired strictly downward from the
+    /// first-level node (the same order as every admission and walk), so it
+    /// cannot deadlock with concurrent traffic. The unwind pops the deepest
+    /// guard first; each parent-entry rewrite/removal happens while that
+    /// parent's guard is still held, which is exactly the discipline
+    /// `check_below`'s rebuild and prune steps follow (node additions
+    /// require the parent lock, so an entry written from a summary computed
+    /// under the child lock stays a superset). The first-level node itself
+    /// is never unlinked — routes are permanent — so an emptied shard ends
+    /// as a zeroed slot summary instead.
     fn prune_quiescent_path(&self, path: &[RplId]) {
         if path.len() < 2 {
-            // `path[0]` is ROOT; the root node itself is never removed.
+            // `path[0]` is ROOT; the root-records domain is never pruned.
             return;
         }
-        let mut guards: Vec<NodeGuard> = vec![self.root.lock_arc()];
-        for key in &path[1..] {
+        let Some(route) = self.plane.find(path[1]) else {
+            // Never admitted under this first-level child: nothing to prune.
+            return;
+        };
+        let mut slot = route.shard.slot.lock();
+        let first = slot.node.clone();
+        // `guards[i]` holds the node of `path[i + 1]`.
+        let mut guards: Vec<NodeGuard> = vec![first.lock_arc()];
+        for key in &path[2..] {
             let child = match guards.last().unwrap().children.get(key) {
                 Some(entry) => entry.node.clone(),
                 None => break,
@@ -1374,6 +1866,7 @@ impl TreeInner {
             guards.push(child.lock_arc());
         }
         let mut swept = Vec::new();
+        let mut reached_first = true;
         while guards.len() > 1 {
             let mut guard = guards.pop().unwrap();
             let mut i = 0;
@@ -1391,7 +1884,7 @@ impl TreeInner {
                 Some(guard.fresh_summary())
             };
             drop(guard);
-            let key = path[guards.len()];
+            let key = path[guards.len() + 1];
             let parent = guards.last_mut().unwrap();
             match summary {
                 None => {
@@ -1405,11 +1898,36 @@ impl TreeInner {
                         entry.write_bloom = write_bloom;
                         entry.live_below = live_below;
                     }
+                    reached_first = false;
                     break;
                 }
             }
         }
+        if reached_first {
+            // The unwind reached the first-level node: sweep it and rewrite
+            // its slot summary (zeroed when the whole subtree is gone).
+            let mut guard = guards.pop().unwrap();
+            let mut i = 0;
+            while i < guard.effects.len() {
+                if guard.effects[i].task.strong_count() == 0 {
+                    swept.push(guard.remove_record_at(i));
+                    continue;
+                }
+                i += 1;
+            }
+            let (bloom, write_bloom, live_below) =
+                if guard.effects.is_empty() && guard.children.is_empty() {
+                    (0, 0, 0)
+                } else {
+                    guard.fresh_summary()
+                };
+            drop(guard);
+            slot.bloom = bloom;
+            slot.write_bloom = write_bloom;
+            slot.live_below = live_below;
+        }
         drop(guards);
+        drop(slot);
         self.recheck_swept(swept);
     }
 
@@ -2483,9 +3001,9 @@ mod tests {
         let t1 = task(1, "writes X:[1]");
         h.sched.submit(t1.clone());
         {
-            let root = h.sched.inner.root.lock();
-            let entry = root.children.get(&x).expect("X child exists");
-            assert_eq!(entry.live_below, 1, "absorb counted t1's record");
+            let route = h.sched.inner.plane.find(x).expect("X shard exists");
+            let entry = route.shard.slot.lock();
+            assert_eq!(entry.live_below, 1, "publication counted t1's record");
         }
         // t2's trailing-star walk visits the X subtree (live_below == 1, no
         // skip), finds no conflict deeper than X:[1]'s record... t2 parks

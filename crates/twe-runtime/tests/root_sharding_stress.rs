@@ -1,0 +1,167 @@
+//! Root-plane sharding stress: the tree scheduler's root is now a set of
+//! per-first-level-child lock domains behind a lock-free routing table
+//! (tree.rs module docs, "Root-plane sharding"), and only root-settling
+//! effects take the cross-shard path. These tests race the three parties
+//! that discipline has to reconcile:
+//!
+//! * **per-shard submitters** — threads admitting tenant-disjoint traffic,
+//!   each under its own first-level child (named anchors and root-index
+//!   regions, so both `*` and `Root:[?]` sweepers have prey), taking the
+//!   lock-free route → slot fast path concurrently;
+//! * **cross-shard sweepers** — `writes *` and `writes Root:[?]` tasks that
+//!   settle in the root-records domain and walk every shard in sorted
+//!   order, diverting concurrent shard admissions onto the slow path via
+//!   the `root_live` gauge;
+//! * **retire-driven pruning** — `DynCell` regions retiring mid-traffic,
+//!   whose `region_retired` prune runs the slot-locked
+//!   `prune_quiescent_path` against the `__DynRegion` shard while the same
+//!   shard admits new cells' records.
+//!
+//! Every task must run exactly once; the enable callback path is the real
+//! runtime's, so a lost wakeup or a walk that misses a freshly-routed shard
+//! deadlocks the test rather than merely skewing a counter.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use twe_effects::EffectSet;
+use twe_runtime::{DynCell, Runtime, SchedulerKind};
+
+/// Tenant-disjoint submitters race `*` and `Root:[?]` sweepers: even
+/// submitters use named anchors (`S{i}:…`, reachable only by `*`), odd ones
+/// use root-index regions (`[{i}]:…`, reachable by both sweeper shapes).
+/// New first-level routes are published concurrently with sweeper walks, so
+/// this exercises the SeqCst route-vs-gauge race as well as the slow-path
+/// detour.
+#[test]
+fn per_shard_submits_race_root_wildcard_sweepers() {
+    const SUBMITTERS: usize = 4;
+    const WAVES: usize = 6;
+    const FANOUT: usize = 24;
+
+    let rt = Arc::new(Runtime::new(4, SchedulerKind::Tree));
+    let ran = Arc::new(AtomicUsize::new(0));
+    let swept = Arc::new(AtomicUsize::new(0));
+
+    std::thread::scope(|scope| {
+        for s in 0..SUBMITTERS {
+            let rt = rt.clone();
+            let ran = ran.clone();
+            scope.spawn(move || {
+                for w in 0..WAVES {
+                    let futures = rt.submit_all((0..FANOUT).map(|k| {
+                        let ran = ran.clone();
+                        // A fresh second-level partition per wave keeps the
+                        // prune path busy behind the shard slots too.
+                        let rpl = if s % 2 == 0 {
+                            format!("S{s}:[{w}]:[{k}]")
+                        } else {
+                            format!("[{s}]:[{w}]:[{k}]")
+                        };
+                        (
+                            format!("tenant-{s}-{w}-{k}"),
+                            EffectSet::parse(&format!("writes {rpl}")),
+                            move |_: &twe_runtime::TaskCtx<'_>| {
+                                ran.fetch_add(1, Ordering::Relaxed);
+                            },
+                        )
+                    }));
+                    for f in &futures {
+                        f.wait();
+                    }
+                }
+            });
+        }
+        // Cross-shard sweepers: `*` overlaps every shard, `Root:[?]` only
+        // the root-index ones — both settle at root-records and walk the
+        // route snapshot in sorted order.
+        for shape in ["writes *", "writes Root:[?]"] {
+            let rt = rt.clone();
+            let swept = swept.clone();
+            scope.spawn(move || {
+                for _ in 0..5 {
+                    let swept = swept.clone();
+                    rt.run("sweeper", EffectSet::parse(shape), move |_| {
+                        swept.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        ran.load(Ordering::Relaxed),
+        SUBMITTERS * WAVES * FANOUT,
+        "every tenant task must run exactly once"
+    );
+    assert_eq!(swept.load(Ordering::Relaxed), 10);
+}
+
+/// `DynCell` retire-driven pruning races shard traffic and sweepers: churn
+/// threads create cells, run a writing task on each, and drop the cell —
+/// each drop retires the region and prunes its node out of the
+/// `__DynRegion` shard (slot-locked `prune_quiescent_path`) while the same
+/// shard keeps admitting the *next* cells' records and `__DynRegion:[?]` /
+/// `*` sweepers walk it from the root-records domain.
+#[test]
+fn dyncell_retire_pruning_races_shard_traffic_and_sweepers() {
+    const CHURNERS: usize = 3;
+    const CYCLES: usize = 40;
+
+    let rt = Arc::new(Runtime::new(4, SchedulerKind::Tree));
+    let cell_runs = Arc::new(AtomicUsize::new(0));
+    let tenant_runs = Arc::new(AtomicUsize::new(0));
+    let swept = Arc::new(AtomicUsize::new(0));
+
+    std::thread::scope(|scope| {
+        for _ in 0..CHURNERS {
+            let rt = rt.clone();
+            let cell_runs = cell_runs.clone();
+            scope.spawn(move || {
+                for _ in 0..CYCLES {
+                    let cell = DynCell::new(0u64);
+                    let cell_runs = cell_runs.clone();
+                    rt.run("cell-writer", EffectSet::write(cell.rpl()), move |_| {
+                        cell_runs.fetch_add(1, Ordering::Relaxed);
+                    });
+                    // Dropping the last handle retires the region: the
+                    // scheduler prunes its node before the id recycles.
+                    drop(cell);
+                }
+            });
+        }
+        // A static-region submitter keeps an unrelated shard hot so the
+        // sweepers always have a multi-shard walk.
+        {
+            let rt = rt.clone();
+            let tenant_runs = tenant_runs.clone();
+            scope.spawn(move || {
+                for w in 0..CYCLES {
+                    let tenant_runs = tenant_runs.clone();
+                    rt.run(
+                        "tenant",
+                        EffectSet::parse(&format!("writes Hot:[{w}]")),
+                        move |_| {
+                            tenant_runs.fetch_add(1, Ordering::Relaxed);
+                        },
+                    );
+                }
+            });
+        }
+        for shape in ["writes *", "writes __DynRegion:[?]"] {
+            let rt = rt.clone();
+            let swept = swept.clone();
+            scope.spawn(move || {
+                for _ in 0..5 {
+                    let swept = swept.clone();
+                    rt.run("dyn-sweeper", EffectSet::parse(shape), move |_| {
+                        swept.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+    });
+
+    assert_eq!(cell_runs.load(Ordering::Relaxed), CHURNERS * CYCLES);
+    assert_eq!(tenant_runs.load(Ordering::Relaxed), CYCLES);
+    assert_eq!(swept.load(Ordering::Relaxed), 10);
+}
