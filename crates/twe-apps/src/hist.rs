@@ -1,0 +1,304 @@
+//! A bounded HDR-style latency histogram (§6 methodology).
+//!
+//! Log-linear bucketing: values below `2^SUB_BITS` (64 ns) land in
+//! unit-width buckets, so small latencies are exact; above that, each
+//! power-of-two group is split into `2^(SUB_BITS-1)` (32) equal-width
+//! sub-buckets, bounding the relative quantile error at `1/32`
+//! (~3.1%). With `GROUPS = 32` the histogram tracks values up to
+//! `2^(SUB_BITS + GROUPS) - 1` ns (≈ 274 s); anything larger saturates
+//! into the top bucket and is counted in [`LatencyHistogram::saturated`]
+//! rather than silently dropped.
+//!
+//! The design constraints come from the open-loop service harness
+//! (`crate::service`): recording a sample is a handful of integer ops
+//! and one array increment — **no allocation, no lock** — so each
+//! reaper thread owns a private histogram on its stack and the harness
+//! [`merge`](LatencyHistogram::merge)s them after the run (merging is
+//! element-wise count addition, so it is exact).
+
+/// Unit-width buckets cover `[0, 2^SUB_BITS)`.
+const SUB_BITS: u32 = 6;
+/// Sub-buckets per power-of-two group (`2^SUB_HALF` of them).
+const SUB_HALF: u32 = SUB_BITS - 1;
+/// Number of power-of-two groups above the linear range.
+const GROUPS: u32 = 32;
+/// Total bucket count: 64 linear + 32 groups × 32 sub-buckets.
+const BUCKETS: usize = (1 << SUB_BITS) + (GROUPS as usize) * (1 << SUB_HALF);
+
+/// The largest value (ns) the histogram can bucket without saturating.
+pub const MAX_TRACKABLE_NS: u64 = (1u64 << (SUB_BITS + GROUPS)) - 1;
+
+/// A fixed-size log-linear histogram of latencies in nanoseconds.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    saturated: u64,
+    min: u64,
+    max: u64,
+    sum: u128,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for a value (values above `MAX_TRACKABLE_NS` must be
+/// clamped by the caller).
+fn index_of(v: u64) -> usize {
+    if v < (1 << SUB_BITS) {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros(); // >= SUB_BITS
+        let group = msb - SUB_BITS;
+        let sub = ((v >> (msb - SUB_HALF)) as usize) - (1 << SUB_HALF);
+        (1 << SUB_BITS) + (group as usize) * (1 << SUB_HALF) + sub
+    }
+}
+
+/// The highest value that maps into bucket `idx` (HDR's "highest
+/// equivalent value") — what quantile lookups report.
+fn bucket_max(idx: usize) -> u64 {
+    if idx < (1 << SUB_BITS) {
+        idx as u64
+    } else {
+        let rel = idx - (1 << SUB_BITS);
+        let group = (rel / (1 << SUB_HALF)) as u32;
+        let sub = (rel % (1 << SUB_HALF)) as u64;
+        let msb = group + SUB_BITS;
+        let width = 1u64 << (msb - SUB_HALF);
+        (1u64 << msb) + (sub + 1) * width - 1
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram. This is the only allocation the histogram
+    /// ever performs; recording is allocation-free.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            saturated: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one sample. Values above [`MAX_TRACKABLE_NS`] clamp into
+    /// the top bucket and bump the saturation counter.
+    pub fn record(&mut self, v: u64) {
+        let clamped = if v > MAX_TRACKABLE_NS {
+            self.saturated += 1;
+            MAX_TRACKABLE_NS
+        } else {
+            v
+        };
+        self.counts[index_of(clamped)] += 1;
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.sum += v as u128;
+    }
+
+    /// Total samples recorded (including saturated ones).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Samples that exceeded [`MAX_TRACKABLE_NS`].
+    pub fn saturated(&self) -> u64 {
+        self.saturated
+    }
+
+    /// Exact minimum recorded value, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum recorded value (even if it saturated the buckets).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Folds another histogram into this one. Merging is element-wise
+    /// count addition, so a merge of per-thread histograms is exactly
+    /// the histogram of the combined stream.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.saturated += other.saturated;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+    }
+
+    /// The value at quantile `q` in `[0, 1]` — the highest value of the
+    /// bucket containing the sample at rank `ceil(q·count)`. Relative
+    /// error is at most `1/32`; exact for values below 64 ns. Returns 0
+    /// for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_max(idx);
+            }
+        }
+        bucket_max(BUCKETS - 1)
+    }
+
+    /// Shorthand for the three quantiles the service figure reports.
+    pub fn p50_p99_p999(&self) -> (u64, u64, u64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.99),
+            self.quantile(0.999),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::SplitMix64;
+
+    /// Oracle: exact quantile from a sorted vector, same rank rule as
+    /// the histogram (`ceil(q·n)`, 1-based).
+    fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        for v in 0..64u64 {
+            let q = (v + 1) as f64 / 64.0;
+            assert_eq!(h.quantile(q), v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 63);
+        assert_eq!(h.saturated(), 0);
+    }
+
+    #[test]
+    fn quantiles_match_sorted_oracle_within_bound() {
+        // A mixed-magnitude deterministic stream: microseconds to
+        // seconds, the range real submit→complete latencies span.
+        let mut rng = SplitMix64::new(0x5eed_0123);
+        let mut vals = Vec::new();
+        let mut h = LatencyHistogram::new();
+        for _ in 0..20_000 {
+            let magnitude = 10u64.pow((rng.next_u64() % 7) as u32); // 1ns..1ms scale
+            let v = magnitude + rng.next_u64() % (9 * magnitude);
+            vals.push(v);
+            h.record(v);
+        }
+        vals.sort_unstable();
+        assert_eq!(h.count(), 20_000);
+        for q in [0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = oracle_quantile(&vals, q);
+            let est = h.quantile(q);
+            // The estimate is the bucket's highest equivalent value:
+            // never below the exact answer, and at most one sub-bucket
+            // width (1/32 of the value) above it.
+            assert!(est >= exact, "q={q}: est {est} < exact {exact}");
+            assert!(
+                est <= exact + exact / 32 + 1,
+                "q={q}: est {est} too far above exact {exact}"
+            );
+        }
+        assert_eq!(h.max(), *vals.last().unwrap());
+        assert_eq!(h.min(), vals[0]);
+    }
+
+    #[test]
+    fn saturation_at_bounded_range() {
+        let mut h = LatencyHistogram::new();
+        h.record(MAX_TRACKABLE_NS); // fits exactly, no saturation
+        assert_eq!(h.saturated(), 0);
+        h.record(MAX_TRACKABLE_NS + 1);
+        h.record(u64::MAX);
+        assert_eq!(h.saturated(), 2);
+        assert_eq!(h.count(), 3);
+        // Saturated samples clamp into the top bucket: the quantile is
+        // bounded, while max() keeps the exact observed value.
+        assert_eq!(h.quantile(1.0), bucket_max(BUCKETS - 1));
+        assert!(h.quantile(1.0) >= MAX_TRACKABLE_NS);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn merge_across_threads_equals_single_stream() {
+        // Four threads each record a disjoint deterministic stream;
+        // merging their histograms must equal one histogram fed the
+        // union, bucket for bucket.
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let mut rng = SplitMix64::new(0xfeed + t);
+                    let mut h = LatencyHistogram::new();
+                    for _ in 0..5_000 {
+                        h.record(rng.next_u64() % 1_000_000_000);
+                    }
+                    h
+                })
+            })
+            .collect();
+        let mut merged = LatencyHistogram::new();
+        for handle in handles {
+            merged.merge(&handle.join().unwrap());
+        }
+
+        let mut single = LatencyHistogram::new();
+        for t in 0..4u64 {
+            let mut rng = SplitMix64::new(0xfeed + t);
+            for _ in 0..5_000 {
+                single.record(rng.next_u64() % 1_000_000_000);
+            }
+        }
+
+        assert_eq!(merged.count(), single.count());
+        assert_eq!(merged.counts, single.counts);
+        assert_eq!(merged.min(), single.min());
+        assert_eq!(merged.max(), single.max());
+        for q in [0.5, 0.99, 0.999] {
+            assert_eq!(merged.quantile(q), single.quantile(q));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

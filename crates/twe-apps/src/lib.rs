@@ -14,6 +14,10 @@
 //! | [`tsp`] | TSP branch-and-bound — Fig 6.4 | recursive spawn with cut-off + atomic best | fork-join threads, sequential |
 //! | [`refine`] | Delaunay-style mesh refinement — §7.6 | retryable tasks with dynamic effects | coarse-grained lock, sequential |
 //! | [`coloring`] | greedy graph colouring — §7.6 | retryable tasks with dynamic effects | per-node mutexes, sequential |
+//! | [`service`] | open-loop multi-tenant keyed store (latency methodology, §6) | per-request tasks with per-key / per-tenant-wildcard effects, tenant churn through `DynCell` reclamation | sequential oracle (differential tests) |
+//!
+//! [`hist`] provides the bounded HDR-style latency histogram the service
+//! workload records into; [`util`] the shared PRNG and `RegionCell`.
 //!
 //! Every module exposes a workload generator, the TWE implementation, the
 //! baselines the paper compares against, and a validation function used by
@@ -24,10 +28,12 @@
 pub mod barneshut;
 pub mod coloring;
 pub mod fourwins;
+pub mod hist;
 pub mod imageedit;
 pub mod kmeans;
 pub mod montecarlo;
 pub mod refine;
+pub mod service;
 pub mod ssca2;
 pub mod tsp;
 pub mod util;

@@ -1,0 +1,161 @@
+//! Tenant-lifecycle stress for the service workload: tenants are created
+//! and retired at high rate *while* whole-plane scans run over the
+//! `__DynRegion` subtree, exercising the full retirement path — drain →
+//! `DynCell::drop` → claim purge + tree prune → epoch retire → id
+//! recycling — under concurrent conflict walks.
+//!
+//! Two properties are asserted:
+//!
+//! * **no aliasing**: a recycled region id never names two live tenants
+//!   at once, and whenever an id comes back it carries a strictly newer
+//!   generation than its previous era;
+//! * **bounded footprint**: after the churn fully drains, the scheduler
+//!   tree returns to its baseline shape (`tree_nodes()` and recorded
+//!   effect count as right after runtime construction) — retirement
+//!   really prunes, nothing leaks per churn cycle.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+use twe_apps::service::{fresh_tenant, key_rpl, run_service, scan_rpl, OpMix, ServiceConfig};
+use twe_effects::EffectSet;
+use twe_runtime::scheduler::SchedulerDiagnostics;
+use twe_runtime::{Runtime, SchedulerKind};
+
+/// Polls diagnostics until they return to `baseline` (completion of the
+/// last future races the final `task_done` pruning, and retirement
+/// pruning runs from drop hooks — both settle quickly but asynchronously).
+fn assert_returns_to_baseline(rt: &Runtime, baseline: SchedulerDiagnostics) {
+    let mut diag = rt.scheduler_diagnostics();
+    for _ in 0..500 {
+        if diag == baseline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        diag = rt.scheduler_diagnostics();
+    }
+    assert_eq!(
+        diag, baseline,
+        "scheduler tree must return to its baseline shape after full drain"
+    );
+    assert_eq!(diag.recorded_effects, 0);
+}
+
+#[test]
+fn churn_concurrent_with_scans_never_aliases_live_tenants() {
+    const CHURNERS: usize = 3;
+    const CYCLES: usize = 60;
+    const KEYS: usize = 8;
+
+    let rt = Runtime::new(4, SchedulerKind::Tree);
+    let baseline = rt.scheduler_diagnostics();
+
+    // Region index → generation, for every currently-live tenant and for
+    // the last era each index was ever seen with.
+    let live: Mutex<HashMap<u32, u32>> = Mutex::new(HashMap::new());
+    let history: Mutex<HashMap<u32, u32>> = Mutex::new(HashMap::new());
+
+    std::thread::scope(|scope| {
+        for c in 0..CHURNERS {
+            let rt = &rt;
+            let live = &live;
+            let history = &history;
+            scope.spawn(move || {
+                for cycle in 0..CYCLES {
+                    let cell = fresh_tenant(KEYS);
+                    let id = cell.region_id().index();
+                    let generation = cell.generation();
+                    {
+                        let mut live = live.lock().unwrap();
+                        assert!(
+                            !live.contains_key(&id),
+                            "churner {c} cycle {cycle}: region {id} already names a live tenant"
+                        );
+                        live.insert(id, generation);
+                    }
+                    {
+                        let mut history = history.lock().unwrap();
+                        if let Some(&prev) = history.get(&id) {
+                            assert!(
+                                generation > prev,
+                                "recycled region {id} came back with generation \
+                                 {generation}, not newer than {prev}"
+                            );
+                        }
+                        history.insert(id, generation);
+                    }
+
+                    // A tenant's worth of traffic: point writes on
+                    // distinct keys plus a whole-tenant scan, so the
+                    // retirement below prunes a subtree that really had
+                    // per-key nodes and a settled wildcard.
+                    let mut futures = Vec::new();
+                    for key in 0..4 {
+                        let c2 = cell.clone();
+                        futures.push(rt.execute_later(
+                            "churn-write",
+                            EffectSet::write(key_rpl(&cell, key)),
+                            move |_| {
+                                *c2.read()[key].get_mut() = key as u64 + 1;
+                                0u64
+                            },
+                        ));
+                    }
+                    let c2 = cell.clone();
+                    futures.push(rt.execute_later(
+                        "churn-scan",
+                        EffectSet::read(scan_rpl(&cell)),
+                        move |_| c2.read().iter().map(|k| *k.get()).sum(),
+                    ));
+                    let scanned = futures.pop().unwrap().wait();
+                    for f in futures {
+                        f.wait();
+                    }
+                    assert_eq!(scanned, (1..=4).sum::<u64>(), "scan saw all its writes");
+
+                    live.lock().unwrap().remove(&id);
+                    drop(cell); // drain done: retire → prune → epoch limbo
+                }
+            });
+        }
+        // Plane-wide sweepers: `reads __DynRegion:*` overlaps every live
+        // tenant's writes, so each sweep's conflict walk visits tenant
+        // nodes as they are concurrently created, pruned, and recycled.
+        for _ in 0..2 {
+            let rt = &rt;
+            scope.spawn(move || {
+                for _ in 0..40 {
+                    rt.execute_later("sweep", EffectSet::parse("reads __DynRegion:*"), |_| 0u64)
+                        .wait();
+                }
+            });
+        }
+    });
+
+    assert_returns_to_baseline(&rt, baseline);
+}
+
+#[test]
+fn service_harness_churn_returns_tree_to_baseline() {
+    // The same property through the real open-loop harness: a scan-heavy
+    // run with continuous tenant retirement must leave the scheduler
+    // tree exactly as it found it once everything drains (the harness
+    // retires every tenant's final cell when its submitter finishes and
+    // the in-flight requests complete).
+    let rt = Runtime::new(2, SchedulerKind::Tree);
+    let baseline = rt.scheduler_diagnostics();
+    let cfg = ServiceConfig {
+        tenants: 4,
+        keys_per_tenant: 16,
+        requests: 600,
+        rate_per_sec: 1e6,
+        mix: OpMix::SCAN_HEAVY,
+        seed: 7,
+        retire_every: Some(100),
+        reapers: 2,
+    };
+    let report = run_service(&rt, &cfg);
+    assert_eq!(report.completed, 600);
+    assert_eq!(report.retired_tenants, 6);
+    assert_returns_to_baseline(&rt, baseline);
+}

@@ -1,9 +1,10 @@
 //! Regenerates the tables behind every figure of the TWE evaluation.
 //!
 //! ```text
-//! figures [--fig 6.1|6.2|6.3|6.4|7.1|conflict|submit|intern|all] [--quick]
-//!         [--json out.json] [--conflict-json BENCH_conflict.json]
+//! figures [--fig 6.1|6.2|6.3|6.4|7.1|conflict|submit|intern|reclaim|service|all]
+//!         [--quick] [--json out.json] [--conflict-json BENCH_conflict.json]
 //!         [--submit-json BENCH_submit.json] [--intern-json BENCH_intern.json]
+//!         [--reclaim-json BENCH_reclaim.json] [--service-json BENCH_service.json]
 //! ```
 //!
 //! `--quick` shrinks the workloads so the whole sweep finishes in a couple of
@@ -40,10 +41,20 @@
 //! leaking baseline (bounded vs unbounded arena footprint);
 //! `--reclaim-json` writes the rows as `BENCH_reclaim.json` (also a CI
 //! smoke-job artifact).
+//!
+//! `--fig service` runs only the open-loop service-latency microbenchmark:
+//! the multi-tenant keyed store under a deterministic seeded arrival
+//! schedule, recording p50/p99/p999 submit→enable and submit→complete
+//! latency per (scheduler × tenants × rate × mix) cell with continuous
+//! tenant retirement through the epoch reclaimer; quick mode keeps the
+//! 4-tenant read-heavy cell on both schedulers (the scheduled-CI latency
+//! bar's input); `--service-json` writes the rows as `BENCH_service.json`
+//! (also a CI smoke-job artifact).
 
 use twe_bench::{
-    print_conflict_rows, print_intern_rows, print_reclaim_rows, print_rows, print_submit_rows,
-    run_conflict_bench, run_figures, run_intern_bench, run_reclaim_bench, run_submit_bench,
+    print_conflict_rows, print_intern_rows, print_reclaim_rows, print_rows, print_service_rows,
+    print_submit_rows, run_conflict_bench, run_figures, run_intern_bench, run_reclaim_bench,
+    run_service_bench, run_submit_bench,
 };
 
 fn main() {
@@ -55,6 +66,7 @@ fn main() {
     let mut submit_json_path: Option<String> = None;
     let mut intern_json_path: Option<String> = None;
     let mut reclaim_json_path: Option<String> = None;
+    let mut service_json_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -86,12 +98,16 @@ fn main() {
                 reclaim_json_path = args.get(i + 1).cloned();
                 i += 2;
             }
+            "--service-json" => {
+                service_json_path = args.get(i + 1).cloned();
+                i += 2;
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--fig 6.1|6.2|6.3|6.4|7.1|conflict|submit|intern|reclaim|all] \
+                    "usage: figures [--fig 6.1|6.2|6.3|6.4|7.1|conflict|submit|intern|reclaim|service|all] \
                      [--quick] [--json out.json] [--conflict-json BENCH_conflict.json] \
                      [--submit-json BENCH_submit.json] [--intern-json BENCH_intern.json] \
-                     [--reclaim-json BENCH_reclaim.json]"
+                     [--reclaim-json BENCH_reclaim.json] [--service-json BENCH_service.json]"
                 );
                 return;
             }
@@ -108,14 +124,18 @@ fn main() {
     let run_submit = which == "submit" || submit_json_path.is_some();
     let run_intern = which == "intern" || intern_json_path.is_some();
     let run_reclaim = which == "reclaim" || reclaim_json_path.is_some();
-    let micro_only =
-        which == "conflict" || which == "submit" || which == "intern" || which == "reclaim";
+    let run_service = which == "service" || service_json_path.is_some();
+    let micro_only = which == "conflict"
+        || which == "submit"
+        || which == "intern"
+        || which == "reclaim"
+        || which == "service";
     if micro_only {
         if json_path.is_some() {
             eprintln!(
                 "# note: --json applies to figure rows and is ignored with --fig {which}; \
-                 use --conflict-json / --submit-json / --intern-json / --reclaim-json \
-                 for the microbench records"
+                 use --conflict-json / --submit-json / --intern-json / --reclaim-json / \
+                 --service-json for the microbench records"
             );
         }
     } else {
@@ -189,6 +209,22 @@ fn main() {
         if let Some(path) = reclaim_json_path {
             let json = serde_json::to_string_pretty(&rows).expect("serialize reclaim rows");
             std::fs::write(&path, json).expect("write reclaim JSON output");
+            eprintln!("# wrote {path}");
+        }
+    }
+    if run_service {
+        eprintln!(
+            "# open-loop service-latency microbench ({} mode, host parallelism = {})",
+            if quick { "quick" } else { "full" },
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        );
+        let rows = run_service_bench(quick);
+        print_service_rows(&rows);
+        if let Some(path) = service_json_path {
+            let json = serde_json::to_string_pretty(&rows).expect("serialize service rows");
+            std::fs::write(&path, json).expect("write service JSON output");
             eprintln!("# wrote {path}");
         }
     }

@@ -16,9 +16,13 @@
 
 pub mod intern;
 pub mod reclaim;
+pub mod service;
 
 pub use intern::{print_intern_rows, run_intern_bench, InternRow, INTERN_THREADS};
 pub use reclaim::{print_reclaim_rows, run_reclaim_bench, ReclaimRow, RECLAIM_THREADS};
+pub use service::{
+    print_service_rows, run_service_bench, ServiceRow, SERVICE_RATES, SERVICE_TENANTS,
+};
 
 use serde::Serialize;
 use std::sync::Arc;

@@ -91,7 +91,7 @@ use crate::scheduler::Scheduler;
 use crate::task::TaskJob;
 use crate::tree::TreeScheduler;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 use twe_effects::EffectSet;
@@ -136,6 +136,12 @@ pub(crate) struct RtInner {
     kind: SchedulerKind,
     tasks_executed: AtomicU64,
     task_retries: AtomicU64,
+    /// Latency probe switch: while on, each non-spawned task is stamped at
+    /// submit, enable and completion ([`TaskRecord::submit_to_enable_ns`]).
+    /// All three stamps are relaxed stores to the task's *own* record —
+    /// no shared cache line, no lock — so the probe adds only the clock
+    /// reads to the hot path (and nothing at all while off).
+    latency_probe: AtomicBool,
 }
 
 impl RtInner {
@@ -231,6 +237,9 @@ impl RtInner {
         let (record, state) = self.new_task::<T>(name, effects, false);
         let job = self.make_job(record.clone(), state.clone(), body, None);
         *record.job.lock() = Some(job);
+        if self.latency_probe.load(Ordering::Relaxed) {
+            record.stamp_submitted();
+        }
         self.scheduler().submit(record.clone());
         TaskFuture {
             rt: self.clone(),
@@ -265,6 +274,14 @@ impl RtInner {
                 state,
             });
         }
+        if self.latency_probe.load(Ordering::Relaxed) {
+            // Stamp the whole wave immediately before admission, so
+            // submit→enable measures scheduler admission + queueing, not
+            // the caller's wave-building loop above.
+            for record in &records {
+                record.stamp_submitted();
+            }
+        }
         match records.len() {
             0 => {}
             1 => self.scheduler().submit(records.pop().expect("one record")),
@@ -286,6 +303,9 @@ impl RtInner {
         let (record, state) = self.new_task::<T>(name, effects, false);
         let job = self.make_retry_job(record.clone(), state.clone(), body, None);
         *record.job.lock() = Some(job);
+        if self.latency_probe.load(Ordering::Relaxed) {
+            record.stamp_submitted();
+        }
         self.scheduler().submit(record.clone());
         TaskFuture {
             rt: self.clone(),
@@ -322,6 +342,9 @@ fn finish_task<T: Send + 'static>(
     match outcome {
         Ok(value) => state.complete(value),
         Err(panic) => state.complete_panic(panic),
+    }
+    if rt.latency_probe.load(Ordering::Relaxed) {
+        record.stamp_done();
     }
     record.mark_done();
     rt.scheduler().task_done(record);
@@ -401,6 +424,15 @@ impl Runtime {
             let enable_weak = weak.clone();
             let enable: Box<dyn Fn(Arc<TaskRecord>) + Send + Sync> = Box::new(move |task| {
                 if let Some(rt) = enable_weak.upgrade() {
+                    // The latency probe's enable-timestamp hook: the
+                    // scheduler invokes this callback exactly once, at the
+                    // instant it flips the task to `Enabled`, on whatever
+                    // thread resolved the conflict — stamping here (before
+                    // the body is handed to the pool) is a relaxed store to
+                    // the task's own record, contention-free by design.
+                    if rt.latency_probe.load(Ordering::Relaxed) {
+                        task.stamp_enabled();
+                    }
                     rt.submit_enabled(task);
                 }
             });
@@ -418,6 +450,7 @@ impl Runtime {
                 kind,
                 tasks_executed: AtomicU64::new(0),
                 task_retries: AtomicU64::new(0),
+                latency_probe: AtomicBool::new(false),
             }
         });
         // Register for region-retired notifications (DynCell drops): the
@@ -442,6 +475,31 @@ impl Runtime {
     /// The scheduler in use.
     pub fn scheduler_kind(&self) -> SchedulerKind {
         self.inner.kind
+    }
+
+    /// Turns the latency probe on or off (default: off).
+    ///
+    /// While on, the runtime stamps each task's submit, enable, and
+    /// completion times into the task's own record
+    /// ([`TaskRecord::submitted_at_ns`] and friends) so harnesses can
+    /// compute submit→enable and submit→complete latencies from the
+    /// returned futures. Each stamp is a single relaxed store to memory
+    /// owned by that task — no shared counter, no lock — and with the
+    /// probe off the only cost is one relaxed flag load per task.
+    pub fn set_latency_probe(&self, on: bool) {
+        self.inner.latency_probe.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the latency probe is currently on.
+    pub fn latency_probe(&self) -> bool {
+        self.inner.latency_probe.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of scheduler-internal diagnostics (tree node count,
+    /// recorded-effect count). Naive reports its queue length under
+    /// `recorded_effects` and zero nodes.
+    pub fn scheduler_diagnostics(&self) -> scheduler::SchedulerDiagnostics {
+        self.inner.scheduler().diagnostics()
     }
 
     /// Creates an asynchronous task with the given declared effects; it runs
@@ -612,6 +670,64 @@ mod tests {
             }
             assert_eq!(rt.stats().tasks_executed, 128);
         }
+    }
+
+    #[test]
+    fn latency_probe_stamps_on_both_schedulers() {
+        for kind in [SchedulerKind::Naive, SchedulerKind::Tree] {
+            let rt = Runtime::new(2, kind);
+
+            // Probe off (the default): nothing is stamped.
+            let f = rt.execute_later("unprobed", EffectSet::parse("writes P:[0]"), |_| 1u32);
+            f.wait();
+            assert_eq!(f.record().submit_to_enable_ns(), None, "{kind:?}");
+            assert_eq!(f.record().submit_to_complete_ns(), None, "{kind:?}");
+
+            // Probe on: submit→enable and submit→complete are both
+            // measurable and ordered, for execute_later and submit_all.
+            rt.set_latency_probe(true);
+            assert!(rt.latency_probe());
+            let f = rt.execute_later("probed", EffectSet::parse("writes P:[1]"), |_| 2u32);
+            f.wait();
+            let enable = f.record().submit_to_enable_ns().expect("enable stamped");
+            let complete = f
+                .record()
+                .submit_to_complete_ns()
+                .expect("complete stamped");
+            assert!(complete >= enable, "{kind:?}: {complete} < {enable}");
+
+            let futures = rt.submit_all((0..8).map(|i| {
+                (
+                    format!("wave{i}"),
+                    EffectSet::parse(&format!("writes P:[{i}]")),
+                    move |_: &TaskCtx<'_>| i,
+                )
+            }));
+            for f in &futures {
+                f.wait();
+                assert!(f.record().submit_to_enable_ns().is_some(), "{kind:?}");
+                assert!(f.record().submit_to_complete_ns().is_some(), "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scheduler_diagnostics_reports_tree_nodes() {
+        let rt = Runtime::new(2, SchedulerKind::Tree);
+        let baseline = rt.scheduler_diagnostics();
+        rt.run("touch", EffectSet::parse("writes Diag:[3]"), |_| ());
+        // After the run drains, eager pruning returns the tree to its
+        // baseline shape and no effects remain recorded.
+        let mut diag = rt.scheduler_diagnostics();
+        for _ in 0..100 {
+            if diag == baseline {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            diag = rt.scheduler_diagnostics();
+        }
+        assert_eq!(diag, baseline);
+        assert_eq!(diag.recorded_effects, 0);
     }
 
     #[test]

@@ -228,6 +228,13 @@ impl Scheduler for NaiveScheduler {
         // covered by the parent's declared effects.
         self.enable_ready_among(|t| !parent.effects.certainly_non_interfering(&t.effects));
     }
+
+    fn diagnostics(&self) -> crate::scheduler::SchedulerDiagnostics {
+        crate::scheduler::SchedulerDiagnostics {
+            tree_nodes: 0,
+            recorded_effects: self.queue.lock().len(),
+        }
+    }
 }
 
 #[cfg(test)]

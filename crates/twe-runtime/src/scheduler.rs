@@ -11,6 +11,19 @@ use crate::task::{blocked_on, TaskRecord};
 use std::sync::Arc;
 use twe_effects::{Effect, RplId};
 
+/// Footprint counters a scheduler may expose for tests and diagnostics
+/// (e.g. the tenant-lifecycle stress asserting the scheduling tree returns
+/// to its baseline after churn fully drains).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedulerDiagnostics {
+    /// Nodes in the scheduling tree (`1` = just the root); `0` for
+    /// schedulers without a tree.
+    pub tree_nodes: usize,
+    /// Effect records currently registered (tree scheduler) or tasks
+    /// currently queued (naive scheduler).
+    pub recorded_effects: usize,
+}
+
 /// The interface the runtime uses to drive an effect-aware task scheduler.
 ///
 /// # Contract
@@ -128,6 +141,13 @@ pub trait Scheduler: Send + Sync {
     /// waiting for a wildcard walk to stumble on it.
     fn region_retired(&self, region: RplId) {
         let _ = region;
+    }
+
+    /// Current footprint counters ([`SchedulerDiagnostics`]). Diagnostic
+    /// only — values may be stale the moment they are read. The default
+    /// reports zeros; both bundled schedulers override it.
+    fn diagnostics(&self) -> SchedulerDiagnostics {
+        SchedulerDiagnostics::default()
     }
 }
 

@@ -2010,6 +2010,13 @@ impl Scheduler for TreeScheduler {
         self.inner
             .prune_quiescent_path(twe_effects::arena::id_path(region));
     }
+
+    fn diagnostics(&self) -> crate::scheduler::SchedulerDiagnostics {
+        crate::scheduler::SchedulerDiagnostics {
+            tree_nodes: self.tree_nodes(),
+            recorded_effects: self.recorded_effects(),
+        }
+    }
 }
 
 #[cfg(test)]
