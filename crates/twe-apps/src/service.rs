@@ -46,7 +46,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 use twe_effects::{EffectSet, Rpl};
-use twe_runtime::{DynCell, Runtime, TaskCtx, TaskFuture, TaskRecord};
+use twe_runtime::{AdmissionPolicy, DynCell, Runtime, TaskCtx, TaskFuture, TaskRecord};
 
 /// One tenant's store: a fixed array of keyed slots. Per-key access is
 /// synchronised *externally* by the effect system (each key is the
@@ -190,6 +190,12 @@ pub struct ServiceConfig {
     /// Reaper threads waiting completions (each owns a private
     /// histogram; merged after the run).
     pub reapers: usize,
+    /// Admission policy the service's runtime should be built with
+    /// ([`build_runtime`] honours it): the **bounded-depth mode** caps the
+    /// backlog by policy — block mode throttles the submitter to the
+    /// service rate, shed mode refuses the part of each wave that does not
+    /// fit — instead of by sizing the request count to the machine.
+    pub policy: AdmissionPolicy,
 }
 
 impl ServiceConfig {
@@ -204,8 +210,23 @@ impl ServiceConfig {
             seed,
             retire_every: Some(200),
             reapers: 2,
+            policy: AdmissionPolicy::Unbounded,
         }
     }
+}
+
+/// Builds a runtime configured for this service: the given scheduler and
+/// thread count, plus the config's [`AdmissionPolicy`].
+pub fn build_runtime(
+    cfg: &ServiceConfig,
+    threads: usize,
+    kind: twe_runtime::SchedulerKind,
+) -> Runtime {
+    Runtime::builder()
+        .threads(threads)
+        .scheduler(kind)
+        .admission_policy(cfg.policy)
+        .build()
 }
 
 /// Expands a config into its deterministic arrival schedule.
@@ -276,7 +297,18 @@ pub struct ServiceReport {
     /// whenever the machine falls behind; never clamped to it.
     pub achieved_rate: f64,
     /// Requests completed (every non-retire arrival, once drained).
+    ///
+    /// Under [`AdmissionPolicy::BoundedShed`] only admitted requests
+    /// complete: `completed + shed` reconciles with the configured
+    /// request count.
     pub completed: u64,
+    /// Requests the admission policy refused during this run (always 0
+    /// except under [`AdmissionPolicy::BoundedShed`]).
+    pub shed: u64,
+    /// Deepest the runtime's queue-depth gauge got during this run —
+    /// the backlog the bounded policies cap. Measured from the runtime's
+    /// admission stats, so a bounded run reports at most its cap.
+    pub peak_queue_depth: usize,
     /// Tenant retire events processed.
     pub retired_tenants: usize,
     /// submit→enable latency (scheduler admission + conflict wait).
@@ -337,6 +369,7 @@ pub fn run_service(rt: &Runtime, cfg: &ServiceConfig) -> ServiceReport {
     let schedule = generate_schedule(cfg);
     let probe_was = rt.latency_probe();
     rt.set_latency_probe(true);
+    let stats_before = rt.admission_stats();
 
     let reapers = cfg.reapers.max(1);
     let retired_count = AtomicUsize::new(0);
@@ -544,10 +577,16 @@ pub fn run_service(rt: &Runtime, cfg: &ServiceConfig) -> ServiceReport {
         0.0
     };
 
+    // Shed is a per-run delta; peak depth is monotonic per runtime, so a
+    // report is per-run exact only on a runtime that ran nothing deeper
+    // before (benches build one runtime per cell).
+    let stats_after = rt.admission_stats();
     ServiceReport {
         requested_rate: cfg.rate_per_sec,
         achieved_rate,
         completed,
+        shed: stats_after.shed - stats_before.shed,
+        peak_queue_depth: stats_after.peak_depth,
         retired_tenants: retired_count.load(Ordering::Relaxed),
         enable,
         complete,
@@ -774,6 +813,64 @@ mod tests {
     }
 
     #[test]
+    fn bounded_policies_reconcile_service_accounting() {
+        // Saturate a small runtime (rate far above capacity) under each
+        // bounded policy: block must complete everything while holding
+        // the backlog at the cap; shed must account every refused
+        // request so `completed + shed == requests`.
+        for kind in [SchedulerKind::Naive, SchedulerKind::Tree] {
+            for policy in [
+                AdmissionPolicy::BoundedBlock { max_queued: 16 },
+                AdmissionPolicy::BoundedShed { max_queued: 16 },
+            ] {
+                let mut cfg = ServiceConfig::smoke(7);
+                cfg.requests = 600;
+                cfg.rate_per_sec = 1e8;
+                cfg.retire_every = None;
+                cfg.policy = policy;
+                let rt = build_runtime(&cfg, 2, kind);
+                assert_eq!(rt.admission_policy(), policy);
+                let report = run_service(&rt, &cfg);
+                assert_eq!(
+                    report.completed + report.shed,
+                    cfg.requests as u64,
+                    "{kind:?} {policy:?}"
+                );
+                assert!(
+                    report.peak_queue_depth <= 16,
+                    "{kind:?} {policy:?}: peak depth {} above the cap",
+                    report.peak_queue_depth
+                );
+                match policy {
+                    AdmissionPolicy::BoundedBlock { .. } => {
+                        assert_eq!(report.shed, 0, "{kind:?}: block never sheds");
+                        assert_eq!(report.completed, cfg.requests as u64, "{kind:?}");
+                    }
+                    AdmissionPolicy::BoundedShed { .. } => {
+                        // At 100M req/s against a 2-thread pool the cap
+                        // must overflow: an open-loop wave outruns the
+                        // drain, so some tail gets refused.
+                        assert!(report.shed > 0, "{kind:?}: saturation must shed");
+                    }
+                    AdmissionPolicy::Unbounded => unreachable!(),
+                }
+                // Histograms only count admitted requests.
+                assert_eq!(report.complete.count(), report.completed, "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn unbounded_service_reports_zero_shed() {
+        let rt = Runtime::new(2, SchedulerKind::Naive);
+        let cfg = ServiceConfig::smoke(9);
+        let report = run_service(&rt, &cfg);
+        assert_eq!(report.shed, 0);
+        assert_eq!(report.completed, cfg.requests as u64);
+        assert!(report.peak_queue_depth > 0, "the gauge must have moved");
+    }
+
+    #[test]
     fn trace_matches_sequential_oracle_smoke() {
         // A quick fixed-seed differential check (the exhaustive version
         // is the `service_differential` proptest).
@@ -786,6 +883,7 @@ mod tests {
             seed: 23,
             retire_every: Some(40),
             reapers: 1,
+            policy: AdmissionPolicy::Unbounded,
         };
         let trace: Vec<ServiceOp> = generate_schedule(&cfg).iter().map(|a| a.op).collect();
         let oracle = sequential_trace(cfg.tenants, cfg.keys_per_tenant, &trace);

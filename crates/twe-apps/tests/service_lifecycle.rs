@@ -20,7 +20,7 @@ use std::time::Duration;
 use twe_apps::service::{fresh_tenant, key_rpl, run_service, scan_rpl, OpMix, ServiceConfig};
 use twe_effects::EffectSet;
 use twe_runtime::scheduler::SchedulerDiagnostics;
-use twe_runtime::{Runtime, SchedulerKind};
+use twe_runtime::{AdmissionPolicy, Runtime, SchedulerKind};
 
 /// Polls diagnostics until they return to `baseline` (completion of the
 /// last future races the final `task_done` pruning, and retirement
@@ -153,6 +153,7 @@ fn service_harness_churn_returns_tree_to_baseline() {
         seed: 7,
         retire_every: Some(100),
         reapers: 2,
+        policy: AdmissionPolicy::Unbounded,
     };
     let report = run_service(&rt, &cfg);
     assert_eq!(report.completed, 600);

@@ -1,10 +1,11 @@
 //! Regenerates the tables behind every figure of the TWE evaluation.
 //!
 //! ```text
-//! figures [--fig 6.1|6.2|6.3|6.4|7.1|conflict|submit|intern|reclaim|service|all]
+//! figures [--fig 6.1|6.2|6.3|6.4|7.1|conflict|submit|intern|reclaim|service|backlog|all]
 //!         [--quick] [--json out.json] [--conflict-json BENCH_conflict.json]
 //!         [--submit-json BENCH_submit.json] [--intern-json BENCH_intern.json]
 //!         [--reclaim-json BENCH_reclaim.json] [--service-json BENCH_service.json]
+//!         [--backlog-json BENCH_backlog.json]
 //! ```
 //!
 //! `--quick` shrinks the workloads so the whole sweep finishes in a couple of
@@ -48,13 +49,22 @@
 //! latency per (scheduler × tenants × rate × mix) cell with continuous
 //! tenant retirement through the epoch reclaimer; quick mode keeps the
 //! 4-tenant read-heavy cell on both schedulers (the scheduled-CI latency
-//! bar's input); `--service-json` writes the rows as `BENCH_service.json`
-//! (also a CI smoke-job artifact).
+//! bar's input) plus one saturation cell per admission policy per
+//! scheduler; full mode adds the rate-scaled sweep and the full-size
+//! saturation cells; `--service-json` writes the rows as
+//! `BENCH_service.json` (also a CI smoke-job artifact).
+//!
+//! `--fig backlog` runs only the naive-scheduler backlog microbenchmark:
+//! per-`task_done` wakeup cost at 4k/16k/64k queue depths, the indexed
+//! discipline vs the dissertation's full rescan (full scan stops at 16k —
+//! deeper is the quadratic grind the index removes); `--backlog-json`
+//! writes the rows as `BENCH_backlog.json`, the input of the scheduled-CI
+//! scaling bar (indexed 64k per_done_ns ≤ 8x its 4k value).
 
 use twe_bench::{
-    print_conflict_rows, print_intern_rows, print_reclaim_rows, print_rows, print_service_rows,
-    print_submit_rows, run_conflict_bench, run_figures, run_intern_bench, run_reclaim_bench,
-    run_service_bench, run_submit_bench,
+    print_backlog_rows, print_conflict_rows, print_intern_rows, print_reclaim_rows, print_rows,
+    print_service_rows, print_submit_rows, run_backlog_bench, run_conflict_bench, run_figures,
+    run_intern_bench, run_reclaim_bench, run_service_bench, run_submit_bench,
 };
 
 fn main() {
@@ -67,6 +77,7 @@ fn main() {
     let mut intern_json_path: Option<String> = None;
     let mut reclaim_json_path: Option<String> = None;
     let mut service_json_path: Option<String> = None;
+    let mut backlog_json_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -102,12 +113,17 @@ fn main() {
                 service_json_path = args.get(i + 1).cloned();
                 i += 2;
             }
+            "--backlog-json" => {
+                backlog_json_path = args.get(i + 1).cloned();
+                i += 2;
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--fig 6.1|6.2|6.3|6.4|7.1|conflict|submit|intern|reclaim|service|all] \
+                    "usage: figures [--fig 6.1|6.2|6.3|6.4|7.1|conflict|submit|intern|reclaim|service|backlog|all] \
                      [--quick] [--json out.json] [--conflict-json BENCH_conflict.json] \
                      [--submit-json BENCH_submit.json] [--intern-json BENCH_intern.json] \
-                     [--reclaim-json BENCH_reclaim.json] [--service-json BENCH_service.json]"
+                     [--reclaim-json BENCH_reclaim.json] [--service-json BENCH_service.json] \
+                     [--backlog-json BENCH_backlog.json]"
                 );
                 return;
             }
@@ -125,17 +141,19 @@ fn main() {
     let run_intern = which == "intern" || intern_json_path.is_some();
     let run_reclaim = which == "reclaim" || reclaim_json_path.is_some();
     let run_service = which == "service" || service_json_path.is_some();
+    let run_backlog = which == "backlog" || backlog_json_path.is_some();
     let micro_only = which == "conflict"
         || which == "submit"
         || which == "intern"
         || which == "reclaim"
-        || which == "service";
+        || which == "service"
+        || which == "backlog";
     if micro_only {
         if json_path.is_some() {
             eprintln!(
                 "# note: --json applies to figure rows and is ignored with --fig {which}; \
                  use --conflict-json / --submit-json / --intern-json / --reclaim-json / \
-                 --service-json for the microbench records"
+                 --service-json / --backlog-json for the microbench records"
             );
         }
     } else {
@@ -225,6 +243,22 @@ fn main() {
         if let Some(path) = service_json_path {
             let json = serde_json::to_string_pretty(&rows).expect("serialize service rows");
             std::fs::write(&path, json).expect("write service JSON output");
+            eprintln!("# wrote {path}");
+        }
+    }
+    if run_backlog {
+        eprintln!(
+            "# naive-scheduler backlog microbench ({} mode, host parallelism = {})",
+            if quick { "quick" } else { "full" },
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        );
+        let rows = run_backlog_bench(quick);
+        print_backlog_rows(&rows);
+        if let Some(path) = backlog_json_path {
+            let json = serde_json::to_string_pretty(&rows).expect("serialize backlog rows");
+            std::fs::write(&path, json).expect("write backlog JSON output");
             eprintln!("# wrote {path}");
         }
     }

@@ -14,10 +14,15 @@
 
 #![warn(missing_docs)]
 
+pub mod backlog;
 pub mod intern;
 pub mod reclaim;
 pub mod service;
 
+pub use backlog::{
+    print_backlog_rows, run_backlog_bench, BacklogRow, BACKLOG_DEPTHS_FULL_SCAN,
+    BACKLOG_DEPTHS_INDEXED,
+};
 pub use intern::{print_intern_rows, run_intern_bench, InternRow, INTERN_THREADS};
 pub use reclaim::{print_reclaim_rows, run_reclaim_bench, ReclaimRow, RECLAIM_THREADS};
 pub use service::{

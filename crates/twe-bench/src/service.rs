@@ -24,17 +24,35 @@
 //! measuring host's parallelism; on 1-CPU runners the latency numbers are
 //! dominated by timeslicing and CI enforces structure only.
 //!
-//! Every cell retires tenants continuously (`retire_every`), so the
-//! measured tail includes the retirement path — claim purge, tree prune,
-//! epoch recycling — not just steady-state traffic.
+//! Every sustainable-rate cell retires tenants continuously
+//! (`retire_every`), so the measured tail includes the retirement path —
+//! claim purge, tree prune, epoch recycling — not just steady-state
+//! traffic; its request count scales with the rate so every cell spans
+//! [`SERVICE_SPAN_SECS`] of arrivals.
+//!
+//! On top of the sustainable sweep, **saturation cells** drive each
+//! scheduler at [`SATURATION_RATE`] — far past what any host drains —
+//! under each admission policy. Their rows carry the backpressure
+//! columns: `policy`, `depth_cap`, `peak_queue_depth` (how deep the
+//! backlog actually got), `shed`, and `shed_rate`. The unbounded cell is
+//! the "before" picture — the gauge records how deep an uncapped backlog
+//! grows and what that does to the tails — and it is deliberately modest
+//! in request count: every service path anchors at its tenant's
+//! `(depth-1, depth-2)` pair, so the waiter index narrows a wakeup to
+//! one tenant's writer buckets (not to a key), and an uncapped backlog
+//! still drains superlinearly in the depth of each tenant's waiting
+//! write/scan chain. That is the point the cell makes: backpressure, not
+//! wakeup indexing, is what keeps a saturated open-loop service
+//! survivable — the bounded cells cap the waiting set at
+//! [`SATURATION_DEPTH_CAP`], and their tails collapse.
 //!
 //! The scheduled-CI latency bar (≥ 4-CPU hosts only) is: tree
 //! `enable_p99_ns` ≤ 2× naive at the 4-tenant read-heavy cell — the cell
 //! quick mode always emits, so the bar's input exists in every artifact.
 
 use serde::Serialize;
-use twe_apps::service::{run_service, OpMix, ServiceConfig};
-use twe_runtime::{Runtime, SchedulerKind};
+use twe_apps::service::{build_runtime, run_service, OpMix, ServiceConfig};
+use twe_runtime::{AdmissionPolicy, SchedulerKind};
 
 /// One row of `BENCH_service.json`: the latency profile of one
 /// (scheduler × tenants × rate × mix) cell of the service workload.
@@ -55,8 +73,22 @@ pub struct ServiceRow {
     pub achieved_rate: f64,
     /// Requests in the schedule (excluding retire events).
     pub requests: usize,
-    /// Requests that completed and were reaped (must equal `requests`).
+    /// Requests that completed and were reaped (equals `requests` minus
+    /// `shed`).
     pub completed: u64,
+    /// Admission policy label: `"unbounded"`, `"block"`, or `"shed"`.
+    pub policy: String,
+    /// Queue-depth cap of a bounded policy; `null` for unbounded cells.
+    pub depth_cap: Option<usize>,
+    /// Deepest the runtime's queue-depth gauge got during the run. A
+    /// bounded cell reports at most `depth_cap`; unbounded saturation
+    /// cells show how far an open-loop backlog actually grows.
+    pub peak_queue_depth: usize,
+    /// Requests the admission policy refused (nonzero only for shed
+    /// cells under saturation).
+    pub shed: u64,
+    /// `shed / requests` — the fraction of arrivals refused.
+    pub shed_rate: f64,
     /// Tenant retire events processed during the run.
     pub retired_tenants: usize,
     /// submit→enable p50, nanoseconds.
@@ -87,9 +119,30 @@ pub const SERVICE_TENANTS: [usize; 2] = [4, 16];
 /// Requested arrival rates (requests/second) the full-mode sweep covers.
 pub const SERVICE_RATES: [f64; 2] = [20_000.0, 80_000.0];
 
-/// Runs one cell and flattens its report into a [`ServiceRow`].
+/// Arrival span (seconds) a sustainable-rate cell encodes; the request
+/// count scales with the requested rate to keep it, so faster cells keep
+/// their sample size instead of finishing in a blink.
+pub const SERVICE_SPAN_SECS: f64 = 0.3;
+
+/// Requested rate of the saturation cells — far above what any test host
+/// drains, so the open-loop backlog grows until a policy pushes back.
+pub const SATURATION_RATE: f64 = 2_000_000.0;
+
+/// Queue-depth cap the bounded saturation cells run with.
+pub const SATURATION_DEPTH_CAP: usize = 1_024;
+
+/// Request count for a sustainable cell: enough arrivals to span
+/// [`SERVICE_SPAN_SECS`] at the requested rate (floored so slow-rate
+/// cells still collect a stable p99).
+pub fn requests_for_rate(rate_per_sec: f64) -> usize {
+    ((rate_per_sec * SERVICE_SPAN_SECS) as usize).max(2_000)
+}
+
+/// Runs one cell and flattens its report into a [`ServiceRow`]. The
+/// runtime is built fresh per cell with the config's admission policy, so
+/// `peak_queue_depth` and `shed` are per-cell exact.
 fn service_row(kind: SchedulerKind, threads: usize, cfg: &ServiceConfig) -> ServiceRow {
-    let rt = Runtime::new(threads, kind);
+    let rt = build_runtime(cfg, threads, kind);
     let report = run_service(&rt, cfg);
     let (enable_p50_ns, enable_p99_ns, enable_p999_ns) = report.enable.p50_p99_p999();
     let (complete_p50_ns, complete_p99_ns, complete_p999_ns) = report.complete.p50_p99_p999();
@@ -105,6 +158,11 @@ fn service_row(kind: SchedulerKind, threads: usize, cfg: &ServiceConfig) -> Serv
         achieved_rate: report.achieved_rate,
         requests: cfg.requests,
         completed: report.completed,
+        policy: cfg.policy.label().to_string(),
+        depth_cap: cfg.policy.max_queued(),
+        peak_queue_depth: report.peak_queue_depth,
+        shed: report.shed,
+        shed_rate: report.shed as f64 / cfg.requests as f64,
         retired_tenants: report.retired_tenants,
         enable_p50_ns,
         enable_p99_ns,
@@ -120,19 +178,53 @@ fn service_row(kind: SchedulerKind, threads: usize, cfg: &ServiceConfig) -> Serv
     }
 }
 
+/// One saturation cell: a rate no host sustains, on the given policy.
+/// The request count is fixed (not rate-scaled — the whole schedule is
+/// due almost immediately, so "span" is meaningless here); what varies
+/// is how the backlog is handled: unbounded cells let it grow to
+/// `peak_queue_depth`, block cells throttle the submitter at the cap,
+/// shed cells refuse the overflow and report `shed_rate`.
+fn saturation_cfg(requests: usize, policy: AdmissionPolicy, seed: u64) -> ServiceConfig {
+    ServiceConfig {
+        tenants: 4,
+        keys_per_tenant: 64,
+        requests,
+        rate_per_sec: SATURATION_RATE,
+        mix: OpMix::READ_HEAVY,
+        seed,
+        retire_every: None,
+        reapers: 2,
+        policy,
+    }
+}
+
 /// Runs the service-latency sweep.
 ///
 /// Full mode covers [`SERVICE_TENANTS`] × [`SERVICE_RATES`] ×
 /// {read-heavy, scan-heavy} on both schedulers with continuous tenant
-/// retirement. Quick mode keeps the 4-tenant read-heavy cell at the lower
+/// retirement — request counts scale with the rate
+/// ([`requests_for_rate`]) so every cell spans [`SERVICE_SPAN_SECS`] —
+/// plus saturation cells at [`SATURATION_RATE`] under each admission
+/// policy. Quick mode keeps the 4-tenant read-heavy cell at the lower
 /// rate on both schedulers — the exact cell the scheduled-CI latency bar
-/// reads, so every smoke artifact contains the bar's input.
+/// reads, so every smoke artifact contains the bar's input — plus one
+/// small saturation cell per policy per scheduler for the structural
+/// push-CI assertions (depth capped, shed accounted).
 pub fn run_service_bench(quick: bool) -> Vec<ServiceRow> {
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     // More workers than cores just adds timeslice noise to the tail.
     let threads = host_cpus.clamp(2, 4);
+    let policies = [
+        AdmissionPolicy::Unbounded,
+        AdmissionPolicy::BoundedBlock {
+            max_queued: SATURATION_DEPTH_CAP,
+        },
+        AdmissionPolicy::BoundedShed {
+            max_queued: SATURATION_DEPTH_CAP,
+        },
+    ];
     let mut rows = Vec::new();
     if quick {
         for kind in [SchedulerKind::Naive, SchedulerKind::Tree] {
@@ -145,8 +237,16 @@ pub fn run_service_bench(quick: bool) -> Vec<ServiceRow> {
                 seed: 9,
                 retire_every: Some(1_000),
                 reapers: 2,
+                policy: AdmissionPolicy::Unbounded,
             };
             rows.push(service_row(kind, threads, &cfg));
+            for policy in policies {
+                rows.push(service_row(
+                    kind,
+                    threads,
+                    &saturation_cfg(4_000, policy, 9),
+                ));
+            }
         }
         return rows;
     }
@@ -154,17 +254,7 @@ pub fn run_service_bench(quick: bool) -> Vec<ServiceRow> {
         for tenants in SERVICE_TENANTS {
             for rate_per_sec in SERVICE_RATES {
                 for mix in [OpMix::READ_HEAVY, OpMix::SCAN_HEAVY] {
-                    // Fixed request count per cell (the rate changes the
-                    // arrival span, not the sample size): 12k samples give
-                    // a stable p99.9, and the worst-case backlog stays in
-                    // the range the naive scheduler's O(queue) rescans can
-                    // drain — an open-loop driver that outruns the single
-                    // queue for long enough makes every completion rescan
-                    // tens of thousands of waiters, which on a small host
-                    // turns the cell into an hours-long quadratic grind
-                    // rather than a latency measurement. Retires ~8
-                    // tenants along the way.
-                    let requests = 12_000;
+                    let requests = requests_for_rate(rate_per_sec);
                     let cfg = ServiceConfig {
                         tenants,
                         keys_per_tenant: 64,
@@ -174,6 +264,7 @@ pub fn run_service_bench(quick: bool) -> Vec<ServiceRow> {
                         seed: 9,
                         retire_every: Some((requests / 8).max(1)),
                         reapers: 2,
+                        policy: AdmissionPolicy::Unbounded,
                     };
                     eprintln!(
                         "# service cell: {:?} tenants={} rate={} mix={}",
@@ -186,6 +277,18 @@ pub fn run_service_bench(quick: bool) -> Vec<ServiceRow> {
                 }
             }
         }
+        for policy in policies {
+            eprintln!(
+                "# service saturation cell: {:?} policy={}",
+                kind,
+                policy.label()
+            );
+            rows.push(service_row(
+                kind,
+                threads,
+                &saturation_cfg(12_000, policy, 9),
+            ));
+        }
     }
     rows
 }
@@ -193,26 +296,30 @@ pub fn run_service_bench(quick: bool) -> Vec<ServiceRow> {
 /// Pretty-prints the service microbenchmark rows.
 pub fn print_service_rows(rows: &[ServiceRow]) {
     println!(
-        "{:<7} {:>7} {:>11} {:>10} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "{:<7} {:>7} {:>11} {:>9} {:>10} {:>10} {:>9} {:>6} {:>12} {:>12} {:>12}",
         "sched",
         "tenants",
         "mix",
+        "policy",
         "req rate",
         "ach rate",
-        "enable p50",
+        "peak q",
+        "shed%",
         "enable p99",
         "compl p99",
         "compl p999"
     );
     for r in rows {
         println!(
-            "{:<7} {:>7} {:>11} {:>10.0} {:>10.0} {:>10}ns {:>10}ns {:>10}ns {:>10}ns",
+            "{:<7} {:>7} {:>11} {:>9} {:>10.0} {:>10.0} {:>9} {:>6.1} {:>10}ns {:>10}ns {:>10}ns",
             r.scheduler,
             r.tenants,
             r.mix,
+            r.policy,
             r.requested_rate,
             r.achieved_rate,
-            r.enable_p50_ns,
+            r.peak_queue_depth,
+            r.shed_rate * 100.0,
             r.enable_p99_ns,
             r.complete_p99_ns,
             r.complete_p999_ns
@@ -241,12 +348,18 @@ mod tests {
                 seed: 3,
                 retire_every: Some(100),
                 reapers: 2,
+                policy: AdmissionPolicy::Unbounded,
             };
             let row = service_row(kind, 2, &cfg);
             assert_eq!(row.completed, cfg.requests as u64);
             assert_eq!(row.retired_tenants, 3);
             assert_eq!(row.requested_rate, cfg.rate_per_sec);
             assert!(row.achieved_rate > 0.0);
+            assert_eq!(row.policy, "unbounded");
+            assert_eq!(row.depth_cap, None);
+            assert_eq!(row.shed, 0);
+            assert_eq!(row.shed_rate, 0.0);
+            assert!(row.peak_queue_depth > 0, "the gauge must have moved");
             assert!(row.enable_p50_ns > 0, "probe stamped enable latencies");
             assert!(row.complete_p50_ns > 0);
             // submit→complete dominates submit→enable pointwise, so every
@@ -256,6 +369,45 @@ mod tests {
             assert!(row.complete_p999_ns >= row.enable_p999_ns);
             assert_eq!(row.saturated, 0, "smoke latencies fit the 2^38 ns range");
             assert!(row.host_cpus >= 1);
+        }
+    }
+
+    #[test]
+    fn saturation_rows_respect_their_policy() {
+        // A miniature of the quick-mode saturation cells: the open-loop
+        // schedule outruns the pool, and each policy's row must show its
+        // signature — bounded peak for block, accounted refusals for
+        // shed, and full completion for both non-shedding policies.
+        for kind in [SchedulerKind::Naive, SchedulerKind::Tree] {
+            for policy in [
+                AdmissionPolicy::BoundedBlock { max_queued: 32 },
+                AdmissionPolicy::BoundedShed { max_queued: 32 },
+            ] {
+                let row = service_row(kind, 2, &saturation_cfg(1_500, policy, 5));
+                assert_eq!(row.requested_rate, SATURATION_RATE);
+                assert_eq!(row.depth_cap, Some(32));
+                assert!(
+                    row.peak_queue_depth <= 32,
+                    "{kind:?} {policy:?}: peak {} above cap",
+                    row.peak_queue_depth
+                );
+                assert_eq!(
+                    row.completed + row.shed,
+                    row.requests as u64,
+                    "{kind:?} {policy:?}"
+                );
+                match policy {
+                    AdmissionPolicy::BoundedBlock { .. } => {
+                        assert_eq!(row.shed, 0, "{kind:?}");
+                        assert_eq!(row.shed_rate, 0.0, "{kind:?}");
+                    }
+                    AdmissionPolicy::BoundedShed { .. } => {
+                        assert!(row.shed > 0, "{kind:?}: saturation must shed");
+                        assert!(row.shed_rate > 0.0 && row.shed_rate < 1.0, "{kind:?}");
+                    }
+                    AdmissionPolicy::Unbounded => unreachable!(),
+                }
+            }
         }
     }
 }

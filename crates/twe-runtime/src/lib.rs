@@ -91,7 +91,7 @@ use crate::scheduler::Scheduler;
 use crate::task::TaskJob;
 use crate::tree::TreeScheduler;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 use twe_effects::EffectSet;
@@ -117,6 +117,223 @@ impl SchedulerKind {
     }
 }
 
+/// How a [`Runtime`] admits new top-level tasks when its backlog is deep.
+///
+/// The policy bounds the number of **in-flight** non-spawned tasks —
+/// submitted and not yet finished — so an open-loop producer that outruns
+/// the workers cannot grow the scheduler's queue without bound (the
+/// saturation collapse the service benchmarks measure). Spawned tasks are
+/// never policed: their effects were transferred from an already-admitted
+/// parent, so they represent no new backlog.
+///
+/// Two escape hatches keep the bounded policies deadlock-free and loss-free:
+///
+/// * Submissions from one of the runtime's **own worker threads** (a task
+///   body calling `execute_later`/`execute_all_later`) always bypass the
+///   bound — blocking a worker on admission would starve the very backlog
+///   it is waiting on. The depth gauge still counts them, so
+///   [`AdmissionStats::peak_depth`] may transiently exceed the cap.
+/// * Plain [`Runtime::execute_later`] must return a future, so it cannot
+///   shed: under [`AdmissionPolicy::BoundedShed`] it admits unconditionally.
+///   Use [`Runtime::try_execute_later`] or [`Runtime::submit_all`] (which
+///   sheds the tail of a wave that does not fit) for load-shedding
+///   submission paths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Admit everything immediately (the default). The depth gauge is still
+    /// maintained so saturation experiments can report peak backlog.
+    Unbounded,
+    /// Block the submitting (non-worker) thread until the in-flight count
+    /// drops below `max_queued` — classic backpressure: the producer is
+    /// slowed to the service rate and no request is lost.
+    BoundedBlock {
+        /// Maximum in-flight non-spawned tasks before submitters block.
+        max_queued: usize,
+    },
+    /// Refuse work that does not fit instead of blocking: [`Runtime::submit_all`]
+    /// admits the longest prefix of the wave that fits under `max_queued`
+    /// and sheds the rest (counted in [`AdmissionStats::shed`]);
+    /// [`Runtime::try_execute_later`] returns `None` for a task that does
+    /// not fit.
+    BoundedShed {
+        /// Maximum in-flight non-spawned tasks before submissions shed.
+        max_queued: usize,
+    },
+}
+
+impl AdmissionPolicy {
+    /// Short label for benchmark output ("unbounded" / "block" / "shed").
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdmissionPolicy::Unbounded => "unbounded",
+            AdmissionPolicy::BoundedBlock { .. } => "block",
+            AdmissionPolicy::BoundedShed { .. } => "shed",
+        }
+    }
+
+    /// The configured depth cap, if the policy has one.
+    pub fn max_queued(&self) -> Option<usize> {
+        match self {
+            AdmissionPolicy::Unbounded => None,
+            AdmissionPolicy::BoundedBlock { max_queued }
+            | AdmissionPolicy::BoundedShed { max_queued } => Some(*max_queued),
+        }
+    }
+}
+
+/// Counters describing a runtime's admission behaviour so far
+/// ([`Runtime::admission_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Non-spawned tasks admitted to the scheduler.
+    pub admitted: u64,
+    /// Tasks refused by a [`AdmissionPolicy::BoundedShed`] policy (or a
+    /// failed [`Runtime::try_execute_later`]).
+    pub shed: u64,
+    /// Current in-flight (submitted, not finished) non-spawned tasks.
+    pub depth: usize,
+    /// High-water mark of `depth`.
+    pub peak_depth: usize,
+}
+
+thread_local! {
+    /// How many task bodies are currently executing on this thread.
+    ///
+    /// Nonzero not only on pool worker threads: an external thread blocked
+    /// in [`TaskFuture::wait`] *helps* the pool and may run task bodies
+    /// itself, and a worker blocked in `get_value`/`join` runs nested jobs
+    /// on its own stack. Any submission made while this is nonzero must
+    /// bypass the bounded admission policies — the thread cannot be
+    /// throttled, because the task it is executing is itself holding an
+    /// admission slot (and possibly effects) that only its completion can
+    /// release.
+    static TASK_NEST: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Marks the current thread as executing a task body for its lifetime.
+struct TaskNestGuard;
+
+impl TaskNestGuard {
+    fn enter() -> Self {
+        TASK_NEST.with(|c| c.set(c.get() + 1));
+        TaskNestGuard
+    }
+}
+
+impl Drop for TaskNestGuard {
+    fn drop(&mut self) {
+        TASK_NEST.with(|c| c.set(c.get() - 1));
+    }
+}
+
+/// Is the calling thread currently inside a task body?
+fn in_task_body() -> bool {
+    TASK_NEST.with(|c| c.get() > 0)
+}
+
+/// Admission bookkeeping: the in-flight gauge the policies act on, the
+/// shed/admitted counters, and the gate blocked submitters park on.
+struct AdmissionState {
+    depth: AtomicUsize,
+    peak_depth: AtomicUsize,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    /// Paired with `room` for [`AdmissionPolicy::BoundedBlock`]: waiters
+    /// re-check the depth gauge under this lock, and the completion path
+    /// notifies under it, so a wakeup between a failed reservation and the
+    /// wait cannot be lost.
+    gate: parking_lot::Mutex<()>,
+    room: parking_lot::Condvar,
+}
+
+impl AdmissionState {
+    fn new() -> Self {
+        AdmissionState {
+            depth: AtomicUsize::new(0),
+            peak_depth: AtomicUsize::new(0),
+            admitted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            gate: parking_lot::Mutex::new(()),
+            room: parking_lot::Condvar::new(),
+        }
+    }
+
+    fn note_peak(&self, depth_now: usize) {
+        self.peak_depth.fetch_max(depth_now, Ordering::Relaxed);
+    }
+
+    /// Unconditional reservation (unbounded policy, worker-thread bypass,
+    /// loss-free `execute_later` under shed).
+    fn reserve_forced(&self, n: usize) {
+        let now = self.depth.fetch_add(n, Ordering::Relaxed) + n;
+        self.note_peak(now);
+        self.admitted.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Reserves up to `want` slots under `cap` (CAS loop); returns how many
+    /// were reserved, possibly zero.
+    fn reserve_up_to(&self, want: usize, cap: usize) -> usize {
+        if want == 0 {
+            return 0;
+        }
+        let mut cur = self.depth.load(Ordering::Relaxed);
+        loop {
+            let room = cap.saturating_sub(cur);
+            let take = want.min(room);
+            if take == 0 {
+                return 0;
+            }
+            match self.depth.compare_exchange_weak(
+                cur,
+                cur + take,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.note_peak(cur + take);
+                    self.admitted.fetch_add(take as u64, Ordering::Relaxed);
+                    return take;
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Blocks until at least one of `want` slots fits under `cap`; returns
+    /// how many were reserved (1..=want).
+    fn reserve_blocking(&self, want: usize, cap: usize) -> usize {
+        debug_assert!(want > 0);
+        let take = self.reserve_up_to(want, cap);
+        if take > 0 {
+            return take;
+        }
+        let mut guard = self.gate.lock();
+        loop {
+            let take = self.reserve_up_to(want, cap);
+            if take > 0 {
+                return take;
+            }
+            self.room.wait(&mut guard);
+        }
+    }
+
+    /// Releases `n` in-flight slots and wakes blocked submitters when asked.
+    fn release(&self, n: usize, notify: bool) {
+        self.depth.fetch_sub(n, Ordering::Relaxed);
+        if notify {
+            // Taking the gate before notifying pairs with the waiter's
+            // locked re-check: no wakeup can slip into the gap between its
+            // failed reservation and its wait.
+            let _guard = self.gate.lock();
+            self.room.notify_all();
+        }
+    }
+
+    fn count_shed(&self, n: usize) {
+        self.shed.fetch_add(n as u64, Ordering::Relaxed);
+    }
+}
+
 /// Counters describing what a runtime has executed so far.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RuntimeStats {
@@ -134,6 +351,10 @@ pub(crate) struct RtInner {
     next_task_id: AtomicU64,
     pub(crate) dynamic: DynamicEffectTable,
     kind: SchedulerKind,
+    /// Immutable after construction: how deep the in-flight backlog may grow
+    /// before submissions block or shed.
+    policy: AdmissionPolicy,
+    admission: AdmissionState,
     tasks_executed: AtomicU64,
     task_retries: AtomicU64,
     /// Latency probe switch: while on, each non-spawned task is stamped at
@@ -147,6 +368,36 @@ pub(crate) struct RtInner {
 impl RtInner {
     pub(crate) fn scheduler(&self) -> &dyn Scheduler {
         self.scheduler.as_ref()
+    }
+
+    /// Is the calling thread exempt from the bounded admission policies?
+    /// True inside a task body (including bodies run by helping external
+    /// threads) and on this runtime's pool workers — blocking either would
+    /// stall the machinery that drains the backlog. See [`AdmissionPolicy`].
+    fn admission_exempt(&self) -> bool {
+        in_task_body() || self.pool.on_worker_thread()
+    }
+
+    /// Admits one task for a path that cannot shed (`execute_later` and
+    /// friends): blocks under [`AdmissionPolicy::BoundedBlock`] (unless the
+    /// caller is exempt — see [`AdmissionPolicy`]), force-admits otherwise.
+    fn admit_one(&self) {
+        match self.policy {
+            AdmissionPolicy::BoundedBlock { max_queued } if !self.admission_exempt() => {
+                self.admission.reserve_blocking(1, max_queued);
+            }
+            _ => self.admission.reserve_forced(1),
+        }
+    }
+
+    /// Releases `task`'s admission slot (no-op for spawned tasks, which were
+    /// never admitted through the policy).
+    fn release_admission(&self, task: &TaskRecord) {
+        if task.spawned {
+            return;
+        }
+        let blocking = matches!(self.policy, AdmissionPolicy::BoundedBlock { .. });
+        self.admission.release(1, blocking);
     }
 
     pub(crate) fn new_task<T: Send + 'static>(
@@ -182,6 +433,7 @@ impl RtInner {
     {
         let rt = self.clone();
         Box::new(move || {
+            let _nest = TaskNestGuard::enter();
             rt.tasks_executed.fetch_add(1, Ordering::Relaxed);
             let ctx = TaskCtx::new(&rt, &record);
             let result = catch_unwind(AssertUnwindSafe(|| body(&ctx)));
@@ -205,6 +457,7 @@ impl RtInner {
     {
         let rt = self.clone();
         Box::new(move || {
+            let _nest = TaskNestGuard::enter();
             rt.tasks_executed.fetch_add(1, Ordering::Relaxed);
             let ctx = TaskCtx::new(&rt, &record);
             let mut attempts = 0u32;
@@ -234,6 +487,7 @@ impl RtInner {
         T: Send + 'static,
         F: FnOnce(&TaskCtx<'_>) -> T + Send + 'static,
     {
+        self.admit_one();
         let (record, state) = self.new_task::<T>(name, effects, false);
         let job = self.make_job(record.clone(), state.clone(), body, None);
         *record.job.lock() = Some(job);
@@ -248,10 +502,98 @@ impl RtInner {
         }
     }
 
+    /// Shedding variant of [`RtInner::execute_later_impl`]: under a bounded
+    /// policy with no room, the task is refused (`None`) and counted shed;
+    /// the body is dropped unexecuted.
+    pub(crate) fn try_execute_later_impl<T, F>(
+        self: &Arc<Self>,
+        name: &str,
+        effects: EffectSet,
+        body: F,
+    ) -> Option<TaskFuture<T>>
+    where
+        T: Send + 'static,
+        F: FnOnce(&TaskCtx<'_>) -> T + Send + 'static,
+    {
+        match self.policy.max_queued() {
+            Some(cap) if !self.admission_exempt() => {
+                if self.admission.reserve_up_to(1, cap) == 0 {
+                    self.admission.count_shed(1);
+                    return None;
+                }
+            }
+            _ => self.admission.reserve_forced(1),
+        }
+        let (record, state) = self.new_task::<T>(name, effects, false);
+        let job = self.make_job(record.clone(), state.clone(), body, None);
+        *record.job.lock() = Some(job);
+        if self.latency_probe.load(Ordering::Relaxed) {
+            record.stamp_submitted();
+        }
+        self.scheduler().submit(record.clone());
+        Some(TaskFuture {
+            rt: self.clone(),
+            record,
+            state,
+        })
+    }
+
+    /// Builds the record + future for one batch member (shared by the
+    /// admission-policy arms of [`RtInner::submit_all_impl`]).
+    fn build_batch_member<T, N, F>(
+        self: &Arc<Self>,
+        name: N,
+        effects: EffectSet,
+        body: F,
+    ) -> (Arc<TaskRecord>, TaskFuture<T>)
+    where
+        T: Send + 'static,
+        N: Into<String>,
+        F: FnOnce(&TaskCtx<'_>) -> T + Send + 'static,
+    {
+        let (record, state) = self.new_task::<T>(name, effects, false);
+        let job = self.make_job(record.clone(), state.clone(), body, None);
+        *record.job.lock() = Some(job);
+        let future = TaskFuture {
+            rt: self.clone(),
+            record: record.clone(),
+            state,
+        };
+        (record, future)
+    }
+
+    /// Stamps a wave (or chunk) immediately before its admission, so
+    /// submit→enable measures scheduler admission + queueing, not the
+    /// caller's wave-building work.
+    fn stamp_wave(&self, records: &[Arc<TaskRecord>]) {
+        if self.latency_probe.load(Ordering::Relaxed) {
+            for record in records {
+                record.stamp_submitted();
+            }
+        }
+    }
+
+    /// Hands a wave (or chunk) to the scheduler through the batch path.
+    fn admit_wave(&self, mut records: Vec<Arc<TaskRecord>>) {
+        self.stamp_wave(&records);
+        match records.len() {
+            0 => {}
+            1 => self.scheduler().submit(records.pop().expect("one record")),
+            _ => self.scheduler().submit_batch(records),
+        }
+    }
+
     /// Batched `execute_later`: creates every task of the batch, then admits
     /// them through the scheduler's one-round batch path. A batch of zero
     /// tasks touches no scheduler state; a batch of one is routed through
     /// the plain `submit` path, so it is *exactly* `execute_later`.
+    ///
+    /// Under [`AdmissionPolicy::BoundedShed`] only the longest prefix of the
+    /// wave that fits under the cap is admitted — futures are returned for
+    /// the admitted prefix only, and the shed tail is counted in
+    /// [`AdmissionStats::shed`]. Under [`AdmissionPolicy::BoundedBlock`] the
+    /// wave is admitted in chunks as room frees up, blocking between chunks;
+    /// every task is eventually admitted and all futures are returned.
     pub(crate) fn submit_all_impl<T, N, F>(
         self: &Arc<Self>,
         tasks: impl IntoIterator<Item = (N, EffectSet, F)>,
@@ -261,33 +603,57 @@ impl RtInner {
         N: Into<String>,
         F: FnOnce(&TaskCtx<'_>) -> T + Send + 'static,
     {
-        let mut records: Vec<Arc<TaskRecord>> = Vec::new();
-        let mut futures: Vec<TaskFuture<T>> = Vec::new();
-        for (name, effects, body) in tasks {
-            let (record, state) = self.new_task::<T>(name, effects, false);
-            let job = self.make_job(record.clone(), state.clone(), body, None);
-            *record.job.lock() = Some(job);
-            records.push(record.clone());
-            futures.push(TaskFuture {
-                rt: self.clone(),
-                record,
-                state,
-            });
+        let mut triples: Vec<(N, EffectSet, F)> = tasks.into_iter().collect();
+        let total = triples.len();
+        if total == 0 {
+            return Vec::new();
         }
-        if self.latency_probe.load(Ordering::Relaxed) {
-            // Stamp the whole wave immediately before admission, so
-            // submit→enable measures scheduler admission + queueing, not
-            // the caller's wave-building loop above.
-            for record in &records {
-                record.stamp_submitted();
+        let bypass = self.admission_exempt();
+        match self.policy {
+            AdmissionPolicy::BoundedShed { max_queued } if !bypass => {
+                let take = self.admission.reserve_up_to(total, max_queued);
+                self.admission.count_shed(total - take);
+                triples.truncate(take);
+                let mut records = Vec::with_capacity(take);
+                let mut futures = Vec::with_capacity(take);
+                for (name, effects, body) in triples {
+                    let (record, future) = self.build_batch_member(name, effects, body);
+                    records.push(record);
+                    futures.push(future);
+                }
+                self.admit_wave(records);
+                futures
+            }
+            AdmissionPolicy::BoundedBlock { max_queued } if !bypass => {
+                let mut futures = Vec::with_capacity(total);
+                let mut rest = triples.into_iter();
+                let mut remaining = total;
+                while remaining > 0 {
+                    let take = self.admission.reserve_blocking(remaining, max_queued);
+                    let mut records = Vec::with_capacity(take);
+                    for (name, effects, body) in rest.by_ref().take(take) {
+                        let (record, future) = self.build_batch_member(name, effects, body);
+                        records.push(record);
+                        futures.push(future);
+                    }
+                    self.admit_wave(records);
+                    remaining -= take;
+                }
+                futures
+            }
+            _ => {
+                self.admission.reserve_forced(total);
+                let mut records = Vec::with_capacity(total);
+                let mut futures = Vec::with_capacity(total);
+                for (name, effects, body) in triples {
+                    let (record, future) = self.build_batch_member(name, effects, body);
+                    records.push(record);
+                    futures.push(future);
+                }
+                self.admit_wave(records);
+                futures
             }
         }
-        match records.len() {
-            0 => {}
-            1 => self.scheduler().submit(records.pop().expect("one record")),
-            _ => self.scheduler().submit_batch(records),
-        }
-        futures
     }
 
     pub(crate) fn execute_later_retry_impl<T, F>(
@@ -300,6 +666,7 @@ impl RtInner {
         T: Send + 'static,
         F: Fn(&TaskCtx<'_>) -> Result<T, Aborted> + Send + 'static,
     {
+        self.admit_one();
         let (record, state) = self.new_task::<T>(name, effects, false);
         let job = self.make_retry_job(record.clone(), state.clone(), body, None);
         *record.job.lock() = Some(job);
@@ -351,6 +718,9 @@ fn finish_task<T: Send + 'static>(
     if let Some(parent) = spawned_parent {
         rt.scheduler().spawned_child_done(parent);
     }
+    // Release the admission slot only after the scheduler dropped the
+    // task, so the policy's cap bounds what the scheduler actually holds.
+    rt.release_admission(record);
     rt.pool.notify_all();
 }
 
@@ -370,6 +740,7 @@ fn backoff(task_id: u64, attempts: u32) {
 pub struct RuntimeBuilder {
     threads: Option<usize>,
     kind: SchedulerKind,
+    policy: AdmissionPolicy,
 }
 
 impl Default for RuntimeBuilder {
@@ -377,6 +748,7 @@ impl Default for RuntimeBuilder {
         RuntimeBuilder {
             threads: None,
             kind: SchedulerKind::Tree,
+            policy: AdmissionPolicy::Unbounded,
         }
     }
 }
@@ -395,6 +767,12 @@ impl RuntimeBuilder {
         self
     }
 
+    /// The admission policy (defaults to [`AdmissionPolicy::Unbounded`]).
+    pub fn admission_policy(mut self, policy: AdmissionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
     /// Builds the runtime.
     pub fn build(self) -> Runtime {
         let threads = self.threads.unwrap_or_else(|| {
@@ -402,7 +780,7 @@ impl RuntimeBuilder {
                 .map(|n| n.get())
                 .unwrap_or(4)
         });
-        Runtime::new(threads, self.kind)
+        Runtime::with_policy(threads, self.kind, self.policy)
     }
 }
 
@@ -414,8 +792,14 @@ pub struct Runtime {
 
 impl Runtime {
     /// Creates a runtime with `threads` worker threads and the given
-    /// scheduler.
+    /// scheduler (unbounded admission; use [`Runtime::builder`] with
+    /// [`RuntimeBuilder::admission_policy`] for backpressure).
     pub fn new(threads: usize, kind: SchedulerKind) -> Self {
+        Self::with_policy(threads, kind, AdmissionPolicy::Unbounded)
+    }
+
+    /// Creates a runtime with an explicit [`AdmissionPolicy`].
+    pub fn with_policy(threads: usize, kind: SchedulerKind, policy: AdmissionPolicy) -> Self {
         // The pool is shared with the tree scheduler (parallel batch
         // admission dispatches per-group subtree inserts to it), so it is
         // created up front and handed to both sides.
@@ -448,6 +832,8 @@ impl Runtime {
                 next_task_id: AtomicU64::new(1),
                 dynamic: DynamicEffectTable::new(),
                 kind,
+                policy,
+                admission: AdmissionState::new(),
                 tasks_executed: AtomicU64::new(0),
                 task_retries: AtomicU64::new(0),
                 latency_probe: AtomicBool::new(false),
@@ -502,6 +888,42 @@ impl Runtime {
         self.inner.scheduler().diagnostics()
     }
 
+    /// The admission policy this runtime was built with.
+    pub fn admission_policy(&self) -> AdmissionPolicy {
+        self.inner.policy
+    }
+
+    /// A snapshot of the admission counters: tasks admitted and shed,
+    /// current in-flight depth, and the depth high-water mark. Maintained
+    /// under every policy (including [`AdmissionPolicy::Unbounded`], whose
+    /// `peak_depth` is how saturation experiments report peak backlog).
+    pub fn admission_stats(&self) -> AdmissionStats {
+        AdmissionStats {
+            admitted: self.inner.admission.admitted.load(Ordering::Relaxed),
+            shed: self.inner.admission.shed.load(Ordering::Relaxed),
+            depth: self.inner.admission.depth.load(Ordering::Relaxed),
+            peak_depth: self.inner.admission.peak_depth.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Load-shedding variant of [`Runtime::execute_later`]: under a bounded
+    /// admission policy with no room left, returns `None` (the body is
+    /// dropped unexecuted and counted in [`AdmissionStats::shed`]) instead
+    /// of blocking or over-admitting. Always succeeds under
+    /// [`AdmissionPolicy::Unbounded`] and from pool worker threads.
+    pub fn try_execute_later<T, F>(
+        &self,
+        name: &str,
+        effects: EffectSet,
+        body: F,
+    ) -> Option<TaskFuture<T>>
+    where
+        T: Send + 'static,
+        F: FnOnce(&TaskCtx<'_>) -> T + Send + 'static,
+    {
+        self.inner.try_execute_later_impl(name, effects, body)
+    }
+
     /// Creates an asynchronous task with the given declared effects; it runs
     /// once the scheduler determines it cannot interfere with any running
     /// task.
@@ -531,12 +953,23 @@ impl Runtime {
     /// prefix is locked and conflict-checked once per batch instead of
     /// once per task — and runs
     /// one deferred recheck round; the naive scheduler takes its queue lock
-    /// once and prefilters the existing queue with the batch's combined
-    /// effect-set summary ([`EffectSet::union_all`]).
+    /// once and evaluates each member against only the queued tasks its
+    /// interference index proves could conflict with it.
     ///
     /// An empty batch returns an empty vector without touching the
     /// scheduler, and a single-element batch takes the plain
     /// `execute_later` path (no extra recheck round).
+    ///
+    /// **Backpressure.** Under [`AdmissionPolicy::BoundedShed`] only the
+    /// longest prefix of the wave that fits under the cap is admitted:
+    /// futures are returned for the admitted prefix only (callers pairing
+    /// futures with per-task metadata by position stay aligned, since only
+    /// the tail is dropped) and the rest is counted in
+    /// [`AdmissionStats::shed`]. Under [`AdmissionPolicy::BoundedBlock`]
+    /// the wave is admitted in chunks as room frees up — the call blocks
+    /// between chunks, every task is admitted, and all futures are
+    /// returned. Waves submitted from a pool worker thread bypass the
+    /// policy entirely (see [`AdmissionPolicy`]).
     ///
     /// **Inline vs pooled admission.** On the tree scheduler the admission
     /// work itself may also be parallelized: when a sub-wave is wide enough
@@ -972,6 +1405,151 @@ mod tests {
         // The runtime stays usable afterwards.
         let ok = rt.run("after", EffectSet::parse("writes A"), |_| 5);
         assert_eq!(ok, 5);
+    }
+
+    #[test]
+    fn bounded_block_policy_holds_depth_at_cap() {
+        // A 1-worker runtime with slow serialized tasks: the external
+        // submitter must be throttled to the service rate, so the in-flight
+        // depth never exceeds the cap and nothing is lost.
+        for kind in [SchedulerKind::Naive, SchedulerKind::Tree] {
+            let rt = Runtime::builder()
+                .threads(1)
+                .scheduler(kind)
+                .admission_policy(AdmissionPolicy::BoundedBlock { max_queued: 4 })
+                .build();
+            let futures: Vec<_> = (0..32)
+                .map(|i| {
+                    rt.execute_later(&format!("slow{i}"), EffectSet::parse("writes S"), |_| {
+                        std::thread::sleep(Duration::from_micros(200));
+                    })
+                })
+                .collect();
+            for f in &futures {
+                f.wait();
+            }
+            let stats = rt.admission_stats();
+            assert_eq!(stats.admitted, 32, "{kind:?}");
+            assert_eq!(stats.shed, 0, "{kind:?}");
+            assert!(stats.peak_depth <= 4, "{kind:?}: peak {}", stats.peak_depth);
+            assert_eq!(stats.depth, 0, "{kind:?}: all slots released");
+        }
+    }
+
+    #[test]
+    fn bounded_shed_policy_sheds_the_wave_tail() {
+        for kind in [SchedulerKind::Naive, SchedulerKind::Tree] {
+            let rt = Runtime::builder()
+                .threads(1)
+                .scheduler(kind)
+                .admission_policy(AdmissionPolicy::BoundedShed { max_queued: 8 })
+                .build();
+            let futures = rt.submit_all((0..64).map(|i| {
+                (
+                    format!("w{i}"),
+                    EffectSet::parse("writes S"),
+                    move |_: &TaskCtx<'_>| {
+                        std::thread::sleep(Duration::from_micros(100));
+                        i
+                    },
+                )
+            }));
+            // Only the longest prefix that fit was admitted; the futures
+            // align positionally with the wave's head.
+            assert!(futures.len() <= 8, "{kind:?}: {} admitted", futures.len());
+            assert!(!futures.is_empty(), "{kind:?}: an empty runtime has room");
+            for (i, f) in futures.iter().enumerate() {
+                assert_eq!(f.wait(), i, "{kind:?}");
+            }
+            let stats = rt.admission_stats();
+            assert_eq!(
+                stats.admitted + stats.shed,
+                64,
+                "{kind:?}: every request accounted for"
+            );
+            assert_eq!(stats.shed, 64 - futures.len() as u64, "{kind:?}");
+            assert_eq!(stats.depth, 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn try_execute_later_sheds_only_when_full() {
+        let rt = Runtime::builder()
+            .threads(1)
+            .scheduler(SchedulerKind::Tree)
+            .admission_policy(AdmissionPolicy::BoundedShed { max_queued: 2 })
+            .build();
+        // Fill the two slots with tasks parked behind a gate region.
+        let gate = rt.execute_later("gate", EffectSet::parse("writes G"), |_| {
+            std::thread::sleep(Duration::from_millis(20));
+        });
+        let second = rt
+            .try_execute_later("second", EffectSet::parse("writes G"), |_| 2u32)
+            .expect("room for the second task");
+        // The cap is reached: the next try is refused and counted.
+        assert!(rt
+            .try_execute_later("third", EffectSet::parse("writes G"), |_| 3u32)
+            .is_none());
+        assert_eq!(rt.admission_stats().shed, 1);
+        gate.wait();
+        assert_eq!(second.wait(), 2);
+        // With the backlog drained there is room again.
+        let fourth = rt
+            .try_execute_later("fourth", EffectSet::parse("writes G"), |_| 4u32)
+            .expect("room after drain");
+        assert_eq!(fourth.wait(), 4);
+        assert_eq!(rt.admission_stats().shed, 1);
+    }
+
+    #[test]
+    fn worker_thread_submissions_bypass_the_bounded_policies() {
+        // A task body submits (and waits on) a nested task while occupying
+        // the only admission slot: without the worker-thread bypass this
+        // deadlocks — the worker would block on admission while being the
+        // only thread able to free a slot.
+        for policy in [
+            AdmissionPolicy::BoundedBlock { max_queued: 1 },
+            AdmissionPolicy::BoundedShed { max_queued: 1 },
+        ] {
+            for kind in [SchedulerKind::Naive, SchedulerKind::Tree] {
+                let rt = Runtime::builder()
+                    .threads(2)
+                    .scheduler(kind)
+                    .admission_policy(policy)
+                    .build();
+                let v = rt.run("outer", EffectSet::parse("writes Outer"), |ctx| {
+                    let inner =
+                        ctx.execute_later("inner", EffectSet::parse("writes Inner"), |_| 40u32);
+                    inner.get_value(ctx) + 2
+                });
+                assert_eq!(v, 42, "{kind:?} under {policy:?}");
+                assert_eq!(rt.admission_stats().depth, 0, "{kind:?} {policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn queued_tasks_gauge_tracks_backlog_on_both_schedulers() {
+        for kind in [SchedulerKind::Naive, SchedulerKind::Tree] {
+            let rt = Runtime::new(1, kind);
+            assert_eq!(rt.scheduler_diagnostics().queued_tasks, 0, "{kind:?}");
+            let gate = Arc::new(std::sync::Barrier::new(2));
+            let g2 = gate.clone();
+            let first = rt.execute_later("hold", EffectSet::parse("writes Q"), move |_| {
+                g2.wait();
+            });
+            let rest: Vec<_> = (0..8)
+                .map(|i| rt.execute_later(&format!("q{i}"), EffectSet::parse("writes Q"), |_| ()))
+                .collect();
+            // The holder plus 8 parked waiters are all registered.
+            assert_eq!(rt.scheduler_diagnostics().queued_tasks, 9, "{kind:?}");
+            gate.wait();
+            first.wait();
+            for f in rest {
+                f.wait();
+            }
+            assert_eq!(rt.scheduler_diagnostics().queued_tasks, 0, "{kind:?}");
+        }
     }
 
     #[test]

@@ -22,6 +22,11 @@ pub struct SchedulerDiagnostics {
     /// Effect records currently registered (tree scheduler) or tasks
     /// currently queued (naive scheduler).
     pub recorded_effects: usize,
+    /// Tasks currently registered with the scheduler and not yet done —
+    /// the queue-depth gauge the runtime's admission policies
+    /// ([`crate::AdmissionPolicy`]) reason about. Diagnostic only; the
+    /// runtime's own admission accounting does not read it.
+    pub queued_tasks: usize,
 }
 
 /// The interface the runtime uses to drive an effect-aware task scheduler.

@@ -598,6 +598,10 @@ struct TreeInner {
     /// Number of sub-waves admitted through the parallel dispatch path
     /// (diagnostic; lets tests assert inline fallback / dispatch coverage).
     par_waves: AtomicUsize,
+    /// Tasks submitted and not yet done — the queue-depth gauge surfaced
+    /// through [`Scheduler::diagnostics`] (spawned tasks bypass the
+    /// scheduler and are not counted).
+    queued: AtomicUsize,
 }
 
 /// Default for the minimum sub-wave size worth dispatching: below this the
@@ -646,6 +650,7 @@ impl TreeScheduler {
                 par_min_records: AtomicUsize::new(PAR_MIN_RECORDS),
                 par_min_groups: AtomicUsize::new(PAR_MIN_GROUPS),
                 par_waves: AtomicUsize::new(0),
+                queued: AtomicUsize::new(0),
             }),
         }
     }
@@ -1978,10 +1983,12 @@ impl Scheduler for TreeScheduler {
     }
 
     fn submit(&self, task: Arc<TaskRecord>) {
+        self.inner.queued.fetch_add(1, Ordering::Relaxed);
         self.inner.submit_impl(task);
     }
 
     fn submit_batch(&self, tasks: Vec<Arc<TaskRecord>>) {
+        self.inner.queued.fetch_add(tasks.len(), Ordering::Relaxed);
         self.inner.submit_batch_impl(tasks);
     }
 
@@ -1990,6 +1997,11 @@ impl Scheduler for TreeScheduler {
     }
 
     fn task_done(&self, task: &Arc<TaskRecord>) {
+        if !task.spawned {
+            // Spawned tasks were never submitted, so they were never
+            // counted; the guard keeps the gauge from underflowing.
+            self.inner.queued.fetch_sub(1, Ordering::Relaxed);
+        }
         self.inner.task_done_impl(task);
     }
 
@@ -2015,6 +2027,7 @@ impl Scheduler for TreeScheduler {
         crate::scheduler::SchedulerDiagnostics {
             tree_nodes: self.tree_nodes(),
             recorded_effects: self.recorded_effects(),
+            queued_tasks: self.inner.queued.load(Ordering::Relaxed),
         }
     }
 }
